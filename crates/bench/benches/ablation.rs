@@ -1,0 +1,77 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Target-outcome filtering** (Figure 15 runs classify one
+//!    designated outcome per test): how much does restricting candidate
+//!    enumeration to target-matching executions save over full
+//!    outcome-set evaluation?
+//! 2. **SC total-order search**: the exhaustive linear-extension search
+//!    with first-witness early exit, on the worst suite case (all-SC
+//!    IRIW: 6 SC events).
+//! 3. **Sweep parallelism**: single- vs multi-threaded suite sharding.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tricheck_c11::C11Model;
+use tricheck_compiler::riscv_mapping;
+use tricheck_core::{Sweep, SweepOptions};
+use tricheck_isa::{RiscvIsa, SpecVersion};
+use tricheck_litmus::suite;
+use tricheck_uarch::UarchModel;
+
+fn ablation_target_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_target_filter");
+    let model = C11Model::new();
+    let test = suite::fig3_wrc();
+    group.bench_function("target_only/wrc", |b| {
+        b.iter(|| model.permits_target(black_box(&test)));
+    });
+    group.bench_function("full_outcome_set/wrc", |b| {
+        b.iter(|| model.permitted_outcomes(black_box(&test)));
+    });
+    let iriw = suite::fig4_iriw_sc();
+    group.bench_function("target_only/iriw_sc", |b| {
+        b.iter(|| model.permits_target(black_box(&iriw)));
+    });
+    group.bench_function("full_outcome_set/iriw_sc", |b| {
+        b.iter(|| model.permitted_outcomes(black_box(&iriw)));
+    });
+    group.finish();
+}
+
+fn ablation_sc_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sc_order_search");
+    let model = C11Model::new();
+    // 6 SC events => up to 720 candidate total orders.
+    let all_sc = suite::iriw([tricheck_litmus::MemOrder::Sc; 6]);
+    group.bench_function("iriw_6_sc_events", |b| {
+        b.iter(|| model.permits_target(black_box(&all_sc)));
+    });
+    // 2 SC events => at most 2 orders: the cheap end.
+    use tricheck_litmus::MemOrder::{Rlx, Sc};
+    let two_sc = suite::iriw([Sc, Sc, Rlx, Rlx, Rlx, Rlx]);
+    group.bench_function("iriw_2_sc_events", |b| {
+        b.iter(|| model.permits_target(black_box(&two_sc)));
+    });
+    group.finish();
+}
+
+fn ablation_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sweep_parallelism");
+    group.sample_size(10);
+    let tests: Vec<_> = suite::wrc_template().instantiate_all().collect();
+    let mapping = riscv_mapping(RiscvIsa::Base, SpecVersion::Curr);
+    let model = UarchModel::nmm(SpecVersion::Curr);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("wrc_family/threads{threads}"), |b| {
+            let sweep = Sweep::with_options(SweepOptions { threads });
+            b.iter_batched(
+                || tests.clone(),
+                |tests| sweep.run_stack(&tests, mapping, &model),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_target_filter, ablation_sc_search, ablation_parallelism);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Engine bench: C11 target-outcome judgement (toolflow Step 1) per
+//! litmus template, including the SC-total-order search on all-SC
+//! variants (the worst case: 6 SC events on IRIW).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tricheck_c11::C11Model;
+use tricheck_litmus::{suite, MemOrder};
+
+fn bench_c11(c: &mut Criterion) {
+    let model = C11Model::new();
+    let mut group = c.benchmark_group("c11_eval");
+    let cases = [
+        ("mp_rlx", suite::mp([MemOrder::Rlx; 4])),
+        ("mp_sc", suite::mp([MemOrder::Sc; 4])),
+        ("wrc_rel_acq", suite::fig3_wrc()),
+        ("iriw_sc", suite::fig4_iriw_sc()),
+        ("corsdwi_rlx", suite::corsdwi([MemOrder::Rlx; 5])),
+        ("fig13_dep", suite::fig13_mp_lazy()),
+    ];
+    for (name, test) in &cases {
+        group.bench_function(format!("judge/{name}"), |b| {
+            b.iter(|| model.permits_target(black_box(test)));
+        });
+    }
+    group.bench_function("outcome_set/mp_rlx", |b| {
+        let test = suite::mp([MemOrder::Rlx; 4]);
+        b.iter(|| model.permitted_outcomes(black_box(&test)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_c11);
+criterion_main!(benches);

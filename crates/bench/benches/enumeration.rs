@@ -1,0 +1,41 @@
+//! Engine bench: candidate-execution enumeration per litmus template,
+//! both at the C11 level and after compilation (where fence/AMO insertion
+//! grows the event count).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tricheck_compiler::{compile, riscv_mapping};
+use tricheck_isa::{RiscvIsa, SpecVersion};
+use tricheck_litmus::{count_executions, suite, MemOrder};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    let tests = [
+        ("mp", suite::mp([MemOrder::Sc; 4])),
+        ("sb", suite::sb([MemOrder::Sc; 4])),
+        ("wrc", suite::fig3_wrc()),
+        ("rwc", suite::rwc([MemOrder::Sc; 5])),
+        ("iriw", suite::fig4_iriw_sc()),
+        ("corsdwi", suite::corsdwi([MemOrder::Rlx; 5])),
+    ];
+    for (name, test) in &tests {
+        group.bench_function(format!("c11/{name}"), |b| {
+            b.iter(|| count_executions(black_box(test.program())));
+        });
+    }
+    for (name, test) in &tests {
+        let compiled = compile(test, riscv_mapping(RiscvIsa::Base, SpecVersion::Curr))
+            .expect("suite compiles");
+        group.bench_function(format!("compiled_base/{name}"), |b| {
+            b.iter(|| count_executions(black_box(compiled.program())));
+        });
+        let compiled_a = compile(test, riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr))
+            .expect("suite compiles");
+        group.bench_function(format!("compiled_base_a/{name}"), |b| {
+            b.iter(|| count_executions(black_box(compiled_a.program())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

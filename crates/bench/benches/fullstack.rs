@@ -1,0 +1,46 @@
+//! End-to-end bench: the full TriCheck verification path (Steps 1–4) per
+//! test, one Figure-15 cell (a whole template family on one stack), and
+//! the complete headline sweep building block.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tricheck_compiler::riscv_mapping;
+use tricheck_core::{Sweep, SweepOptions, TriCheck};
+use tricheck_isa::{RiscvIsa, SpecVersion};
+use tricheck_litmus::suite;
+use tricheck_uarch::UarchModel;
+
+fn bench_fullstack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fullstack");
+    group.sample_size(20);
+
+    let mapping = riscv_mapping(RiscvIsa::Base, SpecVersion::Curr);
+
+    group.bench_function("verify/wrc_on_nmm_curr", |b| {
+        let stack = TriCheck::new(mapping, UarchModel::nmm(SpecVersion::Curr));
+        let test = suite::fig3_wrc();
+        b.iter(|| stack.verify(black_box(&test)).expect("compiles"));
+    });
+
+    group.bench_function("verify_full/mp_on_wr_curr", |b| {
+        let stack = TriCheck::new(mapping, UarchModel::wr(SpecVersion::Curr));
+        let test = suite::mp([tricheck_litmus::MemOrder::Rlx; 4]);
+        b.iter(|| stack.verify_full(black_box(&test)).expect("compiles"));
+    });
+
+    // One Figure 15 cell: the 81 MP variants on one (model, ISA) stack.
+    group.bench_function("fig15_cell/mp_family_nmm_curr", |b| {
+        let tests: Vec<_> = suite::mp_template().instantiate_all().collect();
+        let sweep = Sweep::with_options(SweepOptions { threads: 1 });
+        let model = UarchModel::nmm(SpecVersion::Curr);
+        b.iter_batched(
+            || tests.clone(),
+            |tests| sweep.run_stack(&tests, mapping, &model),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fullstack);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Engine bench: relation-algebra primitives at litmus-test scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tricheck_rel::{EventSet, Relation};
+
+fn dense_relation(n: usize, stride: usize) -> Relation {
+    Relation::from_pairs(
+        n,
+        (0..n).flat_map(move |a| (0..n).filter(move |b| (a + b) % stride == 0).map(move |b| (a, b))),
+    )
+}
+
+fn bench_relations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relations");
+    for &n in &[16usize, 32, 64] {
+        let a = dense_relation(n, 3);
+        let b = dense_relation(n, 5);
+        group.bench_function(format!("compose/n{n}"), |bencher| {
+            bencher.iter(|| black_box(&a).compose(black_box(&b)));
+        });
+        group.bench_function(format!("transitive_closure/n{n}"), |bencher| {
+            bencher.iter(|| black_box(&a).transitive_closure());
+        });
+        group.bench_function(format!("acyclic/n{n}"), |bencher| {
+            bencher.iter(|| black_box(&a).is_acyclic());
+        });
+        group.bench_function(format!("union_intersect/n{n}"), |bencher| {
+            bencher.iter(|| black_box(&a).union(&b).intersect(&a));
+        });
+    }
+    let events = EventSet::full(12);
+    let chain = Relation::from_pairs(12, (0..11).map(|i| (i, i + 1)));
+    group.bench_function("linear_extensions/chain12", |bencher| {
+        bencher.iter(|| {
+            let mut count = 0usize;
+            tricheck_rel::linear_extensions(events, &chain, &mut |_| {
+                count += 1;
+                true
+            });
+            count
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relations);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 2 micro-bench: the sieve kernel per variant at a fixed problem
+//! size, under criterion statistics (the `fig2_sieve` binary prints the
+//! full 1..=8-thread series).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tricheck_sieve::{run_sieve, SieveVariant};
+
+fn bench_sieve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sieve_fig2");
+    group.sample_size(10);
+    const LIMIT: usize = 1_000_000;
+    for variant in SieveVariant::ALL {
+        for threads in [1usize, 4] {
+            group.bench_function(format!("{variant}/threads{threads}"), |b| {
+                b.iter(|| run_sieve(variant, threads, LIMIT));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sieve);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Engine bench: microarchitectural observability judgement (toolflow
+//! Step 3) across the strongest and weakest models, on the tests whose
+//! compiled forms are largest (IRIW with 10 fences).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tricheck_compiler::{compile, riscv_mapping};
+use tricheck_isa::{RiscvIsa, SpecVersion};
+use tricheck_litmus::suite;
+use tricheck_uarch::UarchModel;
+
+fn bench_uarch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uarch_eval");
+    let mapping = riscv_mapping(RiscvIsa::Base, SpecVersion::Curr);
+    let mapping_a = riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr);
+    let cases = [
+        ("wrc", compile(&suite::fig3_wrc(), mapping).unwrap()),
+        ("iriw", compile(&suite::fig4_iriw_sc(), mapping).unwrap()),
+        ("iriw_amo", compile(&suite::fig4_iriw_sc(), mapping_a).unwrap()),
+    ];
+    for model in [
+        UarchModel::wr(SpecVersion::Curr),
+        UarchModel::rmm(SpecVersion::Curr),
+        UarchModel::a9like(SpecVersion::Curr),
+    ] {
+        let model_name = model.name().split('/').next().unwrap().to_string();
+        for (test_name, compiled) in &cases {
+            group.bench_function(format!("observes/{model_name}/{test_name}"), |b| {
+                b.iter(|| {
+                    model.observes(black_box(compiled.program()), black_box(compiled.target()))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uarch);
+criterion_main!(benches);

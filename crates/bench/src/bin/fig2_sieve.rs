@@ -1,0 +1,52 @@
+//! Regenerates Figure 2: runtimes of the three parallel-sieve variants
+//! for 1..=8 threads.
+//!
+//! Usage: `fig2_sieve [limit] [max_threads] [samples]`
+//! (defaults: 10_000_000, 8, 3 — the paper uses 10^8 on a Galaxy S7; the
+//! default here keeps the run under a minute on a laptop while preserving
+//! the curve shapes; pass 100000000 to match the paper's problem size).
+
+use tricheck_sieve::{sieve_series, SieveVariant};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let limit: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000_000);
+    let max_threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let samples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    println!(
+        "Figure 2: parallel Sieve of Eratosthenes, problem size {limit}, best of {samples} runs"
+    );
+    println!("(host-CPU substitution for the paper's Exynos 8890; see EXPERIMENTS.md)\n");
+
+    let series = sieve_series(limit, max_threads, samples);
+    print!("{:<38}", "variant \\ threads");
+    for t in 1..=max_threads {
+        print!("{t:>9}");
+    }
+    println!();
+    for variant in SieveVariant::ALL {
+        print!("{:<38}", variant.label());
+        for r in series.iter().filter(|r| r.variant == variant) {
+            print!("{:>8.0}ms", r.duration.as_secs_f64() * 1e3);
+        }
+        println!();
+    }
+
+    // The paper's headline ratio: fix overhead at max threads.
+    let time = |v: SieveVariant, t: usize| {
+        series
+            .iter()
+            .find(|r| r.variant == v && r.threads == t)
+            .map(|r| r.duration.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    };
+    let rlx = time(SieveVariant::Relaxed, max_threads);
+    let fixed = time(SieveVariant::RelaxedWithLdLdFix, max_threads);
+    let sc = time(SieveVariant::SeqCst, max_threads);
+    println!(
+        "\nld-ld fix overhead at {max_threads} threads: {:+.1}% (paper: +15.3% on ARM)",
+        100.0 * (fixed - rlx) / rlx
+    );
+    println!("SC-atomics overhead at {max_threads} threads: {:+.1}%", 100.0 * (sc - rlx) / rlx);
+}

@@ -1,0 +1,11 @@
+//! Quick validation: total bugs per (ISA, version, model) over the suite.
+use tricheck_core::{report, Sweep};
+use tricheck_litmus::suite;
+
+fn main() {
+    let tests = suite::full_suite();
+    let start = std::time::Instant::now();
+    let results = Sweep::new().run_riscv(&tests);
+    println!("{}", report::headline_table(&results));
+    println!("elapsed: {:.1?}", start.elapsed());
+}

@@ -1,0 +1,135 @@
+//! Regenerates the §6.1 prose counts and diffs them against the paper.
+//!
+//! Exits non-zero if any measured count deviates from the published one,
+//! making this binary usable as a reproduction gate.
+
+use tricheck_bench::paper;
+use tricheck_compiler::riscv_mapping;
+use tricheck_core::{Classification, Sweep};
+use tricheck_isa::{RiscvIsa, SpecVersion};
+use tricheck_litmus::{suite, LitmusTest};
+use tricheck_uarch::UarchModel;
+
+struct Check {
+    label: String,
+    paper: usize,
+    measured: usize,
+}
+
+fn bugs(
+    sweep: &Sweep,
+    tests: &[LitmusTest],
+    isa: RiscvIsa,
+    version: SpecVersion,
+    model: &UarchModel,
+) -> usize {
+    sweep
+        .run_stack(tests, riscv_mapping(isa, version), model)
+        .iter()
+        .filter(|r| r.classification() == Classification::Bug)
+        .count()
+}
+
+fn main() {
+    use RiscvIsa::{Base, BaseA};
+    use SpecVersion::{Curr, Ours};
+
+    let sweep = Sweep::new();
+    let wrc: Vec<_> = suite::wrc_template().instantiate_all().collect();
+    let rwc: Vec<_> = suite::rwc_template().instantiate_all().collect();
+    let iriw: Vec<_> = suite::iriw_template().instantiate_all().collect();
+    let corr: Vec<_> = suite::corr_template().instantiate_all().collect();
+    let corsdwi: Vec<_> = suite::corsdwi_template().instantiate_all().collect();
+
+    let mut checks: Vec<Check> = Vec::new();
+    let mut push = |label: String, paper: usize, measured: usize| {
+        checks.push(Check { label, paper, measured });
+    };
+
+    // §5.1.1 / §6.1: WRC under Base riscv-curr on the nMCA models.
+    for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
+        push(
+            format!("WRC Base/curr on {}", model.name()),
+            paper::WRC_BASE_CURR_NMCA,
+            bugs(&sweep, &wrc, Base, Curr, &model),
+        );
+    }
+    // §5.1.2 / §6.1: RWC and IRIW under Base riscv-curr.
+    for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
+        push(
+            format!("RWC Base/curr on {}", model.name()),
+            paper::RWC_BASE_CURR_NMCA,
+            bugs(&sweep, &rwc, Base, Curr, &model),
+        );
+        push(
+            format!("IRIW Base/curr on {}", model.name()),
+            paper::IRIW_BASE_CURR_NMCA,
+            bugs(&sweep, &iriw, Base, Curr, &model),
+        );
+    }
+    // §5.1.3 / §6.1: CoRR and CO-RSDWI on read-reordering models.
+    for isa in [Base, BaseA] {
+        for model in [UarchModel::rmm(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
+            push(
+                format!("CoRR {isa}/curr on {}", model.name()),
+                paper::CORR_CURR_RELAXED_RR,
+                bugs(&sweep, &corr, isa, Curr, &model),
+            );
+            push(
+                format!("CO-RSDWI {isa}/curr on {}", model.name()),
+                paper::CORSDWI_CURR_RELAXED_RR,
+                bugs(&sweep, &corsdwi, isa, Curr, &model),
+            );
+        }
+    }
+    // §5.2.1 / §6.1: WRC under Base+A riscv-curr.
+    for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr)] {
+        push(
+            format!("WRC Base+A/curr on {}", model.name()),
+            paper::WRC_BASEA_CURR_SHARED_BUFFER,
+            bugs(&sweep, &wrc, BaseA, Curr, &model),
+        );
+    }
+    push(
+        "WRC Base+A/curr on A9like/riscv-curr".to_string(),
+        paper::WRC_BASEA_CURR_A9LIKE,
+        bugs(&sweep, &wrc, BaseA, Curr, &UarchModel::a9like(Curr)),
+    );
+    // §1/§9 headline: total bugs on A9like under Base+A riscv-curr.
+    let full = suite::full_suite();
+    push(
+        "HEADLINE: all 1701 tests, Base+A/curr on A9like".to_string(),
+        paper::HEADLINE_A9LIKE_BASEA_CURR,
+        bugs(&sweep, &full, BaseA, Curr, &UarchModel::a9like(Curr)),
+    );
+    // §5.3: the refined stack eliminates every bug.
+    for isa in [Base, BaseA] {
+        for model in UarchModel::all_riscv(Ours) {
+            push(
+                format!("refined {isa}/ours on {}", model.name()),
+                0,
+                bugs(&sweep, &full, isa, Ours, &model),
+            );
+        }
+    }
+
+    println!("{:<50} {:>7} {:>9}  verdict", "experiment", "paper", "measured");
+    let mut failures = 0;
+    for c in &checks {
+        let ok = c.paper == c.measured;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<50} {:>7} {:>9}  {}",
+            c.label,
+            c.paper,
+            c.measured,
+            if ok { "MATCH" } else { "DIFF" }
+        );
+    }
+    println!("\n{} checks, {} deviations", checks.len(), failures);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,471 @@
+//! The C11/C++11 axiomatic memory model — TriCheck's Step 1
+//! (HLL AXIOMATIC EVALUATION).
+//!
+//! This crate decides, for a candidate execution of a C11 litmus test,
+//! whether the execution is *consistent* under the C11 memory model, and
+//! aggregates those judgements into per-test verdicts: is the test's
+//! target outcome permitted or forbidden?
+//!
+//! # The model
+//!
+//! The implementation follows the formalization of Batty et al.
+//! ("Mathematizing C++ concurrency", POPL 2011) restricted to the fragment
+//! the TriCheck suite exercises — atomic loads, stores and RMWs with
+//! orders in {relaxed, acquire, release, acq_rel, seq_cst}; no C11 fences,
+//! no non-atomics, no consume:
+//!
+//! - **Release sequences** (`rs`): a release write heads the maximal
+//!   contiguous run of modification-order successors that are same-thread
+//!   writes or RMWs.
+//! - **Synchronizes-with** (`sw`): a release write synchronizes with every
+//!   acquire load (of another thread) that reads from its release
+//!   sequence.
+//! - **Happens-before** (`hb`): the transitive closure of sequenced-before
+//!   and `sw`; initialization writes happen-before everything.
+//! - **Coherence**: `hb` is irreflexive and `hb ; eco` is irreflexive,
+//!   where `eco = (rf ∪ mo ∪ fr)⁺` — equivalent to the CoWW/CoRR/CoWR/CoRW
+//!   axioms plus rf/hb consistency.
+//! - **RMW atomicity**: each RMW write immediately follows its read's
+//!   source in modification order (`rmw ∩ (fr ; mo) = ∅`).
+//! - **SC order**: there exists a total order `S` over seq_cst events,
+//!   consistent with `hb` and `mo`, such that every SC read reads either
+//!   the most recent SC write to its location in `S`, or a non-SC write
+//!   not hidden by an `S`-earlier SC write it happens-before.
+//!
+//! Known deviation (documented in DESIGN.md §2.3): C11-2011 permits
+//! out-of-thin-air executions for relaxed atomics and so does this model;
+//! none of the paper's litmus shapes can exhibit them.
+//!
+//! # Examples
+//!
+//! ```
+//! use tricheck_c11::C11Model;
+//! use tricheck_litmus::{suite, MemOrder};
+//!
+//! let model = C11Model::new();
+//! // Message passing with release/acquire forbids the stale-read outcome…
+//! let mp_ra = suite::mp([MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Rlx]);
+//! assert!(!model.permits_target(&mp_ra));
+//! // …while all-relaxed message passing allows it.
+//! let mp_rlx = suite::mp([MemOrder::Rlx; 4]);
+//! assert!(model.permits_target(&mp_rlx));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tricheck_litmus::{
+    enumerate_executions, outcome_set, target_realizable, Execution, LitmusTest, MemOrder, Outcome,
+};
+use tricheck_rel::{linear_extensions, EventSet, Relation};
+
+/// Why an execution is inconsistent under C11.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum C11Violation {
+    /// `hb` has a cycle (impossible in this fragment, kept for safety).
+    HappensBeforeCycle,
+    /// A coherence axiom (CoWW/CoRR/CoWR/CoRW or rf/hb consistency) fails.
+    Coherence,
+    /// An RMW does not immediately follow its read's source in `mo`.
+    Atomicity,
+    /// No total SC order satisfies the seq_cst constraints.
+    NoScOrder,
+}
+
+impl fmt::Display for C11Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            C11Violation::HappensBeforeCycle => "happens-before cycle",
+            C11Violation::Coherence => "coherence violation",
+            C11Violation::Atomicity => "RMW atomicity violation",
+            C11Violation::NoScOrder => "no consistent SC total order",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for C11Violation {}
+
+/// The verdict of the C11 model on a litmus test's target outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum C11Verdict {
+    /// Some consistent execution realizes the target outcome.
+    Permitted,
+    /// No consistent execution realizes the target outcome.
+    Forbidden,
+}
+
+/// The C11 memory model as a consistency predicate over candidate
+/// executions (see the crate docs for the axioms).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct C11Model {
+    _private: (),
+}
+
+impl C11Model {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        C11Model::default()
+    }
+
+    /// Checks consistency of one candidate execution, reporting the first
+    /// violated axiom on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated axiom as a [`C11Violation`].
+    pub fn check(&self, exec: &Execution<MemOrder>) -> Result<(), C11Violation> {
+        let derived = DerivedRelations::new(exec);
+        if !derived.hb.is_irreflexive() {
+            return Err(C11Violation::HappensBeforeCycle);
+        }
+        if !derived.hb.compose(&derived.eco).is_irreflexive() {
+            return Err(C11Violation::Coherence);
+        }
+        if !exec.rmw().intersect(&exec.fr().compose(exec.co())).is_empty() {
+            return Err(C11Violation::Atomicity);
+        }
+        if !sc_order_exists(exec, &derived) {
+            return Err(C11Violation::NoScOrder);
+        }
+        Ok(())
+    }
+
+    /// `true` if the execution is consistent under C11.
+    #[must_use]
+    pub fn consistent(&self, exec: &Execution<MemOrder>) -> bool {
+        self.check(exec).is_ok()
+    }
+
+    /// Whether the test's target outcome is permitted by C11.
+    #[must_use]
+    pub fn permits_target(&self, test: &LitmusTest) -> bool {
+        target_realizable(test.program(), test.target(), |e| self.consistent(e))
+    }
+
+    /// The verdict on the test's target outcome.
+    #[must_use]
+    pub fn judge(&self, test: &LitmusTest) -> C11Verdict {
+        if self.permits_target(test) {
+            C11Verdict::Permitted
+        } else {
+            C11Verdict::Forbidden
+        }
+    }
+
+    /// The full set of outcomes C11 permits for the test.
+    #[must_use]
+    pub fn permitted_outcomes(&self, test: &LitmusTest) -> BTreeSet<Outcome> {
+        outcome_set(test.program(), test.observed(), |e| self.consistent(e))
+    }
+
+    /// Counts the consistent executions of a test (useful for diagnosing
+    /// model changes).
+    #[must_use]
+    pub fn consistent_execution_count(&self, test: &LitmusTest) -> usize {
+        let mut n = 0;
+        enumerate_executions(test.program(), &mut |e| {
+            if self.consistent(e) {
+                n += 1;
+            }
+            true
+        });
+        n
+    }
+}
+
+/// The `sw`/`hb`/`eco` relations derived from an execution.
+struct DerivedRelations {
+    hb: Relation,
+    eco: Relation,
+    sc_events: EventSet,
+    sc_writes: EventSet,
+}
+
+impl DerivedRelations {
+    fn new(exec: &Execution<MemOrder>) -> Self {
+        let n = exec.len();
+        let sw = synchronizes_with(exec);
+
+        // hb = (sb ∪ sw ∪ init-before-everything)⁺
+        let mut hb_base = exec.po().union(&sw);
+        for init in exec.inits().iter() {
+            for e in 0..n {
+                if !exec.inits().contains(e) {
+                    hb_base.insert(init, e);
+                }
+            }
+        }
+        let hb = hb_base.transitive_closure();
+
+        let eco = exec.rf().union(exec.co()).union(&exec.fr()).transitive_closure();
+
+        let is_sc = |e: usize| exec.ann(e).is_some_and(|mo| mo.is_sc());
+        let sc_events = EventSet::from_ids(n, (0..n).filter(|&e| is_sc(e)));
+        let sc_writes = sc_events.intersect(exec.writes());
+
+        DerivedRelations { hb, eco, sc_events, sc_writes }
+    }
+}
+
+/// `sw = [release W] ; rs ; rf ; [acquire R]`, inter-thread.
+fn synchronizes_with(exec: &Execution<MemOrder>) -> Relation {
+    let n = exec.len();
+    let mut sw = Relation::empty(n);
+    for w in exec.writes().iter() {
+        let Some(mo) = exec.ann(w) else { continue }; // init writes release nothing
+        if !mo.is_release() {
+            continue;
+        }
+        for w2 in release_sequence(exec, w) {
+            for r in exec.rf().successors(w2).iter() {
+                if !exec.is_external(w, r) {
+                    continue; // sw is cross-thread
+                }
+                if exec.ann(r).is_some_and(|m| m.is_acquire()) {
+                    sw.insert(w, r);
+                }
+            }
+        }
+    }
+    sw
+}
+
+/// The release sequence headed by `w`: `w` plus the maximal contiguous run
+/// of `mo`-successors that are same-thread writes or RMW writes.
+fn release_sequence(exec: &Execution<MemOrder>, w: usize) -> Vec<usize> {
+    let mut rs = vec![w];
+    let Some(loc) = exec.loc(w) else { return rs };
+    // co is a per-location strict total order: sort the location's writes
+    // by their number of co-predecessors within the location.
+    let mut loc_writes: Vec<usize> =
+        exec.writes().iter().filter(|&e| exec.loc(e) == Some(loc)).collect();
+    let key = |e: usize, all: &[usize]| all.iter().filter(|&&p| exec.co().contains(p, e)).count();
+    let snapshot = loc_writes.clone();
+    loc_writes.sort_by_key(|&e| key(e, &snapshot));
+    let start = loc_writes.iter().position(|&e| e == w).expect("w writes to loc");
+    for &w2 in &loc_writes[start + 1..] {
+        let same_thread = !exec.is_external(w, w2);
+        let is_rmw = exec.events()[w2].is_rmw;
+        if same_thread || is_rmw {
+            rs.push(w2);
+        } else {
+            break;
+        }
+    }
+    rs
+}
+
+/// Searches for a total SC order satisfying Batty's conditions.
+fn sc_order_exists(exec: &Execution<MemOrder>, derived: &DerivedRelations) -> bool {
+    if derived.sc_events.is_empty() {
+        return true;
+    }
+    let n = exec.len();
+    // S must be consistent with hb and mo restricted to SC events.
+    let constraint =
+        derived.hb.union(exec.co()).restrict(derived.sc_events, derived.sc_events);
+    if !constraint.is_acyclic() {
+        return false;
+    }
+    let mut found = false;
+    linear_extensions(derived.sc_events, &constraint, &mut |order| {
+        let mut pos = vec![usize::MAX; n];
+        for (i, &e) in order.iter().enumerate() {
+            pos[e] = i;
+        }
+        if sc_reads_restricted(exec, derived, &pos) {
+            found = true;
+            return false; // one witness order suffices
+        }
+        true
+    });
+    found
+}
+
+/// Batty's `sc_reads_restricted`: every SC read must read the most recent
+/// SC write to its location in `S`, or a non-SC write not "hidden" by an
+/// `S`-earlier SC write it happens-before.
+fn sc_reads_restricted(
+    exec: &Execution<MemOrder>,
+    derived: &DerivedRelations,
+    pos: &[usize],
+) -> bool {
+    let rf_inv = exec.rf().inverse();
+    for r in exec.reads().intersect(derived.sc_events).iter() {
+        let Some(loc) = exec.loc(r) else { continue };
+        let Some(w) = rf_inv.successors(r).iter().next() else { continue };
+        let sc_writes_here =
+            derived.sc_writes.iter().filter(|&w2| exec.loc(w2) == Some(loc));
+        if derived.sc_events.contains(w) {
+            // w must be S-before r with no SC write to loc in between.
+            if pos[w] >= pos[r] {
+                return false;
+            }
+            for w2 in sc_writes_here {
+                if w2 != w && pos[w] < pos[w2] && pos[w2] < pos[r] {
+                    return false;
+                }
+            }
+        } else {
+            // No SC write S-before r that w happens-before may exist.
+            for w2 in sc_writes_here {
+                if pos[w2] < pos[r] && derived.hb.contains(w, w2) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricheck_litmus::suite;
+    use MemOrder::{Acq, Rel, Rlx, Sc};
+
+    fn model() -> C11Model {
+        C11Model::new()
+    }
+
+    #[test]
+    fn mp_relaxed_allows_stale_read() {
+        assert!(model().permits_target(&suite::mp([Rlx; 4])));
+    }
+
+    #[test]
+    fn mp_release_acquire_forbids_stale_read() {
+        assert!(!model().permits_target(&suite::mp([Rlx, Rel, Acq, Rlx])));
+        assert!(!model().permits_target(&suite::mp([Sc, Sc, Sc, Sc])));
+    }
+
+    #[test]
+    fn mp_release_without_acquire_is_insufficient() {
+        assert!(model().permits_target(&suite::mp([Rlx, Rel, Rlx, Rlx])));
+        assert!(model().permits_target(&suite::mp([Rlx, Rlx, Acq, Rlx])));
+    }
+
+    #[test]
+    fn sb_forbidden_only_with_all_sc() {
+        assert!(!model().permits_target(&suite::sb([Sc; 4])));
+        assert!(model().permits_target(&suite::sb([Rlx; 4])));
+        assert!(model().permits_target(&suite::sb([Rel, Acq, Rel, Acq])));
+        // One non-SC access suffices to allow the Dekker failure.
+        assert!(model().permits_target(&suite::sb([Rlx, Sc, Sc, Sc])));
+        assert!(model().permits_target(&suite::sb([Sc, Rlx, Sc, Sc])));
+    }
+
+    #[test]
+    fn fig3_wrc_release_acquire_chain_is_forbidden() {
+        assert!(!model().permits_target(&suite::fig3_wrc()));
+    }
+
+    #[test]
+    fn wrc_without_second_synchronization_is_allowed() {
+        // No release on T1's store: T2 may miss the x store.
+        assert!(model().permits_target(&suite::wrc([Rlx, Rlx, Rlx, Acq, Rlx])));
+        // No acquire on T2's y load: same.
+        assert!(model().permits_target(&suite::wrc([Rlx, Rlx, Rel, Rlx, Rlx])));
+    }
+
+    #[test]
+    fn fig4_iriw_all_sc_is_forbidden() {
+        assert!(!model().permits_target(&suite::fig4_iriw_sc()));
+    }
+
+    #[test]
+    fn iriw_release_acquire_only_is_allowed() {
+        assert!(model().permits_target(&suite::iriw([Rel, Rel, Acq, Acq, Acq, Acq])));
+    }
+
+    #[test]
+    fn corr_is_forbidden_for_every_ordering() {
+        assert!(!model().permits_target(&suite::corr([Rlx; 4])));
+        assert!(!model().permits_target(&suite::corr([Sc, Sc, Rlx, Rlx])));
+    }
+
+    #[test]
+    fn corsdwi_is_forbidden_for_every_ordering() {
+        assert!(!model().permits_target(&suite::corsdwi([Rlx; 5])));
+    }
+
+    #[test]
+    fn fig11_roach_motel_outcome_is_allowed() {
+        assert!(model().permits_target(&suite::fig11_mp_roach_motel()));
+    }
+
+    #[test]
+    fn fig13_lazy_cumulativity_outcome_is_allowed() {
+        assert!(model().permits_target(&suite::fig13_mp_lazy()));
+    }
+
+    #[test]
+    fn wrc_forbidden_variant_count_matches_paper() {
+        // §6.1: 108 of 243 WRC variants are C11-forbidden (the full
+        // condition is P3 ∈ {rel,sc} ∧ P4 ∈ {acq,sc} via coherence).
+        let forbidden = suite::wrc_template()
+            .instantiate_all()
+            .filter(|t| !model().permits_target(t))
+            .count();
+        assert_eq!(forbidden, 108);
+    }
+
+    #[test]
+    fn rwc_forbidden_variant_count_matches_paper() {
+        let forbidden = suite::rwc_template()
+            .instantiate_all()
+            .filter(|t| !model().permits_target(t))
+            .count();
+        assert_eq!(forbidden, 2);
+    }
+
+    #[test]
+    fn mp_and_sb_forbidden_counts() {
+        let mp_forbidden =
+            suite::mp_template().instantiate_all().filter(|t| !model().permits_target(t)).count();
+        assert_eq!(mp_forbidden, 36);
+        let sb_forbidden =
+            suite::sb_template().instantiate_all().filter(|t| !model().permits_target(t)).count();
+        assert_eq!(sb_forbidden, 1);
+    }
+
+    #[test]
+    fn iriw_forbidden_variant_count_matches_paper() {
+        let forbidden = suite::iriw_template()
+            .instantiate_all()
+            .filter(|t| !model().permits_target(t))
+            .count();
+        assert_eq!(forbidden, 4);
+    }
+
+    #[test]
+    fn coherence_tests_forbidden_everywhere() {
+        assert_eq!(
+            suite::corr_template()
+                .instantiate_all()
+                .filter(|t| !model().permits_target(t))
+                .count(),
+            81
+        );
+        assert_eq!(
+            suite::corsdwi_template()
+                .instantiate_all()
+                .filter(|t| !model().permits_target(t))
+                .count(),
+            243
+        );
+    }
+
+    #[test]
+    fn permitted_outcome_sets_shrink_with_stronger_orders() {
+        let weak = model().permitted_outcomes(&suite::mp([Rlx; 4]));
+        let strong = model().permitted_outcomes(&suite::mp([Rlx, Rel, Acq, Rlx]));
+        assert!(strong.is_subset(&weak));
+        assert!(strong.len() < weak.len());
+    }
+}

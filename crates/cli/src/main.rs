@@ -1,0 +1,309 @@
+//! `tricheck` — the command-line interface to the full-stack verifier.
+//!
+//! ```text
+//! tricheck list [FAMILY]                      list suite tests (optionally one family)
+//! tricheck show NAME                          print a test: program, target, C11 verdict
+//! tricheck compile NAME [--isa B] [--spec V]  print the compiled RISC-V program
+//! tricheck verify NAME [--model M] [--isa B] [--spec V]
+//!                                             run the full toolflow on one test
+//! tricheck diagnose NAME [--model M] [--isa B] [--spec V]
+//!                                             verify + witness / per-axiom analysis
+//! tricheck dot NAME [--model M] [--isa B] [--spec V]
+//!                                             emit a Graphviz graph of the witness
+//! tricheck sweep [FAMILY]                     Figure-15-style chart for a family
+//! tricheck file PATH [--model M] [--isa B] [--spec V]
+//!                                             parse a .litmus file and verify it
+//!
+//! options: --isa base|base+a    (default base)
+//!          --spec curr|ours     (default curr)
+//!          --model WR|rWR|rWM|rMM|nWR|nMM|A9like   (default nMM)
+//! ```
+
+use std::process::ExitCode;
+
+use tricheck::core::explain::diagnose;
+use tricheck::core::report;
+use tricheck::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  tricheck list [FAMILY]
+  tricheck show NAME
+  tricheck compile NAME [--isa base|base+a] [--spec curr|ours]
+  tricheck verify NAME [--model M] [--isa base|base+a] [--spec curr|ours]
+  tricheck diagnose NAME [--model M] [--isa base|base+a] [--spec curr|ours]
+  tricheck dot NAME [--model M] [--isa base|base+a] [--spec curr|ours]
+  tricheck sweep [FAMILY]
+  tricheck file PATH [--model M] [--isa base|base+a] [--spec curr|ours]
+
+models: WR rWR rWM rMM nWR nMM A9like (default nMM)";
+
+struct Options {
+    isa: RiscvIsa,
+    spec: SpecVersion,
+    model: String,
+}
+
+fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
+    let mut opts =
+        Options { isa: RiscvIsa::Base, spec: SpecVersion::Curr, model: "nMM".to_string() };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--isa" => {
+                let v = it.next().ok_or("--isa needs a value")?;
+                opts.isa = match v.to_lowercase().as_str() {
+                    "base" => RiscvIsa::Base,
+                    "base+a" | "basea" | "base-a" => RiscvIsa::BaseA,
+                    other => return Err(format!("unknown ISA '{other}'")),
+                };
+            }
+            "--spec" => {
+                let v = it.next().ok_or("--spec needs a value")?;
+                opts.spec = match v.to_lowercase().as_str() {
+                    "curr" | "current" => SpecVersion::Curr,
+                    "ours" | "refined" => SpecVersion::Ours,
+                    other => return Err(format!("unknown spec version '{other}'")),
+                };
+            }
+            "--model" => {
+                opts.model = it.next().ok_or("--model needs a value")?.clone();
+            }
+            _ => positional.push(arg),
+        }
+    }
+    Ok((positional, opts))
+}
+
+fn model_by_name(name: &str, spec: SpecVersion) -> Result<UarchModel, String> {
+    let model = match name.to_lowercase().as_str() {
+        "wr" => UarchModel::wr(spec),
+        "rwr" => UarchModel::rwr(spec),
+        "rwm" => UarchModel::rwm(spec),
+        "rmm" => UarchModel::rmm(spec),
+        "nwr" => UarchModel::nwr(spec),
+        "nmm" => UarchModel::nmm(spec),
+        "a9like" | "a9" => UarchModel::a9like(spec),
+        other => return Err(format!("unknown model '{other}'")),
+    };
+    Ok(model)
+}
+
+fn find_test(name: &str) -> Result<LitmusTest, String> {
+    // Named figure tests first, then the full generated suite.
+    let named = [
+        suite::fig3_wrc(),
+        suite::fig4_iriw_sc(),
+        suite::fig11_mp_roach_motel(),
+        suite::fig13_mp_lazy(),
+    ];
+    if let Some(t) = named.iter().find(|t| t.name() == name) {
+        return Ok(t.clone());
+    }
+    suite::full_suite()
+        .into_iter()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| format!("no litmus test named '{name}' (try `tricheck list`)"))
+}
+
+fn format_c11_program(test: &LitmusTest) -> String {
+    use tricheck::litmus::{Expr, Instr, Loc};
+    let mut out = String::new();
+    for (tid, thread) in test.program().threads().iter().enumerate() {
+        out.push_str(&format!("T{tid}:\n"));
+        for instr in thread {
+            let line = match instr {
+                Instr::Read { dst, addr, ann } => match addr {
+                    Expr::Const(a) => format!("{dst} = ld({}, {ann})", Loc(*a)),
+                    Expr::Reg(r) => format!("{dst} = ld([{r}], {ann})"),
+                },
+                Instr::Write { addr, val, ann } => match addr {
+                    Expr::Const(a) => format!("st({}, {val}, {ann})", Loc(*a)),
+                    Expr::Reg(r) => format!("st([{r}], {val}, {ann})"),
+                },
+                Instr::Rmw { dst, addr, ann, .. } => match addr {
+                    Expr::Const(a) => format!("{dst} = rmw({}, {ann})", Loc(*a)),
+                    Expr::Reg(r) => format!("{dst} = rmw([{r}], {ann})"),
+                },
+                Instr::Fence { ann } => format!("fence({ann})"),
+            };
+            out.push_str("  ");
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (positional, opts) = parse_options(args)?;
+    let mut pos = positional.into_iter();
+    let command = pos.next().map(String::as_str).ok_or("no command given")?;
+    match command {
+        "list" => {
+            let family = pos.next().cloned();
+            let mut count = 0;
+            for t in suite::full_suite() {
+                if family.as_deref().is_none_or(|f| t.family() == f) {
+                    println!("{}", t.name());
+                    count += 1;
+                }
+            }
+            eprintln!("({count} tests)");
+            Ok(())
+        }
+        "show" => {
+            let name = pos.next().ok_or("show needs a test name")?;
+            let test = find_test(name)?;
+            println!("{}", format_c11_program(&test));
+            println!("target outcome: {}", test.target());
+            let c11 = C11Model::new();
+            println!(
+                "C11 verdict: {}",
+                match c11.judge(&test) {
+                    C11Verdict::Permitted => "permitted",
+                    C11Verdict::Forbidden => "forbidden",
+                }
+            );
+            Ok(())
+        }
+        "compile" => {
+            let name = pos.next().ok_or("compile needs a test name")?;
+            let test = find_test(name)?;
+            let mapping = riscv_mapping(opts.isa, opts.spec);
+            let compiled = compile(&test, mapping).map_err(|e| e.to_string())?;
+            println!("mapping: {}", mapping.name());
+            print!("{}", format_program(compiled.program(), Asm::RiscV));
+            Ok(())
+        }
+        "verify" => {
+            let name = pos.next().ok_or("verify needs a test name")?;
+            let test = find_test(name)?;
+            let mapping = riscv_mapping(opts.isa, opts.spec);
+            let model = model_by_name(&opts.model, opts.spec)?;
+            let stack = TriCheck::new(mapping, model);
+            let result = stack.verify(&test).map_err(|e| e.to_string())?;
+            println!("{result}");
+            Ok(())
+        }
+        "diagnose" => {
+            let name = pos.next().ok_or("diagnose needs a test name")?;
+            let test = find_test(name)?;
+            let mapping = riscv_mapping(opts.isa, opts.spec);
+            let model = model_by_name(&opts.model, opts.spec)?;
+            let d = diagnose(mapping, &model, &test).map_err(|e| e.to_string())?;
+            print!("{d}");
+            Ok(())
+        }
+        "dot" => {
+            let name = pos.next().ok_or("dot needs a test name")?;
+            let test = find_test(name)?;
+            let mapping = riscv_mapping(opts.isa, opts.spec);
+            let model = model_by_name(&opts.model, opts.spec)?;
+            let d = diagnose(mapping, &model, &test).map_err(|e| e.to_string())?;
+            match d.witness_dot {
+                Some(dot) => {
+                    print!("{dot}");
+                    Ok(())
+                }
+                None => Err(format!(
+                    "target outcome of '{name}' is not observable on {} — no witness to draw",
+                    opts.model
+                )),
+            }
+        }
+        "file" => {
+            let path = pos.next().ok_or("file needs a path")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let test =
+                tricheck::litmus::format::parse_litmus(&text).map_err(|e| e.to_string())?;
+            println!("{}", format_c11_program(&test));
+            println!("target outcome: {}", test.target());
+            let mapping = riscv_mapping(opts.isa, opts.spec);
+            let model = model_by_name(&opts.model, opts.spec)?;
+            let d = diagnose(mapping, &model, &test).map_err(|e| e.to_string())?;
+            print!("{d}");
+            Ok(())
+        }
+        "sweep" => {
+            let family = pos.next().cloned().unwrap_or_else(|| "wrc".to_string());
+            let tests: Vec<LitmusTest> =
+                suite::full_suite().into_iter().filter(|t| t.family() == family).collect();
+            if tests.is_empty() {
+                return Err(format!("unknown family '{family}'"));
+            }
+            let results = Sweep::new().run_riscv(&tests);
+            print!("{}", report::family_chart(&results, &family));
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_with_defaults() {
+        let args = strings(&["verify", "mp+rlx+rlx+rlx+rlx"]);
+        let (pos, opts) = parse_options(&args).unwrap();
+        assert_eq!(pos.len(), 2);
+        assert_eq!(opts.isa, RiscvIsa::Base);
+        assert_eq!(opts.spec, SpecVersion::Curr);
+        assert_eq!(opts.model, "nMM");
+    }
+
+    #[test]
+    fn options_parse_overrides() {
+        let args = strings(&["verify", "x", "--isa", "base+a", "--spec", "ours", "--model", "A9like"]);
+        let (_, opts) = parse_options(&args).unwrap();
+        assert_eq!(opts.isa, RiscvIsa::BaseA);
+        assert_eq!(opts.spec, SpecVersion::Ours);
+        assert_eq!(opts.model, "A9like");
+    }
+
+    #[test]
+    fn unknown_isa_is_rejected() {
+        let args = strings(&["verify", "x", "--isa", "mips"]);
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn all_seven_models_resolve() {
+        for m in ["WR", "rWR", "rWM", "rMM", "nWR", "nMM", "A9like"] {
+            assert!(model_by_name(m, SpecVersion::Curr).is_ok(), "{m}");
+        }
+        assert!(model_by_name("tso", SpecVersion::Curr).is_err());
+    }
+
+    #[test]
+    fn named_figure_tests_are_findable() {
+        assert!(find_test("wrc+rlx+rlx+rel+acq+rlx").is_ok());
+        assert!(find_test("mp_dep+rel+rel+rlx+acq").is_ok());
+        assert!(find_test("nonexistent").is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_commands() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,788 @@
+//! C11 → ISA compiler mappings — TriCheck's Step 2 (HLL→ISA COMPILATION).
+//!
+//! A [`Mapping`] turns each C11 atomic access into a sequence of hardware
+//! instructions (fences, plain accesses, AMOs). This crate provides every
+//! mapping the paper evaluates:
+//!
+//! | mapping | paper artifact |
+//! |---------|----------------|
+//! | [`BaseIntuitive`] | Table 2, "Intuitive" column |
+//! | [`BaseRefined`] | Table 2, "Refined" column (§5.3) |
+//! | [`BaseAIntuitive`] | Table 3, "Intuitive" column |
+//! | [`BaseARefined`] | Table 3, "Refined" column (§5.3) |
+//! | [`PowerLeadingSync`] | Table 1 (McKenney–Silvera leading-sync) |
+//! | [`PowerTrailingSync`] | Batty et al. trailing-sync (§7) |
+//!
+//! [`compile`] applies a mapping to a whole litmus test, preserving the
+//! observable registers so language-level and ISA-level outcomes can be
+//! compared directly (Step 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use tricheck_compiler::{compile, BaseIntuitive, Mapping};
+//! use tricheck_isa::{format_program, Asm};
+//! use tricheck_litmus::suite;
+//!
+//! let compiled = compile(&suite::fig3_wrc(), &BaseIntuitive)?;
+//! let listing = format_program(compiled.program(), Asm::RiscV);
+//! assert!(listing.contains("fence rw, w")); // the release-side fence
+//! # Ok::<(), tricheck_compiler::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use tricheck_isa::{AccessTypes, AmoBits, FenceKind, HwAnnot, RiscvIsa, SpecVersion};
+use tricheck_litmus::{
+    Expr, Instr, LitmusTest, MemOrder, Outcome, Program, ProgramError, Reg, RmwKind,
+};
+
+/// Errors produced while compiling a litmus test.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The mapping cannot express this C11 construct (e.g. C11 fences, or
+    /// RMWs on the fence-only Base ISA).
+    Unsupported {
+        /// The mapping that failed.
+        mapping: &'static str,
+        /// What it could not compile.
+        construct: &'static str,
+    },
+    /// The compiled program failed validation (e.g. grew past the event
+    /// limit after fence insertion).
+    InvalidProgram(ProgramError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unsupported { mapping, construct } => {
+                write!(f, "mapping {mapping} does not support {construct}")
+            }
+            CompileError::InvalidProgram(e) => write!(f, "compiled program invalid: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<ProgramError> for CompileError {
+    fn from(e: ProgramError) -> Self {
+        CompileError::InvalidProgram(e)
+    }
+}
+
+/// Fresh scratch registers for AMO-store idioms start here, well above the
+/// registers litmus templates use.
+const SCRATCH_BASE: u8 = 128;
+
+/// A C11 → ISA compiler mapping (one column of the paper's Tables 1–3).
+pub trait Mapping: Sync {
+    /// The mapping's name as used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Compiles an atomic load into hardware instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Unsupported`] if the mapping cannot express
+    /// the access.
+    fn load(&self, dst: Reg, addr: Expr, mo: MemOrder)
+        -> Result<Vec<Instr<HwAnnot>>, CompileError>;
+
+    /// Compiles an atomic store. `scratch` is a fresh register the mapping
+    /// may use (AMO-store idioms discard the old value into it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Unsupported`] if the mapping cannot express
+    /// the access.
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError>;
+
+    /// Compiles an atomic read-modify-write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Unsupported`]; only the Base+A mappings
+    /// implement RMWs (the paper's suite does not exercise C11 RMWs).
+    fn rmw(
+        &self,
+        _dst: Reg,
+        _addr: Expr,
+        _kind: RmwKind,
+        _mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Err(CompileError::Unsupported { mapping: self.name(), construct: "C11 RMW" })
+    }
+}
+
+fn fence(pred: AccessTypes, succ: AccessTypes) -> Instr<HwAnnot> {
+    Instr::Fence { ann: HwAnnot::Fence(FenceKind::Normal { pred, succ }) }
+}
+
+fn lwf() -> Instr<HwAnnot> {
+    Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeLight) }
+}
+
+fn hwf() -> Instr<HwAnnot> {
+    Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) }
+}
+
+fn plain_load(dst: Reg, addr: Expr) -> Instr<HwAnnot> {
+    Instr::Read { dst, addr, ann: HwAnnot::Plain }
+}
+
+fn plain_store(addr: Expr, val: Expr) -> Instr<HwAnnot> {
+    Instr::Write { addr, val, ann: HwAnnot::Plain }
+}
+
+/// The AMO-as-load idiom (`amoadd.w dst, x0, (addr)`): the zero-add write
+/// puts back the value just read, so it is architecturally invisible; the
+/// paper's µspec models treat it as a load carrying the AMO ordering
+/// bits, and so do we. (A genuine C11 RMW still compiles to `Instr::Rmw`.)
+fn amo_load(dst: Reg, addr: Expr, bits: AmoBits) -> Instr<HwAnnot> {
+    Instr::Read { dst, addr, ann: HwAnnot::Amo(bits) }
+}
+
+fn amo_store(scratch: Reg, addr: Expr, val: Expr, bits: AmoBits) -> Instr<HwAnnot> {
+    Instr::Rmw { dst: scratch, addr, kind: RmwKind::Swap(val), ann: HwAnnot::Amo(bits) }
+}
+
+/// Table 2, "Intuitive": the mapping a compiler writer would derive from
+/// the 2016 RISC-V manual's fence descriptions alone.
+///
+/// `ld acq → ld; fence r,rw` · `ld sc → fence rw,rw; ld; fence rw,rw` ·
+/// `st rel → fence rw,w; st` · `st sc → fence rw,rw; st`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaseIntuitive;
+
+impl Mapping for BaseIntuitive {
+    fn name(&self) -> &'static str {
+        "riscv-base-intuitive"
+    }
+
+    fn load(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_load(dst, addr)],
+            MemOrder::Acq => vec![plain_load(dst, addr), fence(AccessTypes::R, AccessTypes::RW)],
+            MemOrder::Sc => vec![
+                fence(AccessTypes::RW, AccessTypes::RW),
+                plain_load(dst, addr),
+                fence(AccessTypes::RW, AccessTypes::RW),
+            ],
+            MemOrder::Rel | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "release-ordered load",
+                })
+            }
+        })
+    }
+
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        _scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_store(addr, val)],
+            MemOrder::Rel => {
+                vec![fence(AccessTypes::RW, AccessTypes::W), plain_store(addr, val)]
+            }
+            MemOrder::Sc => {
+                vec![fence(AccessTypes::RW, AccessTypes::RW), plain_store(addr, val)]
+            }
+            MemOrder::Acq | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "acquire-ordered store",
+                })
+            }
+        })
+    }
+}
+
+/// Table 2, "Refined": the paper's corrected Base mapping, using the
+/// proposed cumulative fences (§5.3).
+///
+/// `ld sc → hwf; ld; fence r,rw` · `st rel → lwf; st` · `st sc → hwf; st`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaseRefined;
+
+impl Mapping for BaseRefined {
+    fn name(&self) -> &'static str {
+        "riscv-base-refined"
+    }
+
+    fn load(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_load(dst, addr)],
+            MemOrder::Acq => vec![plain_load(dst, addr), fence(AccessTypes::R, AccessTypes::RW)],
+            MemOrder::Sc => {
+                vec![hwf(), plain_load(dst, addr), fence(AccessTypes::R, AccessTypes::RW)]
+            }
+            MemOrder::Rel | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "release-ordered load",
+                })
+            }
+        })
+    }
+
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        _scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_store(addr, val)],
+            MemOrder::Rel => vec![lwf(), plain_store(addr, val)],
+            MemOrder::Sc => vec![hwf(), plain_store(addr, val)],
+            MemOrder::Acq | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "acquire-ordered store",
+                })
+            }
+        })
+    }
+}
+
+/// Table 3, "Intuitive": the AMO-based mapping the 2016 manual suggests
+/// (`AMOADD` of zero for loads, `AMOSWAP` for stores).
+///
+/// `ld acq → AMO.aq` · `ld sc → AMO.aq.rl` · `st rel → AMO.rl` ·
+/// `st sc → AMO.aq.rl`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaseAIntuitive;
+
+impl Mapping for BaseAIntuitive {
+    fn name(&self) -> &'static str {
+        "riscv-base+a-intuitive"
+    }
+
+    fn load(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_load(dst, addr)],
+            MemOrder::Acq => vec![amo_load(dst, addr, AmoBits::AQ)],
+            MemOrder::Sc => vec![amo_load(dst, addr, AmoBits::AQ_RL)],
+            MemOrder::Rel | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "release-ordered load",
+                })
+            }
+        })
+    }
+
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_store(addr, val)],
+            MemOrder::Rel => vec![amo_store(scratch, addr, val, AmoBits::RL)],
+            MemOrder::Sc => vec![amo_store(scratch, addr, val, AmoBits::AQ_RL)],
+            MemOrder::Acq | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "acquire-ordered store",
+                })
+            }
+        })
+    }
+
+    fn rmw(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        kind: RmwKind,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        let bits = match mo {
+            MemOrder::Rlx => AmoBits::NONE,
+            MemOrder::Acq => AmoBits::AQ,
+            MemOrder::Rel => AmoBits::RL,
+            MemOrder::AcqRel | MemOrder::Sc => AmoBits::AQ_RL,
+        };
+        Ok(vec![Instr::Rmw { dst, addr, kind, ann: HwAnnot::Amo(bits) }])
+    }
+}
+
+/// Table 3, "Refined": the paper's corrected Base+A mapping using the
+/// decoupled `.sc` store-atomicity bit (§5.2.2, §5.3).
+///
+/// `ld sc → AMO.aq.sc` · `st sc → AMO.rl.sc` (releases are cumulative in
+/// the refined ISA, §5.2.1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaseARefined;
+
+impl Mapping for BaseARefined {
+    fn name(&self) -> &'static str {
+        "riscv-base+a-refined"
+    }
+
+    fn load(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_load(dst, addr)],
+            MemOrder::Acq => vec![amo_load(dst, addr, AmoBits::AQ)],
+            MemOrder::Sc => vec![amo_load(dst, addr, AmoBits::AQ_SC)],
+            MemOrder::Rel | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "release-ordered load",
+                })
+            }
+        })
+    }
+
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_store(addr, val)],
+            MemOrder::Rel => vec![amo_store(scratch, addr, val, AmoBits::RL)],
+            MemOrder::Sc => vec![amo_store(scratch, addr, val, AmoBits::RL_SC)],
+            MemOrder::Acq | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "acquire-ordered store",
+                })
+            }
+        })
+    }
+
+    fn rmw(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        kind: RmwKind,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        let bits = match mo {
+            MemOrder::Rlx => AmoBits::NONE,
+            MemOrder::Acq => AmoBits::AQ,
+            MemOrder::Rel => AmoBits::RL,
+            MemOrder::AcqRel => AmoBits { aq: true, rl: true, sc: false },
+            MemOrder::Sc => AmoBits::AQ_RL,
+        };
+        Ok(vec![Instr::Rmw { dst, addr, kind, ann: HwAnnot::Amo(bits) }])
+    }
+}
+
+fn ctrlisync() -> Instr<HwAnnot> {
+    fence(AccessTypes::R, AccessTypes::RW)
+}
+
+/// Table 1: the McKenney–Silvera *leading-sync* C11 → Power mapping.
+///
+/// `ld acq → ld; ctrlisync` · `ld sc → sync; ld; ctrlisync` ·
+/// `st rel → lwsync; st` · `st sc → sync; st`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PowerLeadingSync;
+
+impl Mapping for PowerLeadingSync {
+    fn name(&self) -> &'static str {
+        "power-leading-sync"
+    }
+
+    fn load(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_load(dst, addr)],
+            MemOrder::Acq => vec![plain_load(dst, addr), ctrlisync()],
+            MemOrder::Sc => vec![hwf(), plain_load(dst, addr), ctrlisync()],
+            MemOrder::Rel | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "release-ordered load",
+                })
+            }
+        })
+    }
+
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        _scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_store(addr, val)],
+            MemOrder::Rel => vec![lwf(), plain_store(addr, val)],
+            MemOrder::Sc => vec![hwf(), plain_store(addr, val)],
+            MemOrder::Acq | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "acquire-ordered store",
+                })
+            }
+        })
+    }
+}
+
+/// The Batty et al. *trailing-sync* C11 → Power mapping, "supposedly
+/// proven correct" and invalidated by TriCheck's §7 analysis.
+///
+/// `ld acq → ld; ctrlisync` · `ld sc → ld; sync` ·
+/// `st rel → lwsync; st` · `st sc → lwsync; st; sync`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PowerTrailingSync;
+
+impl Mapping for PowerTrailingSync {
+    fn name(&self) -> &'static str {
+        "power-trailing-sync"
+    }
+
+    fn load(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_load(dst, addr)],
+            MemOrder::Acq => vec![plain_load(dst, addr), ctrlisync()],
+            MemOrder::Sc => vec![plain_load(dst, addr), hwf()],
+            MemOrder::Rel | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "release-ordered load",
+                })
+            }
+        })
+    }
+
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        _scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx => vec![plain_store(addr, val)],
+            MemOrder::Rel => vec![lwf(), plain_store(addr, val)],
+            MemOrder::Sc => vec![lwf(), plain_store(addr, val), hwf()],
+            MemOrder::Acq | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "acquire-ordered store",
+                })
+            }
+        })
+    }
+}
+
+/// The mapping the paper evaluates for a given RISC-V ISA and refinement
+/// stage.
+#[must_use]
+pub fn riscv_mapping(isa: RiscvIsa, version: SpecVersion) -> &'static dyn Mapping {
+    match (isa, version) {
+        (RiscvIsa::Base, SpecVersion::Curr) => &BaseIntuitive,
+        (RiscvIsa::Base, SpecVersion::Ours) => &BaseRefined,
+        (RiscvIsa::BaseA, SpecVersion::Curr) => &BaseAIntuitive,
+        (RiscvIsa::BaseA, SpecVersion::Ours) => &BaseARefined,
+    }
+}
+
+/// A compiled litmus test: the ISA-level program plus the original test's
+/// target outcome (observable registers are preserved by compilation).
+#[derive(Clone, Debug)]
+pub struct CompiledTest {
+    name: String,
+    mapping: &'static str,
+    program: Program<HwAnnot>,
+    target: Outcome,
+    observed: Vec<(usize, Reg)>,
+}
+
+impl CompiledTest {
+    /// The compiled test's name (`<source>@<mapping>`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The mapping that produced it.
+    #[must_use]
+    pub fn mapping(&self) -> &'static str {
+        self.mapping
+    }
+
+    /// The hardware-level program.
+    #[must_use]
+    pub fn program(&self) -> &Program<HwAnnot> {
+        &self.program
+    }
+
+    /// The target outcome carried over from the source test.
+    #[must_use]
+    pub fn target(&self) -> &Outcome {
+        &self.target
+    }
+
+    /// The observed registers carried over from the source test.
+    #[must_use]
+    pub fn observed(&self) -> &[(usize, Reg)] {
+        &self.observed
+    }
+}
+
+/// Compiles a C11 litmus test with the given mapping (Step 2 of the
+/// toolflow). Loads keep their destination registers, so the compiled
+/// test's outcome space is directly comparable to the C11 test's.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the mapping cannot express one of the
+/// test's accesses or the result fails program validation.
+pub fn compile(test: &LitmusTest, mapping: &dyn Mapping) -> Result<CompiledTest, CompileError> {
+    let mut threads = Vec::with_capacity(test.program().threads().len());
+    for thread in test.program().threads() {
+        let mut out = Vec::new();
+        let mut scratch = SCRATCH_BASE;
+        let mut next_scratch = || {
+            let r = Reg(scratch);
+            scratch = scratch.checked_add(1).expect("scratch registers exhausted");
+            r
+        };
+        for instr in thread {
+            match instr {
+                Instr::Read { dst, addr, ann } => {
+                    out.extend(mapping.load(*dst, *addr, *ann)?);
+                }
+                Instr::Write { addr, val, ann } => {
+                    out.extend(mapping.store(*addr, *val, *ann, next_scratch())?);
+                }
+                Instr::Rmw { dst, addr, kind, ann } => {
+                    out.extend(mapping.rmw(*dst, *addr, *kind, *ann)?);
+                }
+                Instr::Fence { .. } => {
+                    return Err(CompileError::Unsupported {
+                        mapping: mapping.name(),
+                        construct: "C11 fence",
+                    });
+                }
+            }
+        }
+        threads.push(out);
+    }
+    let program = Program::new(threads, test.program().locations().iter().copied())?;
+    Ok(CompiledTest {
+        name: format!("{}@{}", test.name(), mapping.name()),
+        mapping: mapping.name(),
+        program,
+        target: test.target().clone(),
+        observed: test.observed().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricheck_isa::{format_program, Asm};
+    use tricheck_litmus::suite;
+
+    fn listing(test: &LitmusTest, mapping: &dyn Mapping, dialect: Asm) -> String {
+        format_program(compile(test, mapping).expect("compiles").program(), dialect)
+    }
+
+    #[test]
+    fn figure8_wrc_base_intuitive() {
+        let out = listing(&suite::fig3_wrc(), &BaseIntuitive, Asm::RiscV);
+        let expected = "\
+T0:
+  sw 1, (x)
+T1:
+  lw r0, (x)
+  fence rw, w
+  sw 1, (y)
+T2:
+  lw r1, (y)
+  fence r, rw
+  lw r2, (x)
+";
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn figure9_iriw_base_intuitive_fence_count() {
+        let compiled = compile(&suite::fig4_iriw_sc(), &BaseIntuitive).unwrap();
+        // st sc = fence;st (1 fence each on T0/T1); ld sc = fence;ld;fence
+        // (2 fences per load, 2 loads per reader thread).
+        let fences: usize = compiled
+            .program()
+            .threads()
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, Instr::Fence { .. }))
+            .count();
+        assert_eq!(fences, 1 + 1 + 4 + 4);
+    }
+
+    #[test]
+    fn figure10_wrc_base_a_intuitive() {
+        let out = listing(&suite::fig3_wrc(), &BaseAIntuitive, Asm::RiscV);
+        let expected = "\
+T0:
+  sw 1, (x)
+T1:
+  lw r0, (x)
+  amoswap.w.rl r128, 1, (y)
+T2:
+  amoadd.w.aq r1, 0, (y)
+  lw r2, (x)
+";
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn figure12_roach_motel_base_a_intuitive_uses_aq_rl() {
+        let out = listing(&suite::fig11_mp_roach_motel(), &BaseAIntuitive, Asm::RiscV);
+        assert!(out.contains("amoswap.w.aq.rl"), "SC store must be AMO.aq.rl:\n{out}");
+        assert!(out.contains("amoadd.w.aq.rl"), "SC load must be AMO.aq.rl:\n{out}");
+    }
+
+    #[test]
+    fn refined_roach_motel_decouples_sc_bit() {
+        let out = listing(&suite::fig11_mp_roach_motel(), &BaseARefined, Asm::RiscV);
+        assert!(out.contains("amoswap.w.rl.sc"), "SC store must be AMO.rl.sc:\n{out}");
+        assert!(out.contains("amoadd.w.aq.sc"), "SC load must be AMO.aq.sc:\n{out}");
+    }
+
+    #[test]
+    fn figure14_lazy_cumulativity_base_a_intuitive() {
+        let out = listing(&suite::fig13_mp_lazy(), &BaseAIntuitive, Asm::RiscV);
+        let expected = "\
+T0:
+  amoswap.w.rl r128, 1, (x)
+  amoswap.w.rl r129, 1, (y)
+T1:
+  lw r0, (y)
+  amoadd.w.aq r1, 0, (r0)
+";
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn base_refined_uses_cumulative_fences() {
+        let out = listing(&suite::fig3_wrc(), &BaseRefined, Asm::RiscV);
+        assert!(out.contains("lwf"), "release must use lwf:\n{out}");
+        let sc = listing(&suite::sb([MemOrder::Sc; 4]), &BaseRefined, Asm::RiscV);
+        assert!(sc.contains("hwf"), "SC accesses must use hwf:\n{sc}");
+    }
+
+    #[test]
+    fn table1_leading_sync_power() {
+        let out = listing(&suite::mp([MemOrder::Sc; 4]), &PowerLeadingSync, Asm::Power);
+        let expected = "\
+T0:
+  sync
+  st 1, (x)
+  sync
+  st 1, (y)
+T1:
+  sync
+  ld r0, (y)
+  ctrlisync
+  sync
+  ld r1, (x)
+  ctrlisync
+";
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn trailing_sync_places_sync_after_sc_accesses() {
+        let compiled = compile(&suite::sb([MemOrder::Sc; 4]), &PowerTrailingSync).unwrap();
+        let t0 = &compiled.program().threads()[0];
+        // st sc = lwsync; st; sync — then ld sc = ld; sync.
+        assert!(matches!(t0[0], Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeLight) }));
+        assert!(matches!(t0[1], Instr::Write { .. }));
+        assert!(matches!(t0[2], Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) }));
+        assert!(matches!(t0[3], Instr::Read { .. }));
+        assert!(matches!(t0[4], Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) }));
+    }
+
+    #[test]
+    fn compilation_preserves_observed_registers() {
+        for mapping in [&BaseIntuitive as &dyn Mapping, &BaseAIntuitive, &PowerLeadingSync] {
+            let test = suite::fig3_wrc();
+            let compiled = compile(&test, mapping).unwrap();
+            assert_eq!(compiled.observed(), test.observed());
+            assert_eq!(compiled.target(), test.target());
+        }
+    }
+
+    #[test]
+    fn whole_suite_compiles_under_every_riscv_mapping(){
+        for (isa, version) in [
+            (RiscvIsa::Base, SpecVersion::Curr),
+            (RiscvIsa::Base, SpecVersion::Ours),
+            (RiscvIsa::BaseA, SpecVersion::Curr),
+            (RiscvIsa::BaseA, SpecVersion::Ours),
+        ] {
+            let mapping = riscv_mapping(isa, version);
+            for test in suite::full_suite() {
+                compile(&test, mapping)
+                    .unwrap_or_else(|e| panic!("{} fails under {}: {e}", test.name(), mapping.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn rmw_unsupported_on_base() {
+        let err = BaseIntuitive
+            .rmw(Reg(0), Expr::Const(1), RmwKind::FetchAddZero, MemOrder::Sc)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Unsupported { construct: "C11 RMW", .. }));
+    }
+}

@@ -1,0 +1,318 @@
+//! The suite runner: fans litmus tests across full-stack configurations
+//! and aggregates Figure-15-style classification counts.
+
+use std::collections::BTreeMap;
+
+use tricheck_c11::C11Model;
+use tricheck_compiler::{compile, riscv_mapping, Mapping};
+use tricheck_isa::{RiscvIsa, SpecVersion};
+use tricheck_litmus::LitmusTest;
+use tricheck_uarch::UarchModel;
+
+use crate::verdict::{Classification, TestResult};
+
+/// Options controlling a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Worker threads (defaults to the machine's available parallelism).
+    pub threads: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        SweepOptions { threads }
+    }
+}
+
+/// Classification counts for one (ISA, version, µarch model, litmus
+/// family) cell — one bar of the paper's Figure 15.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SweepRow {
+    /// RISC-V ISA (Base or Base+A).
+    pub isa: RiscvIsa,
+    /// Specification version (`riscv-curr` or `riscv-ours`).
+    pub version: SpecVersion,
+    /// µarch model name (e.g. `"nMM"`).
+    pub model: String,
+    /// Litmus template family (e.g. `"wrc"`).
+    pub family: &'static str,
+    /// Variants classified as bugs.
+    pub bugs: usize,
+    /// Variants classified as overly strict (and not bugs).
+    pub overly_strict: usize,
+    /// Variants where HLL and µarch agree.
+    pub equivalent: usize,
+}
+
+impl SweepRow {
+    /// Total variants in this cell.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.bugs + self.overly_strict + self.equivalent
+    }
+}
+
+/// Aggregated results of a sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepResults {
+    rows: Vec<SweepRow>,
+}
+
+impl SweepResults {
+    /// All rows, ordered by (ISA, version, model, family).
+    #[must_use]
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// The row for an exact cell, if present. `model` matches the bare
+    /// model name (`"nMM"`), ignoring the version suffix.
+    #[must_use]
+    pub fn cell(
+        &self,
+        isa: RiscvIsa,
+        version: SpecVersion,
+        model: &str,
+        family: &str,
+    ) -> Option<&SweepRow> {
+        self.rows.iter().find(|r| {
+            r.isa == isa
+                && r.version == version
+                && bare_model_name(&r.model) == model
+                && r.family == family
+        })
+    }
+
+    /// Total bugs across all families for one (ISA, version, model).
+    #[must_use]
+    pub fn total_bugs(&self, isa: RiscvIsa, version: SpecVersion, model: &str) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| {
+                r.isa == isa && r.version == version && bare_model_name(&r.model) == model
+            })
+            .map(|r| r.bugs)
+            .sum()
+    }
+
+    /// Total bugs in the entire sweep.
+    #[must_use]
+    pub fn grand_total_bugs(&self) -> usize {
+        self.rows.iter().map(|r| r.bugs).sum()
+    }
+}
+
+fn bare_model_name(full: &str) -> &str {
+    full.split('/').next().unwrap_or(full)
+}
+
+/// Runs litmus suites through full-stack configurations.
+#[derive(Clone, Debug, Default)]
+pub struct Sweep {
+    options: SweepOptions,
+}
+
+impl Sweep {
+    /// A sweep with default options.
+    #[must_use]
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// A sweep with explicit options.
+    #[must_use]
+    pub fn with_options(options: SweepOptions) -> Self {
+        Sweep { options }
+    }
+
+    /// Evaluates one stack (mapping + µarch model) over a set of tests,
+    /// returning per-test results. Tests the mapping cannot compile are
+    /// skipped (the paper's suite always compiles).
+    #[must_use]
+    pub fn run_stack(
+        &self,
+        tests: &[LitmusTest],
+        mapping: &dyn Mapping,
+        model: &UarchModel,
+    ) -> Vec<TestResult> {
+        let c11 = self.c11_verdicts(tests);
+        self.hw_results(tests, &c11, mapping, model)
+    }
+
+    /// The paper's full Figure 15 sweep: every Table 7 model × {Base,
+    /// Base+A} × {riscv-curr, riscv-ours}, with the matching compiler
+    /// mapping, aggregated per litmus family.
+    #[must_use]
+    pub fn run_riscv(&self, tests: &[LitmusTest]) -> SweepResults {
+        let c11 = self.c11_verdicts(tests);
+        let mut rows = Vec::new();
+        for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
+            for version in [SpecVersion::Curr, SpecVersion::Ours] {
+                let mapping = riscv_mapping(isa, version);
+                for model in UarchModel::all_riscv(version) {
+                    let results = self.hw_results(tests, &c11, mapping, &model);
+                    rows.extend(aggregate(isa, version, model.name(), &results));
+                }
+            }
+        }
+        SweepResults { rows }
+    }
+
+    /// Step 1 verdicts for all tests, computed in parallel.
+    fn c11_verdicts(&self, tests: &[LitmusTest]) -> Vec<bool> {
+        let hll = C11Model::new();
+        parallel_map(tests, self.options.threads, |t| hll.permits_target(t))
+    }
+
+    fn hw_results(
+        &self,
+        tests: &[LitmusTest],
+        c11: &[bool],
+        mapping: &dyn Mapping,
+        model: &UarchModel,
+    ) -> Vec<TestResult> {
+        let indexed: Vec<(usize, &LitmusTest)> = tests.iter().enumerate().collect();
+        parallel_map(&indexed, self.options.threads, |&(i, test)| {
+            let observable = match compile(test, mapping) {
+                Ok(compiled) => model.observes(compiled.program(), compiled.target()),
+                Err(_) => return None,
+            };
+            Some(TestResult::new(test, c11[i], observable))
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+fn aggregate(
+    isa: RiscvIsa,
+    version: SpecVersion,
+    model: &str,
+    results: &[TestResult],
+) -> Vec<SweepRow> {
+    let mut by_family: BTreeMap<&'static str, (usize, usize, usize)> = BTreeMap::new();
+    // Preserve suite presentation order by first appearance.
+    let mut order: Vec<&'static str> = Vec::new();
+    for r in results {
+        if !by_family.contains_key(r.family()) {
+            order.push(r.family());
+        }
+        let entry = by_family.entry(r.family()).or_default();
+        match r.classification() {
+            Classification::Bug => entry.0 += 1,
+            Classification::OverlyStrict => entry.1 += 1,
+            Classification::Equivalent => entry.2 += 1,
+        }
+    }
+    order
+        .into_iter()
+        .map(|family| {
+            let (bugs, overly_strict, equivalent) = by_family[family];
+            SweepRow {
+                isa,
+                version,
+                model: model.to_string(),
+                family,
+                bugs,
+                overly_strict,
+                equivalent,
+            }
+        })
+        .collect()
+}
+
+/// Applies `f` to every item, splitting the work over `threads` OS
+/// threads. Order of results matches the input order.
+pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect();
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricheck_litmus::{suite, MemOrder};
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 7, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_threaded_fallback() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_counts_wrc_bugs_on_nmm_curr_base() {
+        // §6.1: 108 of the 243 WRC variants misbehave on each nMCA model
+        // under the current Base ISA.
+        let tests: Vec<_> = suite::wrc_template().instantiate_all().collect();
+        let sweep = Sweep::new();
+        let results = sweep.run_stack(
+            &tests,
+            riscv_mapping(RiscvIsa::Base, SpecVersion::Curr),
+            &UarchModel::nmm(SpecVersion::Curr),
+        );
+        let bugs =
+            results.iter().filter(|r| r.classification() == Classification::Bug).count();
+        assert_eq!(bugs, 108);
+    }
+
+    #[test]
+    fn sweep_counts_no_wrc_bugs_after_refinement() {
+        let tests: Vec<_> = suite::wrc_template().instantiate_all().collect();
+        let sweep = Sweep::new();
+        let results = sweep.run_stack(
+            &tests,
+            riscv_mapping(RiscvIsa::Base, SpecVersion::Ours),
+            &UarchModel::nmm(SpecVersion::Ours),
+        );
+        let bugs =
+            results.iter().filter(|r| r.classification() == Classification::Bug).count();
+        assert_eq!(bugs, 0);
+    }
+
+    #[test]
+    fn aggregate_groups_by_family() {
+        let tests = vec![
+            suite::mp([MemOrder::Rlx; 4]),
+            suite::mp([MemOrder::Sc; 4]),
+            suite::sb([MemOrder::Rlx; 4]),
+        ];
+        let sweep = Sweep::new();
+        let results = sweep.run_stack(
+            &tests,
+            riscv_mapping(RiscvIsa::Base, SpecVersion::Curr),
+            &UarchModel::wr(SpecVersion::Curr),
+        );
+        let rows = aggregate(RiscvIsa::Base, SpecVersion::Curr, "WR", &results);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].family, "mp");
+        assert_eq!(rows[0].total(), 2);
+        assert_eq!(rows[1].family, "sb");
+        assert_eq!(rows[1].total(), 1);
+    }
+}

@@ -1,0 +1,541 @@
+//! The hardware ISA layer: instruction annotations for compiled litmus
+//! tests, covering the RISC-V Base and Base+A ISAs of the paper's case
+//! study (§4) plus the Power/ARMv7 fence dialect used by the compiler
+//! study (§7).
+//!
+//! Compiled programs are `tricheck_litmus::Program<HwAnnot>` values: the
+//! same micro-IR as C11 litmus tests, but annotated with hardware ordering
+//! semantics instead of C11 memory orders:
+//!
+//! - plain accesses (`lw`/`sw`, `ld`/`st`),
+//! - AMO accesses with acquire/release/store-atomicity bits
+//!   ([`AmoBits`]; the `.sc` bit is the paper's §5.2.2 proposal that
+//!   decouples store atomicity from acquire/release semantics),
+//! - fences ([`FenceKind`]): RISC-V `fence pred, succ` (non-cumulative,
+//!   §4.1.2), the cumulative lightweight/heavyweight fences the paper
+//!   proposes for the refined ISA (§5.1.1–§5.1.2), and Power's
+//!   `sync`/`lwsync`/`ctrlisync` which map onto the same three classes.
+//!
+//! # Examples
+//!
+//! ```
+//! use tricheck_isa::{AccessTypes, Asm, FenceKind, HwAnnot};
+//!
+//! let fence = HwAnnot::Fence(FenceKind::Normal {
+//!     pred: AccessTypes::RW,
+//!     succ: AccessTypes::W,
+//! });
+//! assert_eq!(fence.to_string(), "fence rw, w");
+//! assert_eq!(FenceKind::CumulativeHeavy.asm(Asm::Power), "sync");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use tricheck_litmus::{Expr, Instr, Loc, Program, RmwKind};
+
+/// Which access kinds a fence's predecessor or successor set contains.
+///
+/// RISC-V `FENCE` instructions name these explicitly (`fence rw, w`);
+/// `r` matches reads, `w` matches writes, `rw` matches both (the paper
+/// writes the both-case as `m`, for "memory operations").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AccessTypes {
+    /// Reads are included.
+    pub reads: bool,
+    /// Writes are included.
+    pub writes: bool,
+}
+
+impl AccessTypes {
+    /// Reads only.
+    pub const R: AccessTypes = AccessTypes { reads: true, writes: false };
+    /// Writes only.
+    pub const W: AccessTypes = AccessTypes { reads: false, writes: true };
+    /// Reads and writes (the paper's `m`).
+    pub const RW: AccessTypes = AccessTypes { reads: true, writes: true };
+
+    /// Whether an event kind belongs to this set.
+    #[must_use]
+    pub fn matches(self, kind: tricheck_litmus::EventKind) -> bool {
+        match kind {
+            tricheck_litmus::EventKind::Read => self.reads,
+            tricheck_litmus::EventKind::Write => self.writes,
+            tricheck_litmus::EventKind::Fence => false,
+        }
+    }
+}
+
+impl fmt::Display for AccessTypes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.reads, self.writes) {
+            (true, true) => f.write_str("rw"),
+            (true, false) => f.write_str("r"),
+            (false, true) => f.write_str("w"),
+            (false, false) => f.write_str("none"),
+        }
+    }
+}
+
+/// The fence classes of the hardware layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FenceKind {
+    /// A non-cumulative fence ordering `pred`-typed accesses before
+    /// `succ`-typed accesses of the same thread (RISC-V `fence pred,succ`,
+    /// Power/ARM `ctrlisync`/`ctrlisb` when `pred = R`).
+    Normal {
+        /// Access types ordered before the fence.
+        pred: AccessTypes,
+        /// Access types ordered after the fence.
+        succ: AccessTypes,
+    },
+    /// A cumulative lightweight fence (the paper's proposed `lwf`; Power
+    /// `lwsync`): orders R→R, R→W and W→W, with A-cumulativity.
+    CumulativeLight,
+    /// A cumulative heavyweight fence (the paper's proposed `hwf`; Power
+    /// `sync`, ARM `dmb`): orders everything, fully cumulative.
+    CumulativeHeavy,
+}
+
+impl FenceKind {
+    /// The access types in the fence's predecessor set.
+    #[must_use]
+    pub fn pred(self) -> AccessTypes {
+        match self {
+            FenceKind::Normal { pred, .. } => pred,
+            FenceKind::CumulativeLight | FenceKind::CumulativeHeavy => AccessTypes::RW,
+        }
+    }
+
+    /// The access types in the fence's successor set.
+    #[must_use]
+    pub fn succ(self) -> AccessTypes {
+        match self {
+            FenceKind::Normal { succ, .. } => succ,
+            FenceKind::CumulativeLight | FenceKind::CumulativeHeavy => AccessTypes::RW,
+        }
+    }
+
+    /// `true` if the fence carries cumulativity (orders other threads'
+    /// observed writes, §2.3.2).
+    #[must_use]
+    pub fn is_cumulative(self) -> bool {
+        matches!(self, FenceKind::CumulativeLight | FenceKind::CumulativeHeavy)
+    }
+
+    /// Whether a (pred-kind, succ-kind) pair of events is ordered by this
+    /// fence. Cumulative lightweight fences do not order W→R (like Power's
+    /// `lwsync`).
+    #[must_use]
+    pub fn orders(
+        self,
+        before: tricheck_litmus::EventKind,
+        after: tricheck_litmus::EventKind,
+    ) -> bool {
+        use tricheck_litmus::EventKind::{Read, Write};
+        match self {
+            FenceKind::Normal { pred, succ } => pred.matches(before) && succ.matches(after),
+            FenceKind::CumulativeLight => {
+                matches!((before, after), (Read, Read) | (Read, Write) | (Write, Write))
+            }
+            FenceKind::CumulativeHeavy => {
+                matches!((before, after), (Read | Write, Read | Write))
+            }
+        }
+    }
+
+    /// Renders the fence in the given assembly dialect.
+    #[must_use]
+    pub fn asm(self, dialect: Asm) -> String {
+        match (self, dialect) {
+            (FenceKind::Normal { pred, succ }, Asm::RiscV) => format!("fence {pred}, {succ}"),
+            (FenceKind::CumulativeLight, Asm::RiscV) => "lwf".to_string(),
+            (FenceKind::CumulativeHeavy, Asm::RiscV) => "hwf".to_string(),
+            (FenceKind::Normal { pred, .. }, Asm::Power) => {
+                if pred == AccessTypes::R {
+                    "ctrlisync".to_string()
+                } else {
+                    format!("fence-like({pred})")
+                }
+            }
+            (FenceKind::CumulativeLight, Asm::Power) => "lwsync".to_string(),
+            (FenceKind::CumulativeHeavy, Asm::Power) => "sync".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.asm(Asm::RiscV))
+    }
+}
+
+/// The ordering bits carried by a RISC-V AMO instruction (§4.2.1–§4.2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct AmoBits {
+    /// Acquire: no later access of this thread may be observed before the
+    /// AMO.
+    pub aq: bool,
+    /// Release: the AMO may not be observed before earlier accesses of
+    /// this thread.
+    pub rl: bool,
+    /// Store atomicity / membership in the global SC-AMO order. In the
+    /// current (2016) ISA this is implied by `aq && rl`; the paper's
+    /// refined ISA exposes it as a separate bit (§5.2.2).
+    pub sc: bool,
+}
+
+impl AmoBits {
+    /// No ordering bits (unordered AMO).
+    pub const NONE: AmoBits = AmoBits { aq: false, rl: false, sc: false };
+    /// `aq` only.
+    pub const AQ: AmoBits = AmoBits { aq: true, rl: false, sc: false };
+    /// `rl` only.
+    pub const RL: AmoBits = AmoBits { aq: false, rl: true, sc: false };
+    /// `aq.rl` — the current ISA's strongest annotation, which also
+    /// implies store atomicity and SC-order membership (§4.2.2).
+    pub const AQ_RL: AmoBits = AmoBits { aq: true, rl: true, sc: true };
+    /// `aq.sc` — refined-ISA SC load: acquire + store atomic, no release.
+    pub const AQ_SC: AmoBits = AmoBits { aq: true, rl: false, sc: true };
+    /// `rl.sc` — refined-ISA SC store: release + store atomic, no acquire.
+    pub const RL_SC: AmoBits = AmoBits { aq: false, rl: true, sc: true };
+
+    /// The suffix in assembly, e.g. `".aq.rl"`.
+    #[must_use]
+    pub fn suffix(self) -> String {
+        let mut s = String::new();
+        if self.aq {
+            s.push_str(".aq");
+        }
+        if self.rl {
+            s.push_str(".rl");
+        }
+        // `.sc` is printed only where it is an architectural bit of its
+        // own (the refined ISA); aq.rl implies it in the current ISA.
+        if self.sc && !(self.aq && self.rl) {
+            s.push_str(".sc");
+        }
+        s
+    }
+}
+
+/// A hardware instruction annotation: what the access *is* at the ISA
+/// level.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HwAnnot {
+    /// A plain load or store (`lw`/`sw`).
+    Plain,
+    /// An AMO access with ordering bits.
+    Amo(AmoBits),
+    /// A fence.
+    Fence(FenceKind),
+}
+
+impl HwAnnot {
+    /// The AMO bits, if this is an AMO access.
+    #[must_use]
+    pub fn amo_bits(&self) -> Option<AmoBits> {
+        match self {
+            HwAnnot::Amo(bits) => Some(*bits),
+            _ => None,
+        }
+    }
+
+    /// The fence kind, if this is a fence.
+    #[must_use]
+    pub fn fence_kind(&self) -> Option<FenceKind> {
+        match self {
+            HwAnnot::Fence(k) => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HwAnnot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwAnnot::Plain => f.write_str("plain"),
+            HwAnnot::Amo(bits) => write!(f, "amo{}", bits.suffix()),
+            HwAnnot::Fence(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// Assembly dialects for rendering compiled programs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Asm {
+    /// RISC-V: `lw`/`sw`/`amoadd.w`/`amoswap.w`/`fence`.
+    RiscV,
+    /// Power/ARMv7-flavoured: `ld`/`st`/`sync`/`lwsync`/`ctrlisync`.
+    Power,
+}
+
+/// The two RISC-V ISAs of the case study (§4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RiscvIsa {
+    /// Baseline ISA: fences only.
+    Base,
+    /// Baseline + Standard Extension for Atomic Instructions.
+    BaseA,
+}
+
+impl fmt::Display for RiscvIsa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiscvIsa::Base => f.write_str("Base"),
+            RiscvIsa::BaseA => f.write_str("Base+A"),
+        }
+    }
+}
+
+/// Which version of the RISC-V memory model a component targets:
+/// the 2016 specification (`Curr`) or the paper's refined proposal
+/// (`Ours`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpecVersion {
+    /// `riscv-curr`: the ISA as specified in 2016.
+    Curr,
+    /// `riscv-ours`: the paper's refined memory model.
+    Ours,
+}
+
+impl fmt::Display for SpecVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecVersion::Curr => f.write_str("riscv-curr"),
+            SpecVersion::Ours => f.write_str("riscv-ours"),
+        }
+    }
+}
+
+fn fmt_expr(e: &Expr) -> String {
+    match e {
+        // Values and addresses share one domain, so constants are printed
+        // numerically (an address-of-x operand prints as x's address).
+        Expr::Const(c) => format!("{c}"),
+        Expr::Reg(r) => format!("{r}"),
+    }
+}
+
+fn fmt_addr(e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => format!("({})", Loc(*c)),
+        Expr::Reg(r) => format!("({r})"),
+    }
+}
+
+/// Renders one compiled instruction in the given dialect.
+///
+/// Register allocation for address operands is abstracted: addresses are
+/// printed symbolically (`(x)`, `(y)`), matching the paper's convention of
+/// noting "register x5 holds the address of x".
+#[must_use]
+pub fn format_instr(instr: &Instr<HwAnnot>, dialect: Asm) -> String {
+    let (ld_op, st_op) = match dialect {
+        Asm::RiscV => ("lw", "sw"),
+        Asm::Power => ("ld", "st"),
+    };
+    match instr {
+        Instr::Read { dst, addr, ann } => match ann {
+            HwAnnot::Amo(bits) => {
+                format!("amoadd.w{} {dst}, 0, {}", bits.suffix(), fmt_addr(addr))
+            }
+            _ => format!("{ld_op} {dst}, {}", fmt_addr(addr)),
+        },
+        Instr::Write { addr, val, ann } => match ann {
+            HwAnnot::Amo(bits) => {
+                format!("amoswap.w{} -, {}, {}", bits.suffix(), fmt_expr(val), fmt_addr(addr))
+            }
+            _ => format!("{st_op} {}, {}", fmt_expr(val), fmt_addr(addr)),
+        },
+        Instr::Rmw { dst, addr, kind, ann } => {
+            let bits = ann.amo_bits().unwrap_or_default();
+            match kind {
+                RmwKind::FetchAddZero => {
+                    format!("amoadd.w{} {dst}, 0, {}", bits.suffix(), fmt_addr(addr))
+                }
+                RmwKind::Swap(v) => {
+                    format!("amoswap.w{} {dst}, {}, {}", bits.suffix(), fmt_expr(v), fmt_addr(addr))
+                }
+            }
+        }
+        Instr::Fence { ann } => match ann {
+            HwAnnot::Fence(k) => k.asm(dialect),
+            other => format!("fence? ({other})"),
+        },
+    }
+}
+
+/// Renders a compiled program as a per-thread listing in the style of the
+/// paper's Figures 8–10, 12 and 14.
+#[must_use]
+pub fn format_program(prog: &Program<HwAnnot>, dialect: Asm) -> String {
+    let mut out = String::new();
+    for (tid, thread) in prog.threads().iter().enumerate() {
+        out.push_str(&format!("T{tid}:\n"));
+        for instr in thread {
+            out.push_str("  ");
+            out.push_str(&format_instr(instr, dialect));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Convenience constructors for hardware-level programs, used by tests and
+/// examples that build ISA programs directly.
+pub mod build {
+    use super::{AmoBits, FenceKind, HwAnnot};
+    use tricheck_litmus::{Expr, Instr, Loc, Reg, RmwKind};
+
+    /// Plain load `dst = [loc]`.
+    #[must_use]
+    pub fn lw(dst: Reg, loc: Loc) -> Instr<HwAnnot> {
+        Instr::Read { dst, addr: Expr::Const(loc.0), ann: HwAnnot::Plain }
+    }
+
+    /// Plain store `[loc] = val`.
+    #[must_use]
+    pub fn sw(loc: Loc, val: u64) -> Instr<HwAnnot> {
+        Instr::Write { addr: Expr::Const(loc.0), val: Expr::Const(val), ann: HwAnnot::Plain }
+    }
+
+    /// AMO load idiom: `amoadd.w dst, 0, (loc)` with the given bits.
+    ///
+    /// The zero-add write-back is architecturally invisible (it restores
+    /// the value just read), so the event is modeled as a read carrying
+    /// the AMO ordering bits — matching the paper's µspec treatment.
+    #[must_use]
+    pub fn amo_load(dst: Reg, loc: Loc, bits: AmoBits) -> Instr<HwAnnot> {
+        Instr::Read { dst, addr: Expr::Const(loc.0), ann: HwAnnot::Amo(bits) }
+    }
+
+    /// AMO store idiom: `amoswap.w -, val, (loc)` with the given bits.
+    /// The old value is discarded into a scratch register.
+    #[must_use]
+    pub fn amo_store(scratch: Reg, loc: Loc, val: u64, bits: AmoBits) -> Instr<HwAnnot> {
+        Instr::Rmw {
+            dst: scratch,
+            addr: Expr::Const(loc.0),
+            kind: RmwKind::Swap(Expr::Const(val)),
+            ann: HwAnnot::Amo(bits),
+        }
+    }
+
+    /// RISC-V `fence pred, succ`.
+    #[must_use]
+    pub fn fence(pred: super::AccessTypes, succ: super::AccessTypes) -> Instr<HwAnnot> {
+        Instr::Fence { ann: HwAnnot::Fence(FenceKind::Normal { pred, succ }) }
+    }
+
+    /// The refined ISA's cumulative lightweight fence (`lwf`).
+    #[must_use]
+    pub fn lwf() -> Instr<HwAnnot> {
+        Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeLight) }
+    }
+
+    /// The refined ISA's cumulative heavyweight fence (`hwf`).
+    #[must_use]
+    pub fn hwf() -> Instr<HwAnnot> {
+        Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricheck_litmus::EventKind::{Fence, Read, Write};
+
+    #[test]
+    fn access_types_display() {
+        assert_eq!(AccessTypes::R.to_string(), "r");
+        assert_eq!(AccessTypes::W.to_string(), "w");
+        assert_eq!(AccessTypes::RW.to_string(), "rw");
+    }
+
+    #[test]
+    fn access_types_match_kinds() {
+        assert!(AccessTypes::R.matches(Read));
+        assert!(!AccessTypes::R.matches(Write));
+        assert!(AccessTypes::RW.matches(Write));
+        assert!(!AccessTypes::RW.matches(Fence));
+    }
+
+    #[test]
+    fn normal_fence_orders_by_type_filter() {
+        let f = FenceKind::Normal { pred: AccessTypes::RW, succ: AccessTypes::W };
+        assert!(f.orders(Read, Write));
+        assert!(f.orders(Write, Write));
+        assert!(!f.orders(Read, Read));
+    }
+
+    #[test]
+    fn lightweight_fence_does_not_order_write_to_read() {
+        let f = FenceKind::CumulativeLight;
+        assert!(f.orders(Read, Read));
+        assert!(f.orders(Read, Write));
+        assert!(f.orders(Write, Write));
+        assert!(!f.orders(Write, Read));
+    }
+
+    #[test]
+    fn heavyweight_fence_orders_everything() {
+        let f = FenceKind::CumulativeHeavy;
+        assert!(f.orders(Write, Read));
+        assert!(f.orders(Read, Write));
+    }
+
+    #[test]
+    fn fence_assembly_by_dialect() {
+        let f = FenceKind::Normal { pred: AccessTypes::R, succ: AccessTypes::RW };
+        assert_eq!(f.asm(Asm::RiscV), "fence r, rw");
+        assert_eq!(f.asm(Asm::Power), "ctrlisync");
+        assert_eq!(FenceKind::CumulativeLight.asm(Asm::Power), "lwsync");
+        assert_eq!(FenceKind::CumulativeHeavy.asm(Asm::RiscV), "hwf");
+    }
+
+    #[test]
+    fn amo_suffixes() {
+        assert_eq!(AmoBits::AQ.suffix(), ".aq");
+        assert_eq!(AmoBits::RL.suffix(), ".rl");
+        assert_eq!(AmoBits::AQ_RL.suffix(), ".aq.rl");
+        assert_eq!(AmoBits::AQ_SC.suffix(), ".aq.sc");
+        assert_eq!(AmoBits::RL_SC.suffix(), ".rl.sc");
+        assert_eq!(AmoBits::NONE.suffix(), "");
+    }
+
+    #[test]
+    fn instruction_rendering_matches_paper_style() {
+        use build::*;
+        use tricheck_litmus::{Loc, Reg};
+        let x = Loc(1);
+        assert_eq!(format_instr(&lw(Reg(0), x), Asm::RiscV), "lw r0, (x)");
+        assert_eq!(format_instr(&sw(x, 1), Asm::RiscV), "sw 1, (x)");
+        assert_eq!(
+            format_instr(&amo_load(Reg(3), x, AmoBits::AQ), Asm::RiscV),
+            "amoadd.w.aq r3, 0, (x)"
+        );
+        assert_eq!(
+            format_instr(&amo_store(Reg(9), x, 1, AmoBits::RL), Asm::RiscV),
+            "amoswap.w.rl r9, 1, (x)"
+        );
+        assert_eq!(
+            format_instr(&fence(AccessTypes::RW, AccessTypes::W), Asm::RiscV),
+            "fence rw, w"
+        );
+        assert_eq!(format_instr(&lw(Reg(0), x), Asm::Power), "ld r0, (x)");
+    }
+
+    #[test]
+    fn program_listing_has_one_section_per_thread() {
+        use build::*;
+        use tricheck_litmus::{Loc, Program, Reg};
+        let prog =
+            Program::new(vec![vec![sw(Loc(1), 1)], vec![lw(Reg(0), Loc(1))]], []).unwrap();
+        let listing = format_program(&prog, Asm::RiscV);
+        assert!(listing.contains("T0:\n  sw 1, (x)"));
+        assert!(listing.contains("T1:\n  lw r0, (x)"));
+    }
+}

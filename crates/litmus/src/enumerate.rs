@@ -1,0 +1,680 @@
+//! Exhaustive enumeration of candidate executions.
+//!
+//! A candidate execution assigns every read a source write (`rf`) and
+//! every location a total order over its writes (`co`). Memory models are
+//! consistency predicates over candidates; enumerating all candidates and
+//! filtering through a predicate yields the model's allowed outcomes.
+//!
+//! Enumeration handles computed addresses and values (address/data
+//! dependencies, RMW write-back values) by running a resolution fixpoint
+//! after each `rf` choice: a read's value is its source write's value, a
+//! write's value/address may depend on earlier reads of its thread.
+//! Choices that contradict themselves (source location mismatch) are
+//! pruned; executions with unresolvable values (cyclic value dependencies,
+//! which only out-of-thin-air shapes produce) are discarded.
+
+use std::collections::BTreeMap;
+
+use tricheck_rel::{linear_extensions, EventSet, Relation};
+
+use crate::exec::{Event, EventKind, Execution};
+use crate::mir::{Expr, Instr, Loc, Program, Reg, RmwKind, Val};
+use crate::outcome::Outcome;
+
+/// How a write event obtains its value.
+#[derive(Clone, Copy, Debug)]
+enum ValSrc {
+    /// Initialization write: always zero.
+    InitZero,
+    /// The value operand of a plain store or an `amoswap`.
+    Expr(Expr),
+    /// The value read by this event's own RMW read half (`amoadd` of 0).
+    OwnRead(usize),
+    /// Reads and fences have no value source; reads get values via `rf`.
+    None,
+}
+
+struct Skeleton<A> {
+    events: Vec<Event<A>>,
+    addr_expr: Vec<Option<Expr>>,
+    val_src: Vec<ValSrc>,
+    po: Relation,
+    addr: Relation,
+    data: Relation,
+    rmw: Relation,
+    inits: EventSet,
+    init_loc: Vec<Option<Loc>>,
+    reg_def: BTreeMap<(usize, Reg), usize>,
+    reads: Vec<usize>,
+    writes: Vec<usize>,
+    /// Expected value per event id, derived from a target outcome.
+    expected: Vec<Option<Val>>,
+}
+
+impl<A: Clone> Skeleton<A> {
+    fn build(prog: &Program<A>, target: Option<&Outcome>) -> Self {
+        let mut events = Vec::new();
+        let mut addr_expr = Vec::new();
+        let mut val_src = Vec::new();
+        let mut init_loc = Vec::new();
+        let mut reg_def = BTreeMap::new();
+        let mut rmw_pairs = Vec::new();
+        let mut addr_deps = Vec::new();
+        let mut data_deps = Vec::new();
+
+        for &l in prog.locations() {
+            let id = events.len();
+            events.push(Event {
+                id,
+                tid: None,
+                po_index: 0,
+                kind: EventKind::Write,
+                ann: None,
+                is_rmw: false,
+            });
+            addr_expr.push(None);
+            val_src.push(ValSrc::InitZero);
+            init_loc.push(Some(l));
+        }
+        let inits = EventSet::from_ids(
+            events.len().max(1),
+            0..events.len(), // placeholder universe; fixed up below
+        );
+        let init_count = events.len();
+
+        let mut thread_ranges = Vec::new();
+        for (tid, thread) in prog.threads().iter().enumerate() {
+            let start = events.len();
+            let mut po_index = 0usize;
+            let mut push = |kind: EventKind,
+                            ann: Option<A>,
+                            is_rmw: bool,
+                            events: &mut Vec<Event<A>>| {
+                let id = events.len();
+                events.push(Event { id, tid: Some(tid), po_index, kind, ann, is_rmw });
+                po_index += 1;
+                id
+            };
+            for instr in thread {
+                match instr {
+                    Instr::Read { dst, addr, ann } => {
+                        let e = push(EventKind::Read, Some(ann.clone()), false, &mut events);
+                        addr_expr.push(Some(*addr));
+                        val_src.push(ValSrc::None);
+                        init_loc.push(None);
+                        if let Some(r) = addr.dep() {
+                            addr_deps.push((reg_def[&(tid, r)], e));
+                        }
+                        reg_def.insert((tid, *dst), e);
+                    }
+                    Instr::Write { addr, val, ann } => {
+                        let e = push(EventKind::Write, Some(ann.clone()), false, &mut events);
+                        addr_expr.push(Some(*addr));
+                        val_src.push(ValSrc::Expr(*val));
+                        init_loc.push(None);
+                        if let Some(r) = addr.dep() {
+                            addr_deps.push((reg_def[&(tid, r)], e));
+                        }
+                        if let Some(r) = val.dep() {
+                            data_deps.push((reg_def[&(tid, r)], e));
+                        }
+                    }
+                    Instr::Rmw { dst, addr, kind, ann } => {
+                        let r = push(EventKind::Read, Some(ann.clone()), true, &mut events);
+                        addr_expr.push(Some(*addr));
+                        val_src.push(ValSrc::None);
+                        init_loc.push(None);
+                        let w = push(EventKind::Write, Some(ann.clone()), true, &mut events);
+                        addr_expr.push(Some(*addr));
+                        val_src.push(match kind {
+                            RmwKind::FetchAddZero => ValSrc::OwnRead(r),
+                            RmwKind::Swap(v) => ValSrc::Expr(*v),
+                        });
+                        init_loc.push(None);
+                        if let Some(dep) = addr.dep() {
+                            addr_deps.push((reg_def[&(tid, dep)], r));
+                            addr_deps.push((reg_def[&(tid, dep)], w));
+                        }
+                        if let RmwKind::Swap(v) = kind {
+                            if let Some(dep) = v.dep() {
+                                data_deps.push((reg_def[&(tid, dep)], w));
+                            }
+                        }
+                        rmw_pairs.push((r, w));
+                        reg_def.insert((tid, *dst), r);
+                    }
+                    Instr::Fence { ann } => {
+                        push(EventKind::Fence, Some(ann.clone()), false, &mut events);
+                        addr_expr.push(None);
+                        val_src.push(ValSrc::None);
+                        init_loc.push(None);
+                    }
+                }
+            }
+            thread_ranges.push(start..events.len());
+        }
+
+        let n = events.len();
+        let mut po = Relation::empty(n);
+        for range in &thread_ranges {
+            for a in range.clone() {
+                for b in (a + 1)..range.end {
+                    po.insert(a, b);
+                }
+            }
+        }
+        let inits = EventSet::from_ids(n, inits.iter().filter(|&i| i < init_count));
+        let reads = events.iter().filter(|e| e.kind == EventKind::Read).map(|e| e.id).collect();
+        let writes = events.iter().filter(|e| e.kind == EventKind::Write).map(|e| e.id).collect();
+
+        let mut expected = vec![None; n];
+        if let Some(t) = target {
+            for ((tid, reg), val) in t.iter() {
+                if let Some(&e) = reg_def.get(&(tid, reg)) {
+                    expected[e] = Some(val);
+                }
+            }
+        }
+
+        Skeleton {
+            events,
+            addr_expr,
+            val_src,
+            po,
+            addr: Relation::from_pairs(n, addr_deps),
+            data: Relation::from_pairs(n, data_deps),
+            rmw: Relation::from_pairs(n, rmw_pairs),
+            inits,
+            init_loc,
+            reg_def,
+            reads,
+            writes,
+            expected,
+        }
+    }
+
+    /// Resolves locations and values given a (partial) `rf` assignment.
+    /// Returns `None` on contradiction (rf source/location mismatch or a
+    /// resolved value contradicting the target outcome).
+    fn propagate(
+        &self,
+        rf_choice: &[Option<usize>],
+    ) -> Option<(Vec<Option<Loc>>, Vec<Option<Val>>)> {
+        let n = self.events.len();
+        let mut loc = self.init_loc.clone();
+        let mut val: Vec<Option<Val>> = vec![None; n];
+        for e in 0..n {
+            if matches!(self.val_src[e], ValSrc::InitZero) {
+                val[e] = Some(Val(0));
+            }
+        }
+        loop {
+            let mut changed = false;
+            for e in 0..n {
+                if loc[e].is_none() {
+                    if let Some(expr) = self.addr_expr[e] {
+                        if let Some(a) = self.eval(expr, e, &val) {
+                            loc[e] = Some(Loc(a));
+                            changed = true;
+                        }
+                    }
+                }
+                if val[e].is_none() {
+                    let resolved = match self.val_src[e] {
+                        ValSrc::InitZero => Some(Val(0)),
+                        ValSrc::Expr(expr) => self.eval(expr, e, &val).map(Val),
+                        ValSrc::OwnRead(r) => val[r],
+                        ValSrc::None => match self.events[e].kind {
+                            EventKind::Read => rf_choice[e].and_then(|w| val[w]),
+                            _ => None,
+                        },
+                    };
+                    if resolved.is_some() {
+                        val[e] = resolved;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Contradiction checks.
+        for &r in &self.reads {
+            if let Some(w) = rf_choice[r] {
+                if let (Some(lr), Some(lw)) = (loc[r], loc[w]) {
+                    if lr != lw {
+                        return None;
+                    }
+                }
+            }
+        }
+        for e in 0..n {
+            if let (Some(expect), Some(actual)) = (self.expected[e], val[e]) {
+                if expect != actual {
+                    return None;
+                }
+            }
+        }
+        Some((loc, val))
+    }
+
+    fn eval(&self, expr: Expr, event: usize, val: &[Option<Val>]) -> Option<u64> {
+        match expr {
+            Expr::Const(c) => Some(c),
+            Expr::Reg(r) => {
+                let tid = self.events[event].tid.expect("init events have no register operands");
+                let def = self.reg_def[&(tid, r)];
+                val[def].map(|v| v.0)
+            }
+        }
+    }
+}
+
+/// Enumerates all candidate executions of `prog`, calling `visit` on each.
+///
+/// `visit` returning `false` aborts the enumeration; the function returns
+/// `true` iff the enumeration ran to completion.
+///
+/// # Examples
+///
+/// ```
+/// use tricheck_litmus::{enumerate_executions, suite, MemOrder};
+///
+/// let test = suite::mp([MemOrder::Rlx; 4]);
+/// let mut count = 0;
+/// enumerate_executions(test.program(), &mut |_exec| { count += 1; true });
+/// assert!(count > 0);
+/// ```
+pub fn enumerate_executions<A: Clone>(
+    prog: &Program<A>,
+    visit: &mut impl FnMut(&Execution<A>) -> bool,
+) -> bool {
+    enumerate_inner(prog, None, visit)
+}
+
+/// Enumerates only the candidate executions whose outcome over the
+/// target's observed registers equals `target`.
+///
+/// This is a sound restriction used heavily by the TriCheck toolflow: a
+/// litmus test designates one target outcome, so candidates with other
+/// outcomes never need model evaluation.
+pub fn enumerate_matching<A: Clone>(
+    prog: &Program<A>,
+    target: &Outcome,
+    visit: &mut impl FnMut(&Execution<A>) -> bool,
+) -> bool {
+    enumerate_inner(prog, Some(target), visit)
+}
+
+fn enumerate_inner<A: Clone>(
+    prog: &Program<A>,
+    target: Option<&Outcome>,
+    visit: &mut impl FnMut(&Execution<A>) -> bool,
+) -> bool {
+    let skel = Skeleton::build(prog, target);
+    let n = skel.events.len();
+    let mut exec = Execution {
+        events: skel.events.clone(),
+        po: skel.po.clone(),
+        addr: skel.addr.clone(),
+        data: skel.data.clone(),
+        rmw: skel.rmw.clone(),
+        rf: Relation::empty(n),
+        co: Relation::empty(n),
+        loc: vec![None; n],
+        val: vec![None; n],
+        inits: skel.inits,
+        reg_def: skel.reg_def.clone(),
+    };
+    let mut rf_choice: Vec<Option<usize>> = vec![None; n];
+    let mut ctx = Ctx { skel: &skel, exec: &mut exec, visit, target };
+    ctx.assign_reads(0, &mut rf_choice)
+}
+
+struct Ctx<'a, A, F> {
+    skel: &'a Skeleton<A>,
+    exec: &'a mut Execution<A>,
+    visit: &'a mut F,
+    target: Option<&'a Outcome>,
+}
+
+impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
+    fn assign_reads(&mut self, k: usize, rf_choice: &mut Vec<Option<usize>>) -> bool {
+        if k == self.skel.reads.len() {
+            return self.finalize(rf_choice);
+        }
+        let r = self.skel.reads[k];
+        for wi in 0..self.skel.writes.len() {
+            let w = self.skel.writes[wi];
+            // A read never reads its own thread's po-later writes (that
+            // violates coherence in every model we evaluate), including
+            // its own RMW write half.
+            let er = &self.skel.events[r];
+            let ew = &self.skel.events[w];
+            if er.tid == ew.tid && ew.po_index > er.po_index {
+                continue;
+            }
+            rf_choice[r] = Some(w);
+            if self.skel.propagate(rf_choice).is_some() && !self.assign_reads(k + 1, rf_choice) {
+                rf_choice[r] = None;
+                return false;
+            }
+            rf_choice[r] = None;
+        }
+        true
+    }
+
+    fn finalize(&mut self, rf_choice: &[Option<usize>]) -> bool {
+        let Some((loc, val)) = self.skel.propagate(rf_choice) else {
+            return true;
+        };
+        // Every read and write must have fully resolved location & value.
+        for e in &self.skel.events {
+            if e.kind != EventKind::Fence && (loc[e.id].is_none() || val[e.id].is_none()) {
+                return true; // unresolvable (out-of-thin-air shape): discard
+            }
+        }
+        // rf location agreement was checked under "both known"; all are
+        // known now, so recheck via propagate above. Target must match in
+        // full (propagate only checks resolved values).
+        if let Some(target) = self.target {
+            for ((tid, reg), expect) in target.iter() {
+                match self.skel.reg_def.get(&(tid, reg)) {
+                    Some(&e) if val[e] == Some(expect) => {}
+                    _ => return true,
+                }
+            }
+        }
+
+        // Group writes by resolved location for coherence enumeration.
+        let n = self.skel.events.len();
+        let mut groups: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
+        for &w in &self.skel.writes {
+            groups.entry(loc[w].expect("writes resolved above")).or_default().push(w);
+        }
+        // Constraints: init writes first, same-thread writes in program
+        // order (required by coherence in C11 and by SC-per-location in
+        // every hardware model, so pruning here is sound).
+        let mut constraint = Relation::empty(n);
+        for ws in groups.values() {
+            for &a in ws {
+                for &b in ws {
+                    if a == b {
+                        continue;
+                    }
+                    let (ea, eb) = (&self.skel.events[a], &self.skel.events[b]);
+                    if ea.tid.is_none() && eb.tid.is_some() {
+                        constraint.insert(a, b);
+                    } else if ea.tid == eb.tid && ea.tid.is_some() && ea.po_index < eb.po_index {
+                        constraint.insert(a, b);
+                    }
+                }
+            }
+        }
+
+        let mut rf = Relation::empty(n);
+        for &r in &self.skel.reads {
+            let w = rf_choice[r].expect("all reads assigned");
+            rf.insert(w, r);
+        }
+
+        let groups: Vec<Vec<usize>> = groups.into_values().collect();
+        let mut co = Relation::empty(n);
+        self.enumerate_co(&groups, 0, &constraint, &mut co, &rf, &loc, &val)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_co(
+        &mut self,
+        groups: &[Vec<usize>],
+        g: usize,
+        constraint: &Relation,
+        co: &mut Relation,
+        rf: &Relation,
+        loc: &[Option<Loc>],
+        val: &[Option<Val>],
+    ) -> bool {
+        let n = self.skel.events.len();
+        if g == groups.len() {
+            self.exec.rf = rf.clone();
+            self.exec.co = co.clone();
+            self.exec.loc = loc.to_vec();
+            self.exec.val = val.to_vec();
+            return (self.visit)(self.exec);
+        }
+        let members = EventSet::from_ids(n, groups[g].iter().copied());
+        let mut keep_going = true;
+        linear_extensions(members, constraint, &mut |order| {
+            let mut co_next = co.clone();
+            for i in 0..order.len() {
+                for j in (i + 1)..order.len() {
+                    co_next.insert(order[i], order[j]);
+                }
+            }
+            keep_going = self.enumerate_co(groups, g + 1, constraint, &mut co_next, rf, loc, val);
+            keep_going
+        });
+        keep_going
+    }
+}
+
+/// Counts the candidate executions of a program.
+#[must_use]
+pub fn count_executions<A: Clone>(prog: &Program<A>) -> usize {
+    let mut count = 0usize;
+    enumerate_executions(prog, &mut |_| {
+        count += 1;
+        true
+    });
+    count
+}
+
+/// Collects the set of outcomes over `observed` registers across all
+/// candidate executions satisfying `consistent`.
+#[must_use]
+pub fn outcome_set<A: Clone>(
+    prog: &Program<A>,
+    observed: &[(usize, Reg)],
+    mut consistent: impl FnMut(&Execution<A>) -> bool,
+) -> std::collections::BTreeSet<Outcome> {
+    let mut out = std::collections::BTreeSet::new();
+    enumerate_executions(prog, &mut |exec| {
+        let outcome = exec.outcome(observed);
+        if !out.contains(&outcome) && consistent(exec) {
+            out.insert(outcome);
+        }
+        true
+    });
+    out
+}
+
+/// Returns `true` if some candidate execution both realizes `target` and
+/// satisfies `consistent` (i.e. the target outcome is allowed/observable
+/// under the model `consistent` encodes).
+#[must_use]
+pub fn target_realizable<A: Clone>(
+    prog: &Program<A>,
+    target: &Outcome,
+    mut consistent: impl FnMut(&Execution<A>) -> bool,
+) -> bool {
+    let mut found = false;
+    enumerate_matching(prog, target, &mut |exec| {
+        if consistent(exec) {
+            found = true;
+            return false;
+        }
+        true
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::Instr;
+
+    fn read(dst: u8, addr: u64) -> Instr<()> {
+        Instr::Read { dst: Reg(dst), addr: Expr::Const(addr), ann: () }
+    }
+
+    fn write(addr: u64, val: u64) -> Instr<()> {
+        Instr::Write { addr: Expr::Const(addr), val: Expr::Const(val), ann: () }
+    }
+
+    fn prog(threads: Vec<Vec<Instr<()>>>) -> Program<()> {
+        Program::new(threads, []).expect("valid test program")
+    }
+
+    #[test]
+    fn single_read_sees_init_or_store() {
+        let p = prog(vec![vec![write(1, 7)], vec![read(0, 1)]]);
+        let outcomes = outcome_set(&p, &[(1, Reg(0))], |_| true);
+        let vals: Vec<u64> =
+            outcomes.iter().map(|o| o.get(1, Reg(0)).unwrap().0).collect();
+        assert_eq!(vals, vec![0, 7]);
+    }
+
+    #[test]
+    fn candidate_counts_for_store_buffering() {
+        // SB: 2 writes (one per loc) + 2 reads with 2 choices each.
+        // co per location is forced (init + 1 write). 2*2 = 4 candidates.
+        let p = prog(vec![vec![write(1, 1), read(0, 2)], vec![write(2, 1), read(1, 1)]]);
+        assert_eq!(count_executions(&p), 4);
+    }
+
+    #[test]
+    fn coherence_orders_multiply_candidates() {
+        // Two writes to x from different threads: co can order them 2 ways.
+        let p = prog(vec![vec![write(1, 1)], vec![write(1, 2)]]);
+        assert_eq!(count_executions(&p), 2);
+    }
+
+    #[test]
+    fn same_thread_writes_keep_program_order_in_co() {
+        let p = prog(vec![vec![write(1, 1), write(1, 2)]]);
+        let mut seen = 0;
+        enumerate_executions(&p, &mut |exec| {
+            seen += 1;
+            // the two thread writes are events 1 and 2 (event 0 = init).
+            assert!(exec.co().contains(1, 2));
+            assert!(exec.co().contains(0, 1), "init is co-first");
+            true
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn reads_never_read_own_later_writes() {
+        let p = prog(vec![vec![read(0, 1), write(1, 5)]]);
+        let outcomes = outcome_set(&p, &[(0, Reg(0))], |_| true);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes.iter().next().unwrap().get(0, Reg(0)), Some(Val(0)));
+    }
+
+    #[test]
+    fn rmw_add_zero_writes_back_read_value() {
+        let p = Program::new(
+            vec![
+                vec![write(1, 9)],
+                vec![Instr::Rmw {
+                    dst: Reg(0),
+                    addr: Expr::Const(1),
+                    kind: RmwKind::FetchAddZero,
+                    ann: (),
+                }],
+            ],
+            [],
+        )
+        .unwrap();
+        enumerate_executions(&p, &mut |exec| {
+            // Find the RMW write half and check it mirrors the read.
+            for (r, w) in exec.rmw().pairs() {
+                assert_eq!(exec.val(r), exec.val(w));
+            }
+            true
+        });
+    }
+
+    #[test]
+    fn address_dependency_resolves_through_read_value() {
+        // T0: y := address-of-x (i.e. 1); T1: r0 = load y; r1 = load [r0].
+        // When r0 reads 1, the second load targets x; when it reads 0 the
+        // second load targets location 0 (declared as an extra location).
+        let p = Program::new(
+            vec![
+                vec![write(2, 1)],
+                vec![
+                    read(0, 2),
+                    Instr::Read { dst: Reg(1), addr: Expr::Reg(Reg(0)), ann: () },
+                ],
+            ],
+            [Loc(0), Loc(1)],
+        )
+        .unwrap();
+        let outcomes = outcome_set(&p, &[(1, Reg(0)), (1, Reg(1))], |_| true);
+        // r0=0 -> loads loc 0 -> r1=0; r0=1 -> loads x (untouched) -> r1=0.
+        let printed: Vec<String> = outcomes.iter().map(|o| o.to_string()).collect();
+        assert_eq!(printed, vec!["T1:r0=0, T1:r1=0", "T1:r0=1, T1:r1=0"]);
+        // Address dependency edge must be present.
+        enumerate_executions(&p, &mut |exec| {
+            assert_eq!(exec.addr().pair_count(), 1);
+            true
+        });
+    }
+
+    #[test]
+    fn data_dependency_is_recorded() {
+        let p = Program::new(
+            vec![vec![
+                read(0, 1),
+                Instr::Write { addr: Expr::Const(2), val: Expr::Reg(Reg(0)), ann: () },
+            ]],
+            [],
+        )
+        .unwrap();
+        enumerate_executions(&p, &mut |exec| {
+            assert_eq!(exec.data().pair_count(), 1);
+            true
+        });
+    }
+
+    #[test]
+    fn target_filter_restricts_enumeration() {
+        let p = prog(vec![vec![write(1, 1), read(0, 2)], vec![write(2, 1), read(1, 1)]]);
+        let target =
+            Outcome::from_values([((0, Reg(0)), Val(0)), ((1, Reg(1)), Val(0))]);
+        let mut count = 0;
+        enumerate_matching(&p, &target, &mut |exec| {
+            assert_eq!(exec.outcome(&[(0, Reg(0)), (1, Reg(1))]), target);
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn target_realizable_with_trivial_model() {
+        let p = prog(vec![vec![write(1, 1)], vec![read(0, 1)]]);
+        let yes = Outcome::from_values([((1, Reg(0)), Val(1))]);
+        let no = Outcome::from_values([((1, Reg(0)), Val(3))]);
+        assert!(target_realizable(&p, &yes, |_| true));
+        assert!(!target_realizable(&p, &no, |_| true));
+    }
+
+    #[test]
+    fn fr_relates_reads_to_coherence_later_writes() {
+        let p = prog(vec![vec![write(1, 1)], vec![read(0, 1)]]);
+        enumerate_executions(&p, &mut |exec| {
+            let r = 2; // init=0, write=1, read=2
+            let w = 1;
+            if exec.rf().contains(0, r) {
+                // read from init: fr to the store
+                assert!(exec.fr().contains(r, w));
+            } else {
+                assert!(exec.fr().successors(r).is_empty());
+            }
+            true
+        });
+    }
+}

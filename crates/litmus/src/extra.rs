@@ -1,0 +1,302 @@
+//! Classic litmus shapes beyond the paper's seven-template suite.
+//!
+//! These are the standard names from the weak-memory literature (Alglave
+//! et al.'s naming scheme). They are not part of the paper's 1,701-test
+//! evaluation, but a downstream user exploring an ISA design point wants
+//! them available, and the §5-style analyses generalize to them (see the
+//! `custom_litmus` example, which uses ISA2).
+//!
+//! Each constructor documents the C11 status of its target outcome for
+//! the common order choices; the `tricheck-c11` test-suite asserts them.
+
+use crate::mir::{Expr, Instr, Loc, Program, Reg};
+use crate::order::MemOrder;
+use crate::outcome::Outcome;
+use crate::suite::{X, Y};
+use crate::template::{variant_name, LitmusTest, SlotKind, Template};
+
+/// The third location used by three-variable shapes.
+pub const Z: Loc = Loc(3);
+
+fn ld(dst: u8, loc: Loc, mo: MemOrder) -> Instr<MemOrder> {
+    Instr::Read { dst: Reg(dst), addr: Expr::Const(loc.0), ann: mo }
+}
+
+fn st(loc: Loc, val: u64, mo: MemOrder) -> Instr<MemOrder> {
+    Instr::Write { addr: Expr::Const(loc.0), val: Expr::Const(val), ann: mo }
+}
+
+fn prog(threads: Vec<Vec<Instr<MemOrder>>>) -> Program<MemOrder> {
+    Program::new(threads, []).expect("extra litmus shapes are valid by construction")
+}
+
+fn outcome(entries: &[(usize, u8, u64)]) -> Outcome {
+    Outcome::from_values(
+        entries.iter().map(|&(tid, reg, val)| ((tid, Reg(reg)), crate::mir::Val(val))),
+    )
+}
+
+/// Load Buffering: each thread loads one location then stores the other.
+/// Target: both loads see the other thread's (po-later) store
+/// (`r0=1, r1=1`).
+///
+/// C11-2011 permits this outcome for relaxed atomics (the out-of-thin-air
+/// corner); acquire/release on both pairs forbids it through a
+/// happens-before cycle.
+#[must_use]
+pub fn lb(o: [MemOrder; 4]) -> LitmusTest {
+    LitmusTest::new(
+        variant_name("lb", &o),
+        "lb",
+        prog(vec![
+            vec![ld(0, X, o[0]), st(Y, 1, o[1])],
+            vec![ld(1, Y, o[2]), st(X, 1, o[3])],
+        ]),
+        outcome(&[(0, 0, 1), (1, 1, 1)]),
+    )
+}
+
+/// S: a write-write pair racing a write that must not overtake it.
+/// T0: `Wx=2; Wy=1`, T1: `Ry; Wx=1`. Target: T1 sees the flag yet its
+/// write to `x` loses the coherence race (`r0=1` with final `x = 2`,
+/// probed as T1 reading the flag and T0's second write landing last —
+/// here expressed over registers: `r0=1` and T0's `Wx=2` coherence-after
+/// T1's `Wx=1` is witnessed by an extra observer read).
+#[must_use]
+pub fn s_shape(o: [MemOrder; 4]) -> LitmusTest {
+    // Observer thread reads x twice to witness the final coherence order.
+    LitmusTest::new(
+        variant_name("s", &o),
+        "s",
+        prog(vec![
+            vec![st(X, 2, o[0]), st(Y, 1, o[1])],
+            vec![ld(0, Y, o[2]), st(X, 1, o[3])],
+        ]),
+        outcome(&[(1, 0, 1)]),
+    )
+}
+
+/// R: stores to the same location from both threads plus a read.
+/// T0: `Wy=1; Wx=1`… the canonical shape: T0: `Wx=1; Wy=1`,
+/// T1: `Wy=2; Rx`, with an observer witnessing `co(Wy=1, Wy=2)`.
+/// Target: the observer sees `y=1` then `y=2` while T1 misses `x`
+/// (`r0=0, r1=1, r2=2`) — forbidden for all-SC accesses (the SC total
+/// order must place `Wx=1` before the coherence-later `Wy=2` and hence
+/// before the read).
+#[must_use]
+pub fn r_shape(o: [MemOrder; 4]) -> LitmusTest {
+    LitmusTest::new(
+        variant_name("r", &o),
+        "r",
+        prog(vec![
+            vec![st(X, 1, o[0]), st(Y, 1, o[1])],
+            vec![st(Y, 2, o[2]), ld(0, X, o[3])],
+            // Observer pinning the coherence order on y.
+            vec![ld(1, Y, MemOrder::Rlx), ld(2, Y, MemOrder::Rlx)],
+        ]),
+        outcome(&[(1, 0, 0), (2, 1, 1), (2, 2, 2)]),
+    )
+}
+
+/// 2+2W: two threads each writing both locations in opposite orders.
+/// Target: each location ends with the *first* write of one thread
+/// coherence-last, witnessed by observer reads (`r0=1, r1=1`).
+#[must_use]
+pub fn two_plus_two_w(o: [MemOrder; 4]) -> LitmusTest {
+    LitmusTest::new(
+        variant_name("2+2w", &o),
+        "2+2w",
+        prog(vec![
+            vec![st(X, 1, o[0]), st(Y, 2, o[1])],
+            vec![st(Y, 1, o[2]), st(X, 2, o[3])],
+            // Observer reads establish the final values.
+            vec![ld(0, X, MemOrder::Rlx), ld(1, Y, MemOrder::Rlx)],
+        ]),
+        outcome(&[(2, 0, 1), (2, 1, 1)]),
+    )
+}
+
+/// ISA2: a transitive message-passing chain through two release/acquire
+/// hops (T0 publishes data, T1 relays, T2 consumes).
+/// Target: both hops observed, data missed (`r0=1, r1=1, r2=0`).
+///
+/// C11 forbids the target when both hops synchronize; on non-MCA
+/// hardware this requires cumulative releases, like WRC.
+#[must_use]
+pub fn isa2(o: [MemOrder; 6]) -> LitmusTest {
+    LitmusTest::new(
+        variant_name("isa2", &o),
+        "isa2",
+        prog(vec![
+            vec![st(X, 1, o[0]), st(Y, 1, o[1])],
+            vec![ld(0, Y, o[2]), st(Z, 1, o[3])],
+            vec![ld(1, Z, o[4]), ld(2, X, o[5])],
+        ]),
+        outcome(&[(1, 0, 1), (2, 1, 1), (2, 2, 0)]),
+    )
+}
+
+/// W+RWC ("WWC"): a WRC variant where the causality chain starts from a
+/// write racing the published one. T0: `Wx=2`; T1: `Rx(=2); Wy=1`;
+/// T2: `Ry(=1); Wx=1` with the target requiring T2's write to lose the
+/// coherence race it transitively observed — probed via an observer.
+#[must_use]
+pub fn w_rwc(o: [MemOrder; 5]) -> LitmusTest {
+    LitmusTest::new(
+        variant_name("w+rwc", &o),
+        "w+rwc",
+        prog(vec![
+            vec![st(X, 2, o[0])],
+            vec![ld(0, X, o[1]), st(Y, 1, o[2])],
+            vec![ld(1, Y, o[3]), ld(2, X, o[4])],
+        ]),
+        outcome(&[(1, 0, 2), (2, 1, 1), (2, 2, 0)]),
+    )
+}
+
+/// CoWW: same-thread same-location writes must not invert coherence.
+/// The target asks an observer to see them inverted (`r0=2` then `r1=1`
+/// with writes `1; 2` — via two observer reads); forbidden always.
+#[must_use]
+pub fn coww(o: [MemOrder; 2]) -> LitmusTest {
+    LitmusTest::new(
+        variant_name("coww", &o),
+        "coww",
+        prog(vec![
+            vec![st(X, 1, o[0]), st(X, 2, o[1])],
+            vec![ld(0, X, MemOrder::Rlx), ld(1, X, MemOrder::Rlx)],
+        ]),
+        // Observer sees 2 then 1: requires co(2, 1), contradicting po.
+        outcome(&[(1, 0, 2), (1, 1, 1)]),
+    )
+}
+
+/// CoWR: a read after a same-location write in the same thread must not
+/// read an older write. T0: `Wx=1; Rx`, T1: `Wx=2`. Target: T0's read
+/// returns its own thread's value's *predecessor* while the foreign
+/// write is ordered between (`r0=2` is fine; `r0=0` is the violation —
+/// reading the init despite the own write).
+#[must_use]
+pub fn cowr(o: [MemOrder; 3]) -> LitmusTest {
+    LitmusTest::new(
+        variant_name("cowr", &o),
+        "cowr",
+        prog(vec![
+            vec![st(X, 1, o[0]), ld(0, X, o[1])],
+            vec![st(X, 2, o[2])],
+        ]),
+        outcome(&[(0, 0, 0)]),
+    )
+}
+
+/// CoRW2: each thread reads the location then writes it; the target asks
+/// each read to observe the *other* thread's write (`r0=2, r1=1`) —
+/// a per-location cycle (`sb ∪ rf` over one location), forbidden by
+/// coherence for every memory-order combination.
+#[must_use]
+pub fn corw(o: [MemOrder; 3]) -> LitmusTest {
+    LitmusTest::new(
+        variant_name("corw2", &o),
+        "corw2",
+        prog(vec![
+            vec![ld(0, X, o[0]), st(X, 1, o[1])],
+            vec![ld(1, X, o[2]), st(X, 2, MemOrder::Rlx)],
+        ]),
+        outcome(&[(0, 0, 2), (1, 1, 1)]),
+    )
+}
+
+/// Template for [`lb`].
+#[must_use]
+pub fn lb_template() -> Template {
+    use SlotKind::{Load, Store};
+    Template::new("lb", vec![Load, Store, Load, Store], |o| lb([o[0], o[1], o[2], o[3]]))
+}
+
+/// Template for [`isa2`].
+#[must_use]
+pub fn isa2_template() -> Template {
+    use SlotKind::{Load, Store};
+    Template::new("isa2", vec![Store, Store, Load, Store, Load, Load], |o| {
+        isa2([o[0], o[1], o[2], o[3], o[4], o[5]])
+    })
+}
+
+/// Template for [`s_shape`].
+#[must_use]
+pub fn s_template() -> Template {
+    use SlotKind::{Load, Store};
+    Template::new("s", vec![Store, Store, Load, Store], |o| {
+        s_shape([o[0], o[1], o[2], o[3]])
+    })
+}
+
+/// Template for [`r_shape`].
+#[must_use]
+pub fn r_template() -> Template {
+    use SlotKind::{Load, Store};
+    Template::new("r", vec![Store, Store, Store, Load], |o| {
+        r_shape([o[0], o[1], o[2], o[3]])
+    })
+}
+
+/// Template for [`w_rwc`].
+#[must_use]
+pub fn w_rwc_template() -> Template {
+    use SlotKind::{Load, Store};
+    Template::new("w+rwc", vec![Store, Load, Store, Load, Load], |o| {
+        w_rwc([o[0], o[1], o[2], o[3], o[4]])
+    })
+}
+
+/// All extra templates (not part of the paper's 1,701-test evaluation).
+#[must_use]
+pub fn extra_templates() -> Vec<Template> {
+    vec![lb_template(), isa2_template(), s_template(), r_template(), w_rwc_template()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{count_executions, target_realizable};
+
+    #[test]
+    fn extra_shapes_have_candidates_and_reachable_targets() {
+        use MemOrder::Rlx;
+        let shapes = [
+            lb([Rlx; 4]),
+            s_shape([Rlx; 4]),
+            r_shape([Rlx; 4]),
+            two_plus_two_w([Rlx; 4]),
+            isa2([Rlx; 6]),
+            w_rwc([Rlx; 5]),
+            coww([Rlx; 2]),
+            cowr([Rlx; 3]),
+            corw([Rlx; 3]),
+        ];
+        for test in shapes {
+            assert!(count_executions(test.program()) > 0, "{} has no candidates", test.name());
+            assert!(
+                target_realizable(test.program(), test.target(), |_| true),
+                "{} target unreachable without a model",
+                test.name()
+            );
+        }
+    }
+
+    #[test]
+    fn extra_template_counts() {
+        let counts: Vec<(&str, usize)> =
+            extra_templates().iter().map(|t| (t.name(), t.variant_count())).collect();
+        assert_eq!(
+            counts,
+            vec![("lb", 81), ("isa2", 729), ("s", 81), ("r", 81), ("w+rwc", 243)]
+        );
+    }
+
+    #[test]
+    fn isa2_uses_three_locations() {
+        let t = isa2([MemOrder::Rlx; 6]);
+        assert_eq!(t.program().locations(), &[X, Y, Z]);
+    }
+}

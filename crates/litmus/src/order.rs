@@ -1,0 +1,88 @@
+//! C11 memory orders.
+
+use std::fmt;
+
+/// A C11/C++11 memory order annotation on an atomic access.
+///
+/// Litmus tests in the TriCheck suite use `Rlx`, `Acq`/`Rel`, and `Sc` (the
+/// paper's generator instantiates each load slot with {relaxed, acquire,
+/// seq_cst} and each store slot with {relaxed, release, seq_cst}).
+/// `AcqRel` appears only on read-modify-writes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MemOrder {
+    /// `memory_order_relaxed`: atomicity only, no ordering.
+    Rlx,
+    /// `memory_order_acquire`: loads synchronize with releases they read.
+    Acq,
+    /// `memory_order_release`: stores publish prior accesses.
+    Rel,
+    /// `memory_order_acq_rel`: both (RMW operations only).
+    AcqRel,
+    /// `memory_order_seq_cst`: acquire/release plus a single total order.
+    Sc,
+}
+
+impl MemOrder {
+    /// All orders valid on a load: `{Rlx, Acq, Sc}`.
+    pub const LOAD_ORDERS: [MemOrder; 3] = [MemOrder::Rlx, MemOrder::Acq, MemOrder::Sc];
+
+    /// All orders valid on a store: `{Rlx, Rel, Sc}`.
+    pub const STORE_ORDERS: [MemOrder; 3] = [MemOrder::Rlx, MemOrder::Rel, MemOrder::Sc];
+
+    /// `true` if this order has acquire semantics (`Acq`, `AcqRel`, `Sc`).
+    #[must_use]
+    pub fn is_acquire(self) -> bool {
+        matches!(self, MemOrder::Acq | MemOrder::AcqRel | MemOrder::Sc)
+    }
+
+    /// `true` if this order has release semantics (`Rel`, `AcqRel`, `Sc`).
+    #[must_use]
+    pub fn is_release(self) -> bool {
+        matches!(self, MemOrder::Rel | MemOrder::AcqRel | MemOrder::Sc)
+    }
+
+    /// `true` if this order participates in the SC total order.
+    #[must_use]
+    pub fn is_sc(self) -> bool {
+        self == MemOrder::Sc
+    }
+
+    /// Short lowercase name as used in the paper's listings (`rlx`, `acq`,
+    /// `rel`, `acq_rel`, `sc`).
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            MemOrder::Rlx => "rlx",
+            MemOrder::Acq => "acq",
+            MemOrder::Rel => "rel",
+            MemOrder::AcqRel => "acq_rel",
+            MemOrder::Sc => "sc",
+        }
+    }
+}
+
+impl fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_classification() {
+        assert!(MemOrder::Sc.is_acquire() && MemOrder::Sc.is_release());
+        assert!(MemOrder::Acq.is_acquire() && !MemOrder::Acq.is_release());
+        assert!(!MemOrder::Rel.is_acquire() && MemOrder::Rel.is_release());
+        assert!(!MemOrder::Rlx.is_acquire() && !MemOrder::Rlx.is_release());
+        assert!(MemOrder::AcqRel.is_acquire() && MemOrder::AcqRel.is_release());
+    }
+
+    #[test]
+    fn slot_order_lists_have_three_entries() {
+        assert_eq!(MemOrder::LOAD_ORDERS.len(), 3);
+        assert_eq!(MemOrder::STORE_ORDERS.len(), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Program outcomes: final register valuations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::mir::{Reg, Val};
+
+/// A program outcome: the values observed by a set of registers, keyed by
+/// `(thread id, register)`.
+///
+/// Litmus tests designate one *target* outcome (the interesting, usually
+/// controversial one); memory models are compared on whether they
+/// permit/exhibit it. Full outcome *sets* are used for the stronger
+/// equivalence check.
+///
+/// # Examples
+///
+/// ```
+/// use tricheck_litmus::{Outcome, Reg, Val};
+///
+/// let o = Outcome::from_values([((1, Reg(0)), Val(1)), ((1, Reg(1)), Val(0))]);
+/// assert_eq!(o.get(1, Reg(0)), Some(Val(1)));
+/// assert_eq!(o.to_string(), "T1:r0=1, T1:r1=0");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Outcome {
+    values: BTreeMap<(usize, Reg), Val>,
+}
+
+impl Outcome {
+    /// Creates an empty outcome.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an outcome from `((tid, reg), value)` entries.
+    #[must_use]
+    pub fn from_values<I: IntoIterator<Item = ((usize, Reg), Val)>>(entries: I) -> Self {
+        Outcome { values: entries.into_iter().collect() }
+    }
+
+    /// Records that `reg` of thread `tid` observed `val`.
+    pub fn set(&mut self, tid: usize, reg: Reg, val: Val) {
+        self.values.insert((tid, reg), val);
+    }
+
+    /// The value observed by `reg` of thread `tid`, if recorded.
+    #[must_use]
+    pub fn get(&self, tid: usize, reg: Reg) -> Option<Val> {
+        self.values.get(&(tid, reg)).copied()
+    }
+
+    /// The `(tid, reg)` keys this outcome constrains, in order.
+    pub fn observed(&self) -> impl Iterator<Item = (usize, Reg)> + '_ {
+        self.values.keys().copied()
+    }
+
+    /// Iterates over all `((tid, reg), value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, Reg), Val)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of registers constrained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the outcome constrains no registers at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for ((tid, reg), val) in &self.values {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "T{tid}:{reg}={val}")?;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_sorted_and_readable() {
+        let mut o = Outcome::new();
+        o.set(2, Reg(1), Val(0));
+        o.set(0, Reg(0), Val(1));
+        assert_eq!(o.to_string(), "T0:r0=1, T2:r1=0");
+    }
+
+    #[test]
+    fn empty_outcome_display_is_nonempty() {
+        assert_eq!(Outcome::new().to_string(), "(empty)");
+    }
+
+    #[test]
+    fn ordering_allows_outcome_sets() {
+        use std::collections::BTreeSet;
+        let a = Outcome::from_values([((0, Reg(0)), Val(0))]);
+        let b = Outcome::from_values([((0, Reg(0)), Val(1))]);
+        let set: BTreeSet<_> = [a.clone(), b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,778 @@
+//! Finite binary relation algebra over small event sets.
+//!
+//! Axiomatic memory models — both language-level models like C11 and
+//! hardware-level models in the style of Alglave et al.'s *Herding Cats*
+//! framework — are phrased as constraints (acyclicity, irreflexivity,
+//! emptiness) over derived binary relations between memory events:
+//! program order, reads-from, coherence order, preserved program order,
+//! propagation order, and so on.
+//!
+//! Litmus tests are tiny (a handful of events per thread), so this crate
+//! represents a relation over `n ≤ 64` events as `n` rows of one `u64`
+//! bitmask each. All the operators the models need — union, intersection,
+//! difference, relational composition, inverse, restriction, reflexive and
+//! transitive closures, acyclicity — are a few machine instructions per
+//! row, which keeps exhaustive enumeration of candidate executions cheap.
+//!
+//! # Examples
+//!
+//! ```
+//! use tricheck_rel::{EventSet, Relation};
+//!
+//! // po = {0→1, 1→2}; its transitive closure gains 0→2.
+//! let po = Relation::from_pairs(3, [(0, 1), (1, 2)]);
+//! let po_plus = po.transitive_closure();
+//! assert!(po_plus.contains(0, 2));
+//! assert!(po_plus.is_acyclic());
+//!
+//! // Adding the back-edge 2→0 creates a cycle.
+//! let mut cyclic = po;
+//! cyclic.insert(2, 0);
+//! assert!(!cyclic.is_acyclic());
+//!
+//! // Restrict a relation to a subset of events.
+//! let writes = EventSet::from_ids(3, [0, 2]);
+//! let ww = po_plus.restrict(writes, writes);
+//! assert!(ww.contains(0, 2) && !ww.contains(0, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Maximum number of events a [`Relation`] or [`EventSet`] may range over.
+///
+/// Litmus tests stay far below this bound (the largest compiled test in the
+/// TriCheck suite has 16 events), so a single `u64` row per event suffices.
+pub const MAX_EVENTS: usize = 64;
+
+/// A set of event indices drawn from a universe of `n ≤ 64` events.
+///
+/// Used to restrict relations to classes of events (reads, writes, SC
+/// atomics, fences, …).
+///
+/// # Examples
+///
+/// ```
+/// use tricheck_rel::EventSet;
+///
+/// let reads = EventSet::from_ids(4, [1, 3]);
+/// assert!(reads.contains(3));
+/// assert_eq!(reads.len(), 2);
+/// let all = EventSet::full(4);
+/// assert_eq!(all.minus(reads).len(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventSet {
+    n: usize,
+    bits: u64,
+}
+
+impl EventSet {
+    /// Creates an empty set over a universe of `n` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_EVENTS`.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        assert!(n <= MAX_EVENTS, "event universe too large: {n} > {MAX_EVENTS}");
+        EventSet { n, bits: 0 }
+    }
+
+    /// Creates the full set `{0, …, n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_EVENTS`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        s.bits = mask(n);
+        s
+    }
+
+    /// Creates a set from an iterator of event indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_EVENTS` or any index is `>= n`.
+    #[must_use]
+    pub fn from_ids<I: IntoIterator<Item = usize>>(n: usize, ids: I) -> Self {
+        let mut s = Self::empty(n);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Returns the size of the universe this set ranges over.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Adds event `id` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= universe()`.
+    pub fn insert(&mut self, id: usize) {
+        assert!(id < self.n, "event id {id} out of range {}", self.n);
+        self.bits |= 1 << id;
+    }
+
+    /// Returns `true` if the set contains `id`.
+    #[must_use]
+    pub fn contains(&self, id: usize) -> bool {
+        id < self.n && self.bits & (1 << id) != 0
+    }
+
+    /// Returns the number of events in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Returns `true` if the set has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: EventSet) -> EventSet {
+        self.check(other);
+        EventSet { n: self.n, bits: self.bits | other.bits }
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: EventSet) -> EventSet {
+        self.check(other);
+        EventSet { n: self.n, bits: self.bits & other.bits }
+    }
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    pub fn minus(self, other: EventSet) -> EventSet {
+        self.check(other);
+        EventSet { n: self.n, bits: self.bits & !other.bits }
+    }
+
+    /// Complement within the universe.
+    #[must_use]
+    pub fn complement(self) -> EventSet {
+        EventSet { n: self.n, bits: !self.bits & mask(self.n) }
+    }
+
+    /// Iterates over the member event indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.bits;
+        (0..self.n).filter(move |i| bits & (1 << i) != 0)
+    }
+
+    /// Raw bitmask of the set (bit `i` set iff event `i` is a member).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    fn check(&self, other: EventSet) {
+        assert_eq!(self.n, other.n, "event set universes differ: {} vs {}", self.n, other.n);
+    }
+}
+
+impl fmt::Debug for EventSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+fn mask(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// A binary relation over a universe of `n ≤ 64` events.
+///
+/// Rows are stored as `u64` bitmasks: bit `j` of row `i` is set iff the
+/// pair `(i, j)` is in the relation.
+///
+/// # Examples
+///
+/// ```
+/// use tricheck_rel::Relation;
+///
+/// let rf = Relation::from_pairs(3, [(0, 2)]);
+/// let po = Relation::from_pairs(3, [(2, 1)]);
+/// // Relational composition: rf ; po = {0→1}.
+/// let comp = rf.compose(&po);
+/// assert!(comp.contains(0, 1));
+/// assert_eq!(comp.pair_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    n: usize,
+    rows: Vec<u64>,
+}
+
+impl Relation {
+    /// Creates the empty relation over `n` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_EVENTS`.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        assert!(n <= MAX_EVENTS, "event universe too large: {n} > {MAX_EVENTS}");
+        Relation { n, rows: vec![0; n] }
+    }
+
+    /// Creates the identity relation `{(i, i)}` over `n` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_EVENTS`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut r = Self::empty(n);
+        for i in 0..n {
+            r.rows[i] = 1 << i;
+        }
+        r
+    }
+
+    /// Creates the full relation (all ordered pairs) over `n` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_EVENTS`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut r = Self::empty(n);
+        for row in &mut r.rows {
+            *row = mask(n);
+        }
+        r
+    }
+
+    /// Creates a relation from an iterator of `(from, to)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_EVENTS` or any index is `>= n`.
+    #[must_use]
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(n: usize, pairs: I) -> Self {
+        let mut r = Self::empty(n);
+        for (a, b) in pairs {
+            r.insert(a, b);
+        }
+        r
+    }
+
+    /// The cross product `dom × rng` as a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets range over different universes.
+    #[must_use]
+    pub fn cross(dom: EventSet, rng: EventSet) -> Self {
+        assert_eq!(dom.universe(), rng.universe(), "cross product over mismatched universes");
+        let mut r = Self::empty(dom.universe());
+        for i in dom.iter() {
+            r.rows[i] = rng.bits();
+        }
+        r
+    }
+
+    /// Returns the size of the universe this relation ranges over.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the pair `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= universe()` or `b >= universe()`.
+    pub fn insert(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "pair ({a},{b}) out of range {}", self.n);
+        self.rows[a] |= 1 << b;
+    }
+
+    /// Returns `true` if the pair `(a, b)` is in the relation.
+    #[must_use]
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        a < self.n && b < self.n && self.rows[a] & (1 << b) != 0
+    }
+
+    /// Returns `true` if the relation has no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|&r| r == 0)
+    }
+
+    /// Number of pairs in the relation.
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.rows.iter().map(|r| r.count_ones() as usize).sum()
+    }
+
+    /// Union of two relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn union(&self, other: &Relation) -> Relation {
+        self.check(other);
+        let rows = self.rows.iter().zip(&other.rows).map(|(a, b)| a | b).collect();
+        Relation { n: self.n, rows }
+    }
+
+    /// Intersection of two relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        self.check(other);
+        let rows = self.rows.iter().zip(&other.rows).map(|(a, b)| a & b).collect();
+        Relation { n: self.n, rows }
+    }
+
+    /// Difference (`self \ other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn minus(&self, other: &Relation) -> Relation {
+        self.check(other);
+        let rows = self.rows.iter().zip(&other.rows).map(|(a, b)| a & !b).collect();
+        Relation { n: self.n, rows }
+    }
+
+    /// Relational composition `self ; other` (`(a,c)` iff `∃b. (a,b) ∧ (b,c)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn compose(&self, other: &Relation) -> Relation {
+        self.check(other);
+        let mut out = Relation::empty(self.n);
+        for a in 0..self.n {
+            let mut row = 0u64;
+            let mut mids = self.rows[a];
+            while mids != 0 {
+                let b = mids.trailing_zeros() as usize;
+                mids &= mids - 1;
+                row |= other.rows[b];
+            }
+            out.rows[a] = row;
+        }
+        out
+    }
+
+    /// Inverse relation (`(b, a)` for every `(a, b)`).
+    #[must_use]
+    pub fn inverse(&self) -> Relation {
+        let mut out = Relation::empty(self.n);
+        for (a, &row) in self.rows.iter().enumerate() {
+            let mut bits = row;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.rows[b] |= 1 << a;
+            }
+        }
+        out
+    }
+
+    /// Transitive closure `self⁺` (one or more steps).
+    #[must_use]
+    pub fn transitive_closure(&self) -> Relation {
+        // Bitset Floyd–Warshall: if row a reaches k, it also reaches
+        // everything row k reaches.
+        let mut rows = self.rows.clone();
+        for k in 0..self.n {
+            let row_k = rows[k];
+            let bit = 1u64 << k;
+            for a in 0..self.n {
+                if rows[a] & bit != 0 {
+                    rows[a] |= row_k;
+                }
+            }
+        }
+        Relation { n: self.n, rows }
+    }
+
+    /// Reflexive-transitive closure `self*` (zero or more steps).
+    #[must_use]
+    pub fn reflexive_transitive_closure(&self) -> Relation {
+        self.transitive_closure().union(&Relation::identity(self.n))
+    }
+
+    /// Reflexive closure `self?` (`self ∪ identity`).
+    #[must_use]
+    pub fn maybe(&self) -> Relation {
+        self.union(&Relation::identity(self.n))
+    }
+
+    /// Restricts the relation to pairs with the first component in `dom`
+    /// and the second in `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn restrict(&self, dom: EventSet, rng: EventSet) -> Relation {
+        assert_eq!(dom.universe(), self.n, "domain universe mismatch");
+        assert_eq!(rng.universe(), self.n, "range universe mismatch");
+        let mut out = Relation::empty(self.n);
+        for i in dom.iter() {
+            out.rows[i] = self.rows[i] & rng.bits();
+        }
+        out
+    }
+
+    /// Returns `true` if the relation contains no pair `(a, a)`.
+    #[must_use]
+    pub fn is_irreflexive(&self) -> bool {
+        self.rows.iter().enumerate().all(|(i, &row)| row & (1 << i) == 0)
+    }
+
+    /// Returns `true` if the relation (viewed as a directed graph) has no
+    /// cycle. Equivalent to the transitive closure being irreflexive.
+    #[must_use]
+    pub fn is_acyclic(&self) -> bool {
+        self.transitive_closure().is_irreflexive()
+    }
+
+    /// Returns `true` if every pair of `self` is also in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        self.check(other);
+        self.rows.iter().zip(&other.rows).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over all pairs `(a, b)` in the relation.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.rows.iter().enumerate().flat_map(move |(a, &row)| {
+            (0..self.n).filter_map(move |b| if row & (1 << b) != 0 { Some((a, b)) } else { None })
+        })
+    }
+
+    /// The set of events with at least one outgoing edge.
+    #[must_use]
+    pub fn domain(&self) -> EventSet {
+        let mut s = EventSet::empty(self.n);
+        for (a, &row) in self.rows.iter().enumerate() {
+            if row != 0 {
+                s.insert(a);
+            }
+        }
+        s
+    }
+
+    /// The set of events with at least one incoming edge.
+    #[must_use]
+    pub fn range(&self) -> EventSet {
+        let mut bits = 0u64;
+        for &row in &self.rows {
+            bits |= row;
+        }
+        EventSet { n: self.n, bits }
+    }
+
+    /// The successors of event `a` as a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= universe()`.
+    #[must_use]
+    pub fn successors(&self, a: usize) -> EventSet {
+        assert!(a < self.n, "event id {a} out of range {}", self.n);
+        EventSet { n: self.n, bits: self.rows[a] }
+    }
+
+    /// Returns one linear extension of the relation (a topological order),
+    /// or `None` if the relation is cyclic.
+    ///
+    /// Only events in `universe()` participate; events unrelated to
+    /// everything still appear in the output order.
+    #[must_use]
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut indegree = vec![0usize; self.n];
+        for (_, b) in self.pairs() {
+            indegree[b] += 1;
+        }
+        let mut ready: Vec<usize> = (0..self.n).filter(|&i| indegree[i] == 0).collect();
+        let mut out = Vec::with_capacity(self.n);
+        while let Some(a) = ready.pop() {
+            out.push(a);
+            let mut bits = self.rows[a];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                indegree[b] -= 1;
+                if indegree[b] == 0 {
+                    ready.push(b);
+                }
+            }
+        }
+        if out.len() == self.n {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn check(&self, other: &Relation) {
+        assert_eq!(self.n, other.n, "relation universes differ: {} vs {}", self.n, other.n);
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.pairs().map(|(a, b)| format!("{a}->{b}"))).finish()
+    }
+}
+
+/// Enumerates all linear extensions of a strict partial order over the
+/// events in `events`, invoking `visit` with each complete order.
+///
+/// The partial order is given as `precedes`: the extension must place `a`
+/// before `b` whenever `precedes.contains(a, b)` and both are in `events`.
+/// `visit` may return `false` to stop the enumeration early; the function
+/// returns `false` in that case.
+///
+/// Used to enumerate coherence orders (per-location total store orders) and
+/// candidate SC total orders.
+///
+/// # Examples
+///
+/// ```
+/// use tricheck_rel::{linear_extensions, EventSet, Relation};
+///
+/// let constraint = Relation::from_pairs(3, [(0, 1)]);
+/// let events = EventSet::full(3);
+/// let mut count = 0;
+/// linear_extensions(events, &constraint, &mut |_order| {
+///     count += 1;
+///     true
+/// });
+/// assert_eq!(count, 3); // 3! / 2 orders keep 0 before 1
+/// ```
+pub fn linear_extensions<F: FnMut(&[usize]) -> bool>(
+    events: EventSet,
+    precedes: &Relation,
+    visit: &mut F,
+) -> bool {
+    let members: Vec<usize> = events.iter().collect();
+    let mut order = Vec::with_capacity(members.len());
+    let mut used = EventSet::empty(events.universe());
+    extend(&members, precedes, &mut order, &mut used, visit)
+}
+
+fn extend<F: FnMut(&[usize]) -> bool>(
+    members: &[usize],
+    precedes: &Relation,
+    order: &mut Vec<usize>,
+    used: &mut EventSet,
+    visit: &mut F,
+) -> bool {
+    if order.len() == members.len() {
+        return visit(order);
+    }
+    for &cand in members {
+        if used.contains(cand) {
+            continue;
+        }
+        // cand may be placed next iff all its predecessors are already placed.
+        let ok = members
+            .iter()
+            .all(|&m| m == cand || used.contains(m) || !precedes.contains(m, cand));
+        if !ok {
+            continue;
+        }
+        used.insert(cand);
+        order.push(cand);
+        let keep_going = extend(members, precedes, order, used, visit);
+        order.pop();
+        *used = EventSet::from_ids(used.universe(), order.iter().copied());
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_relation_is_acyclic_and_irreflexive() {
+        let r = Relation::empty(5);
+        assert!(r.is_empty());
+        assert!(r.is_acyclic());
+        assert!(r.is_irreflexive());
+        assert_eq!(r.pair_count(), 0);
+    }
+
+    #[test]
+    fn identity_is_cyclic_but_reflexive() {
+        let id = Relation::identity(3);
+        assert!(!id.is_irreflexive());
+        assert!(!id.is_acyclic());
+        assert_eq!(id.pair_count(), 3);
+    }
+
+    #[test]
+    fn compose_chains_edges() {
+        let a = Relation::from_pairs(4, [(0, 1), (2, 3)]);
+        let b = Relation::from_pairs(4, [(1, 2)]);
+        let ab = a.compose(&b);
+        assert!(ab.contains(0, 2));
+        assert_eq!(ab.pair_count(), 1);
+    }
+
+    #[test]
+    fn closure_of_chain_relates_all_descendants() {
+        let r = Relation::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let c = r.transitive_closure();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert!(c.contains(a, b), "expected {a}->{b} in closure");
+            }
+        }
+        assert!(c.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let r = Relation::from_pairs(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(!r.is_acyclic());
+        assert!(r.is_irreflexive()); // no self-loop even though cyclic
+    }
+
+    #[test]
+    fn inverse_swaps_pairs() {
+        let r = Relation::from_pairs(3, [(0, 2), (1, 2)]);
+        let inv = r.inverse();
+        assert!(inv.contains(2, 0));
+        assert!(inv.contains(2, 1));
+        assert_eq!(inv.pair_count(), 2);
+    }
+
+    #[test]
+    fn restrict_filters_by_domain_and_range() {
+        let r = Relation::full(3);
+        let dom = EventSet::from_ids(3, [0]);
+        let rng = EventSet::from_ids(3, [1, 2]);
+        let restricted = r.restrict(dom, rng);
+        assert_eq!(restricted.pair_count(), 2);
+        assert!(restricted.contains(0, 1));
+        assert!(restricted.contains(0, 2));
+        assert!(!restricted.contains(1, 2));
+    }
+
+    #[test]
+    fn cross_product() {
+        let a = EventSet::from_ids(4, [0, 1]);
+        let b = EventSet::from_ids(4, [2, 3]);
+        let r = Relation::cross(a, b);
+        assert_eq!(r.pair_count(), 4);
+        assert!(r.contains(1, 3));
+        assert!(!r.contains(2, 0));
+    }
+
+    #[test]
+    fn topological_order_of_dag() {
+        let r = Relation::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = r.topological_order().expect("dag should have an order");
+        let pos = |x: usize| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn topological_order_rejects_cycles() {
+        let r = Relation::from_pairs(2, [(0, 1), (1, 0)]);
+        assert!(r.topological_order().is_none());
+    }
+
+    #[test]
+    fn linear_extensions_counts() {
+        // No constraints: 3! = 6 orders.
+        let mut count = 0;
+        linear_extensions(EventSet::full(3), &Relation::empty(3), &mut |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 6);
+
+        // Total order constraint: exactly 1 extension.
+        let chain = Relation::from_pairs(3, [(0, 1), (1, 2)]);
+        let mut count = 0;
+        linear_extensions(EventSet::full(3), &chain, &mut |order| {
+            assert_eq!(order, &[0, 1, 2]);
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn linear_extensions_early_stop() {
+        let mut count = 0;
+        let finished = linear_extensions(EventSet::full(4), &Relation::empty(4), &mut |_| {
+            count += 1;
+            count < 3
+        });
+        assert!(!finished);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn event_set_ops() {
+        let a = EventSet::from_ids(5, [0, 1, 2]);
+        let b = EventSet::from_ids(5, [2, 3]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersect(b).len(), 1);
+        assert_eq!(a.minus(b).len(), 2);
+        assert_eq!(a.complement().len(), 2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut r = Relation::empty(2);
+        r.insert(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "universes differ")]
+    fn mismatched_universe_panics() {
+        let a = Relation::empty(2);
+        let b = Relation::empty(3);
+        let _ = a.union(&b);
+    }
+}

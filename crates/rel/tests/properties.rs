@@ -1,0 +1,153 @@
+//! Property-based tests for the relation algebra.
+
+use proptest::prelude::*;
+use tricheck_rel::{linear_extensions, EventSet, Relation};
+
+const N: usize = 8;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..N, 0..N), 0..24)
+        .prop_map(|pairs| Relation::from_pairs(N, pairs))
+}
+
+fn arb_set() -> impl Strategy<Value = EventSet> {
+    proptest::collection::vec(0..N, 0..N).prop_map(|ids| EventSet::from_ids(N, ids))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_is_idempotent(a in arb_relation()) {
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersect_distributes_over_union(
+        a in arb_relation(), b in arb_relation(), c in arb_relation()
+    ) {
+        let lhs = a.intersect(&b.union(&c));
+        let rhs = a.intersect(&b).union(&a.intersect(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn compose_is_associative(
+        a in arb_relation(), b in arb_relation(), c in arb_relation()
+    ) {
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn compose_distributes_over_union(
+        a in arb_relation(), b in arb_relation(), c in arb_relation()
+    ) {
+        let lhs = a.compose(&b.union(&c));
+        let rhs = a.compose(&b).union(&a.compose(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn transitive_closure_is_idempotent(a in arb_relation()) {
+        let c = a.transitive_closure();
+        prop_assert_eq!(c.transitive_closure(), c);
+    }
+
+    #[test]
+    fn transitive_closure_contains_original(a in arb_relation()) {
+        prop_assert!(a.is_subset_of(&a.transitive_closure()));
+    }
+
+    #[test]
+    fn transitive_closure_is_transitive(a in arb_relation()) {
+        let c = a.transitive_closure();
+        prop_assert!(c.compose(&c).is_subset_of(&c));
+    }
+
+    #[test]
+    fn inverse_is_involutive(a in arb_relation()) {
+        prop_assert_eq!(a.inverse().inverse(), a);
+    }
+
+    #[test]
+    fn inverse_preserves_pair_count(a in arb_relation()) {
+        prop_assert_eq!(a.inverse().pair_count(), a.pair_count());
+    }
+
+    #[test]
+    fn subrelation_of_acyclic_is_acyclic(a in arb_relation(), b in arb_relation()) {
+        let sub = a.intersect(&b);
+        if a.is_acyclic() {
+            prop_assert!(sub.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn acyclicity_matches_topological_order(a in arb_relation()) {
+        prop_assert_eq!(a.is_acyclic(), a.topological_order().is_some());
+    }
+
+    #[test]
+    fn topological_order_respects_edges(a in arb_relation()) {
+        if let Some(order) = a.topological_order() {
+            let pos: Vec<usize> = {
+                let mut p = vec![0; N];
+                for (idx, &e) in order.iter().enumerate() {
+                    p[e] = idx;
+                }
+                p
+            };
+            for (x, y) in a.pairs() {
+                prop_assert!(pos[x] < pos[y], "edge {}->{} violated", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_is_subset(a in arb_relation(), dom in arb_set(), rng in arb_set()) {
+        let r = a.restrict(dom, rng);
+        prop_assert!(r.is_subset_of(&a));
+        for (x, y) in r.pairs() {
+            prop_assert!(dom.contains(x) && rng.contains(y));
+        }
+    }
+
+    #[test]
+    fn cross_pair_count(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(Relation::cross(a, b).pair_count(), a.len() * b.len());
+    }
+
+    #[test]
+    fn every_linear_extension_respects_constraints(a in arb_relation(), s in arb_set()) {
+        // Only meaningful for acyclic constraint relations.
+        if a.restrict(s, s).is_acyclic() {
+            let constraint = a.restrict(s, s);
+            let mut seen = 0usize;
+            linear_extensions(s, &constraint, &mut |order| {
+                seen += 1;
+                let mut pos = vec![usize::MAX; N];
+                for (idx, &e) in order.iter().enumerate() {
+                    pos[e] = idx;
+                }
+                for (x, y) in constraint.pairs() {
+                    assert!(pos[x] < pos[y]);
+                }
+                seen < 200 // cap the enumeration for speed
+            });
+            if s.len() <= 4 {
+                prop_assert!(seen >= 1, "acyclic constraint must admit an extension");
+            }
+        }
+    }
+
+    #[test]
+    fn set_union_intersect_duality(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(
+            a.union(b).complement(),
+            a.complement().intersect(b.complement())
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! **TriCheck** — full-stack memory consistency model (MCM) verification
+//! at the trisection of software, hardware, and ISA.
+//!
+//! This is the facade crate of the TriCheck reproduction (Trippel et al.,
+//! ASPLOS 2017): it re-exports every layer of the stack under one roof.
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`rel`] | `tricheck-rel` | bitset relation algebra |
+//! | [`litmus`] | `tricheck-litmus` | micro-IR, enumeration, test generator |
+//! | [`c11`] | `tricheck-c11` | the C11 axiomatic model (Step 1) |
+//! | [`isa`] | `tricheck-isa` | RISC-V / Power instruction annotations |
+//! | [`compiler`] | `tricheck-compiler` | Tables 1–3 mappings (Step 2) |
+//! | [`uarch`] | `tricheck-uarch` | the seven µSpec models (Step 3) |
+//! | [`core`] | `tricheck-core` | classification & sweeps (Step 4) |
+//! | [`opsim`] | `tricheck-opsim` | operational store-buffer machines |
+//! | [`sieve`] | `tricheck-sieve` | the Figure 2 workload |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tricheck::prelude::*;
+//!
+//! // Build a C11 litmus test (write-to-read causality, Figure 3).
+//! let test = suite::fig3_wrc();
+//!
+//! // Assemble a full stack: Intuitive Base mapping on the shared-store-
+//! // buffer microarchitecture, under the 2016 RISC-V spec.
+//! let stack = TriCheck::new(&BaseIntuitive, UarchModel::nwr(SpecVersion::Curr));
+//!
+//! // C11 forbids the outcome, the hardware exhibits it: a bug.
+//! assert_eq!(stack.verify(&test)?.classification(), Classification::Bug);
+//! # Ok::<(), tricheck::compiler::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tricheck_c11 as c11;
+pub use tricheck_compiler as compiler;
+pub use tricheck_core as core;
+pub use tricheck_isa as isa;
+pub use tricheck_litmus as litmus;
+pub use tricheck_opsim as opsim;
+pub use tricheck_rel as rel;
+pub use tricheck_sieve as sieve;
+pub use tricheck_uarch as uarch;
+
+/// The most common imports for driving the toolflow.
+pub mod prelude {
+    pub use tricheck_c11::{C11Model, C11Verdict};
+    pub use tricheck_compiler::{
+        compile, riscv_mapping, BaseAIntuitive, BaseARefined, BaseIntuitive, BaseRefined,
+        Mapping, PowerLeadingSync, PowerTrailingSync,
+    };
+    pub use tricheck_core::{
+        report, Classification, Sweep, SweepOptions, SweepResults, TestResult, TriCheck,
+    };
+    pub use tricheck_isa::{format_program, AmoBits, Asm, HwAnnot, RiscvIsa, SpecVersion};
+    pub use tricheck_litmus::{suite, LitmusTest, MemOrder, Outcome, Program};
+    pub use tricheck_uarch::{UarchConfig, UarchModel};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_a_full_stack() {
+        use crate::prelude::*;
+        let stack = TriCheck::new(&BaseRefined, UarchModel::nmm(SpecVersion::Ours));
+        let r = stack.verify(&suite::fig3_wrc()).expect("compiles");
+        assert_eq!(r.classification(), Classification::Equivalent);
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's §5 methodology as a program: iteratively weaken the
+//! microarchitecture, find each class of RISC-V MCM bug with TriCheck,
+//! and confirm the proposed ISA refinement removes it.
+//!
+//! Run with: `cargo run --release --example isa_design_space`
+
+use tricheck::prelude::*;
+
+struct Step {
+    section: &'static str,
+    problem: &'static str,
+    test: LitmusTest,
+    isa: RiscvIsa,
+    buggy_model: fn(SpecVersion) -> UarchModel,
+}
+
+fn check(step: &Step) -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- {}: {} ---", step.section, step.problem);
+    println!("probe test: {}", step.test.name());
+
+    // Current specification: mapping + model both follow the 2016 ISA.
+    let mapping = riscv_mapping(step.isa, SpecVersion::Curr);
+    let stack = TriCheck::new(mapping, (step.buggy_model)(SpecVersion::Curr));
+    let before = stack.verify(&step.test)?;
+    println!(
+        "  {} / {} under riscv-curr: {}",
+        step.isa,
+        stack.uarch().name(),
+        before.classification()
+    );
+
+    // Refined specification: the paper's proposal.
+    let mapping = riscv_mapping(step.isa, SpecVersion::Ours);
+    let stack = TriCheck::new(mapping, (step.buggy_model)(SpecVersion::Ours));
+    let after = stack.verify(&step.test)?;
+    println!(
+        "  {} / {} under riscv-ours: {}",
+        step.isa,
+        stack.uarch().name(),
+        after.classification()
+    );
+    assert_ne!(after.classification(), Classification::Bug, "refinement must remove the bug");
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let steps = [
+        Step {
+            section: "§5.1.1",
+            problem: "no cumulative lightweight fences (WRC)",
+            test: suite::fig3_wrc(),
+            isa: RiscvIsa::Base,
+            buggy_model: UarchModel::nwr,
+        },
+        Step {
+            section: "§5.1.2",
+            problem: "no cumulative heavyweight fences (IRIW)",
+            test: suite::fig4_iriw_sc(),
+            isa: RiscvIsa::Base,
+            buggy_model: UarchModel::nmm,
+        },
+        Step {
+            section: "§5.1.3",
+            problem: "same-address loads may reorder (CoRR)",
+            test: suite::corr([MemOrder::Rlx; 4]),
+            isa: RiscvIsa::Base,
+            buggy_model: UarchModel::rmm,
+        },
+        Step {
+            section: "§5.2.1",
+            problem: "AMO releases are not cumulative (Base+A WRC)",
+            test: suite::fig3_wrc(),
+            isa: RiscvIsa::BaseA,
+            buggy_model: UarchModel::nmm,
+        },
+    ];
+    for step in &steps {
+        check(step)?;
+    }
+
+    // §5.2.2 and §5.2.3 are strictness (performance) refinements, not
+    // bug fixes: the current ISA over-orders, the refined one does not.
+    println!("--- §5.2.2: roach-motel movement for SC atomics ---");
+    let t = suite::fig11_mp_roach_motel();
+    let curr = TriCheck::new(
+        riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr),
+        UarchModel::rmm(SpecVersion::Curr),
+    );
+    let ours = TriCheck::new(
+        riscv_mapping(RiscvIsa::BaseA, SpecVersion::Ours),
+        UarchModel::rmm(SpecVersion::Ours),
+    );
+    println!("  riscv-curr: {}", curr.verify(&t)?.classification());
+    println!("  riscv-ours: {}", ours.verify(&t)?.classification());
+    assert_eq!(curr.verify(&t)?.classification(), Classification::OverlyStrict);
+    assert_eq!(ours.verify(&t)?.classification(), Classification::Equivalent);
+
+    println!("\n--- §5.2.3: lazy cumulativity ---");
+    let t = suite::fig13_mp_lazy();
+    let curr = TriCheck::new(
+        riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr),
+        UarchModel::nmm(SpecVersion::Curr),
+    );
+    let ours = TriCheck::new(
+        riscv_mapping(RiscvIsa::BaseA, SpecVersion::Ours),
+        UarchModel::nmm(SpecVersion::Ours),
+    );
+    println!("  riscv-curr: {}", curr.verify(&t)?.classification());
+    println!("  riscv-ours: {}", ours.verify(&t)?.classification());
+    assert_eq!(ours.verify(&t)?.classification(), Classification::Equivalent);
+
+    println!("\nall §5 refinement steps reproduced.");
+    Ok(())
+}

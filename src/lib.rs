@@ -1,0 +1,10 @@
+//! Workspace root for the TriCheck reproduction.
+//!
+//! The library surface lives in the [`tricheck`] facade crate and its
+//! member crates; this package exists to host the repository-level
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`).
+
+#![forbid(unsafe_code)]
+
+pub use tricheck;

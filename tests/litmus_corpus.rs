@@ -1,0 +1,78 @@
+//! The shipped `.litmus` corpus parses, matches the built-in tests where
+//! applicable, and produces the expected verdicts through the full stack.
+
+use std::path::Path;
+
+use tricheck::litmus::format::parse_litmus;
+use tricheck::prelude::*;
+
+fn load(name: &str) -> LitmusTest {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    parse_litmus(&text).unwrap_or_else(|e| panic!("parsing {name}: {e}"))
+}
+
+#[test]
+fn corpus_parses_and_matches_builtin_semantics() {
+    let mp = load("mp_rel_acq.litmus");
+    let builtin = suite::mp([MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Rlx]);
+    assert_eq!(mp.program(), builtin.program());
+    assert_eq!(mp.target(), builtin.target());
+
+    let wrc = load("wrc_fig3.litmus");
+    assert_eq!(wrc.program(), suite::fig3_wrc().program());
+
+    let iriw = load("iriw_sc.litmus");
+    assert_eq!(iriw.program(), suite::fig4_iriw_sc().program());
+}
+
+#[test]
+fn corpus_verdicts_through_the_full_stack() {
+    let c11 = C11Model::new();
+    for (file, c11_permits, buggy_on_nmm_curr) in [
+        ("mp_rel_acq.litmus", false, false),
+        ("wrc_fig3.litmus", false, true),
+        ("iriw_sc.litmus", false, true),
+        ("isa2_rel_acq.litmus", false, true),
+    ] {
+        let test = load(file);
+        assert_eq!(c11.permits_target(&test), c11_permits, "{file} C11 verdict");
+        let stack = TriCheck::new(
+            riscv_mapping(RiscvIsa::Base, SpecVersion::Curr),
+            UarchModel::nmm(SpecVersion::Curr),
+        );
+        let got = stack.verify(&test).unwrap().classification() == Classification::Bug;
+        assert_eq!(got, buggy_on_nmm_curr, "{file} on nMM/riscv-curr");
+        // Every corpus bug disappears under the refined stack.
+        let fixed = TriCheck::new(
+            riscv_mapping(RiscvIsa::Base, SpecVersion::Ours),
+            UarchModel::nmm(SpecVersion::Ours),
+        );
+        assert_ne!(
+            fixed.verify(&test).unwrap().classification(),
+            Classification::Bug,
+            "{file} must be fixed by riscv-ours"
+        );
+    }
+}
+
+#[test]
+fn dependency_corpus_test_exercises_lazy_cumulativity() {
+    let test = load("dep_fig13.litmus");
+    // The parsed test mirrors the built-in Figure 13 shape: C11 allows it.
+    assert!(C11Model::new().permits_target(&test));
+    let strict = TriCheck::new(
+        riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr),
+        UarchModel::nmm(SpecVersion::Curr),
+    );
+    assert_eq!(
+        strict.verify(&test).unwrap().classification(),
+        Classification::OverlyStrict
+    );
+    let lazy = TriCheck::new(
+        riscv_mapping(RiscvIsa::BaseA, SpecVersion::Ours),
+        UarchModel::nmm(SpecVersion::Ours),
+    );
+    assert_eq!(lazy.verify(&test).unwrap().classification(), Classification::Equivalent);
+}

@@ -1,0 +1,159 @@
+//! Property-based integration tests over randomly drawn litmus variants:
+//! structural soundness relations that must hold between the models,
+//! regardless of memory orders.
+
+use proptest::prelude::*;
+use tricheck::prelude::*;
+
+/// Strategy: a random template index and a random order assignment.
+fn arb_variant() -> impl Strategy<Value = LitmusTest> {
+    (0usize..7, proptest::collection::vec(0usize..3, 6)).prop_map(|(t, picks)| {
+        let templates = suite::all_templates();
+        let template = &templates[t];
+        let orders: Vec<MemOrder> = template
+            .slots()
+            .iter()
+            .zip(&picks)
+            .map(|(kind, &p)| kind.orders()[p])
+            .collect();
+        template.instantiate(&orders)
+    })
+}
+
+/// Strengthen one slot of a variant (rlx -> acq/rel -> sc), if possible.
+fn strengthen(test: &LitmusTest) -> Option<LitmusTest> {
+    let templates = suite::all_templates();
+    let template = templates.iter().find(|t| t.name() == test.family())?;
+    // Recover the orders from the name suffix.
+    let orders: Vec<MemOrder> = test
+        .name()
+        .split('+')
+        .skip(1)
+        .map(|s| match s {
+            "rlx" => MemOrder::Rlx,
+            "acq" => MemOrder::Acq,
+            "rel" => MemOrder::Rel,
+            "sc" => MemOrder::Sc,
+            other => panic!("unexpected order {other}"),
+        })
+        .collect();
+    for i in 0..orders.len() {
+        let stronger = match orders[i] {
+            MemOrder::Rlx => match template.slots()[i] {
+                tricheck::litmus::SlotKind::Load => MemOrder::Acq,
+                tricheck::litmus::SlotKind::Store => MemOrder::Rel,
+            },
+            MemOrder::Acq | MemOrder::Rel => MemOrder::Sc,
+            _ => continue,
+        };
+        let mut new_orders = orders.clone();
+        new_orders[i] = stronger;
+        return Some(template.instantiate(&new_orders));
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Strengthening a memory order never enlarges the C11-permitted
+    /// outcome set (C11 is monotone in ordering strength).
+    #[test]
+    fn c11_is_monotone_in_order_strength(test in arb_variant()) {
+        if let Some(stronger) = strengthen(&test) {
+            let model = C11Model::new();
+            let weak = model.permitted_outcomes(&test);
+            let strong = model.permitted_outcomes(&stronger);
+            prop_assert!(
+                strong.is_subset(&weak),
+                "{} permits outcomes {} does not",
+                stronger.name(),
+                test.name()
+            );
+        }
+    }
+
+    /// Relaxing the microarchitecture never removes observable outcomes:
+    /// each Table 7 model chain is ordered by observational strength.
+    #[test]
+    fn uarch_models_form_a_strength_chain(test in arb_variant()) {
+        let mapping = riscv_mapping(RiscvIsa::Base, SpecVersion::Curr);
+        let compiled = compile(&test, mapping).unwrap();
+        let chains: [&[fn(SpecVersion) -> UarchModel]; 2] = [
+            &[UarchModel::wr, UarchModel::rwr, UarchModel::rwm, UarchModel::rmm],
+            &[UarchModel::nwr, UarchModel::nmm],
+        ];
+        for chain in chains {
+            for pair in chain.windows(2) {
+                let stronger = pair[0](SpecVersion::Curr);
+                let weaker = pair[1](SpecVersion::Curr);
+                let a = stronger.observable_outcomes(compiled.program(), compiled.observed());
+                let b = weaker.observable_outcomes(compiled.program(), compiled.observed());
+                prop_assert!(
+                    a.is_subset(&b),
+                    "{} observes outcomes {} does not on {}",
+                    stronger.name(),
+                    weaker.name(),
+                    test.name()
+                );
+            }
+        }
+    }
+
+    /// The refined (riscv-ours) stack is *sound* in the strong sense: on
+    /// every model, every observable outcome is C11-permitted — not just
+    /// for the designated target outcome.
+    #[test]
+    fn refined_stack_is_outcome_set_sound(test in arb_variant()) {
+        let c11 = C11Model::new();
+        let permitted = c11.permitted_outcomes(&test);
+        for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
+            let mapping = riscv_mapping(isa, SpecVersion::Ours);
+            let compiled = compile(&test, mapping).unwrap();
+            for model in [
+                UarchModel::rmm(SpecVersion::Ours),
+                UarchModel::nmm(SpecVersion::Ours),
+                UarchModel::a9like(SpecVersion::Ours),
+            ] {
+                let observable =
+                    model.observable_outcomes(compiled.program(), compiled.observed());
+                prop_assert!(
+                    observable.is_subset(&permitted),
+                    "{} on {} ({isa}) shows non-C11 outcomes",
+                    test.name(),
+                    model.name()
+                );
+            }
+        }
+    }
+
+    /// The strongest model (WR) under the strongest mapping never shows a
+    /// C11-forbidden outcome, current ISA or not.
+    #[test]
+    fn wr_model_is_always_sound(test in arb_variant()) {
+        let c11 = C11Model::new();
+        let permitted = c11.permitted_outcomes(&test);
+        for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
+            let compiled = compile(&test, riscv_mapping(isa, SpecVersion::Curr)).unwrap();
+            let model = UarchModel::wr(SpecVersion::Curr);
+            let observable =
+                model.observable_outcomes(compiled.program(), compiled.observed());
+            prop_assert!(observable.is_subset(&permitted));
+        }
+    }
+
+    /// Every candidate execution enumerated for a compiled test yields a
+    /// well-formed outcome over exactly the observed registers.
+    #[test]
+    fn compiled_outcomes_are_well_formed(test in arb_variant()) {
+        let compiled = compile(&test, riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr)).unwrap();
+        let mut checked = 0;
+        tricheck::litmus::enumerate_executions(compiled.program(), &mut |exec| {
+            let outcome = exec.outcome(compiled.observed());
+            assert_eq!(outcome.len(), compiled.observed().len());
+            checked += 1;
+            checked < 50 // bound the work per case
+        });
+        prop_assert!(checked > 0);
+    }
+}
