@@ -73,5 +73,10 @@ fn ablation_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation_target_filter, ablation_sc_search, ablation_parallelism);
+criterion_group!(
+    benches,
+    ablation_target_filter,
+    ablation_sc_search,
+    ablation_parallelism
+);
 criterion_main!(benches);

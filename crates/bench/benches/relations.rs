@@ -6,7 +6,11 @@ use tricheck_rel::{EventSet, Relation};
 fn dense_relation(n: usize, stride: usize) -> Relation {
     Relation::from_pairs(
         n,
-        (0..n).flat_map(move |a| (0..n).filter(move |b| (a + b) % stride == 0).map(move |b| (a, b))),
+        (0..n).flat_map(move |a| {
+            (0..n)
+                .filter(move |b| (a + b) % stride == 0)
+                .map(move |b| (a, b))
+        }),
     )
 }
 

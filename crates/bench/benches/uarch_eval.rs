@@ -15,7 +15,10 @@ fn bench_uarch(c: &mut Criterion) {
     let cases = [
         ("wrc", compile(&suite::fig3_wrc(), mapping).unwrap()),
         ("iriw", compile(&suite::fig4_iriw_sc(), mapping).unwrap()),
-        ("iriw_amo", compile(&suite::fig4_iriw_sc(), mapping_a).unwrap()),
+        (
+            "iriw_amo",
+            compile(&suite::fig4_iriw_sc(), mapping_a).unwrap(),
+        ),
     ];
     for model in [
         UarchModel::wr(SpecVersion::Curr),

@@ -44,7 +44,11 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let tests = if quick { quick_suite() } else { suite::full_suite() };
+    let tests = if quick {
+        quick_suite()
+    } else {
+        suite::full_suite()
+    };
     println!(
         "Figure 15 sweep over {} litmus tests ({} mode)\n",
         tests.len(),
@@ -60,7 +64,10 @@ fn main() {
     for family in ["corr", "corsdwi"] {
         println!("{}", report::family_chart(&results, family));
     }
-    println!("{}", report::aggregate_chart(&results, &["mp", "sb", "wrc", "rwc", "iriw"]));
+    println!(
+        "{}",
+        report::aggregate_chart(&results, &["mp", "sb", "wrc", "rwc", "iriw"])
+    );
     println!("{}", report::headline_table(&results));
     if let Some(path) = csv_path {
         std::fs::write(&path, report::to_csv(&results)).expect("writing the CSV file");

@@ -26,7 +26,9 @@ impl Mapping for ArmWithLdLdFix {
     ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
         let mut seq = PowerLeadingSync.load(dst, addr, mo)?;
         if mo == MemOrder::Rlx {
-            seq.push(Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) });
+            seq.push(Instr::Fence {
+                ann: HwAnnot::Fence(FenceKind::CumulativeHeavy),
+            });
         }
         Ok(seq)
     }
@@ -47,21 +49,36 @@ fn main() {
     // with relaxed atomics.
     let test = suite::corr([MemOrder::Rlx; 4]);
     let c11 = C11Model::new();
-    println!("C11 program: {} — target outcome {}", test.name(), test.target());
+    println!(
+        "C11 program: {} — target outcome {}",
+        test.name(),
+        test.target()
+    );
     println!(
         "C11 verdict: {}\n",
-        if c11.permits_target(&test) { "permitted" } else { "forbidden (coherence)" }
+        if c11.permits_target(&test) {
+            "permitted"
+        } else {
+            "forbidden (coherence)"
+        }
     );
 
     let stock = compile(&test, &PowerLeadingSync).expect("compiles");
-    println!("compiled for ARMv7 (leading-sync):\n{}", format_program(stock.program(), Asm::Power));
+    println!(
+        "compiled for ARMv7 (leading-sync):\n{}",
+        format_program(stock.program(), Asm::Power)
+    );
 
     let hazard = UarchModel::armv7_a9_ldld_hazard();
     let compliant = UarchModel::armv7_a9like();
     println!(
         "on {}: outcome {} — the Figure 1 misbehaviour",
         hazard.name(),
-        if hazard.observes(stock.program(), stock.target()) { "OBSERVABLE" } else { "forbidden" }
+        if hazard.observes(stock.program(), stock.target()) {
+            "OBSERVABLE"
+        } else {
+            "forbidden"
+        }
     );
     println!(
         "on {}: outcome {} (ISA-compliant cores are fine)\n",
@@ -81,7 +98,11 @@ fn main() {
     println!(
         "on {}: outcome {} — the fence workaround closes the hazard",
         hazard.name(),
-        if hazard.observes(fixed.program(), fixed.target()) { "OBSERVABLE" } else { "forbidden" }
+        if hazard.observes(fixed.program(), fixed.target()) {
+            "OBSERVABLE"
+        } else {
+            "forbidden"
+        }
     );
     println!(
         "\n(the cost of this workaround is quantified by Figure 2: \

@@ -10,7 +10,10 @@ use tricheck_sieve::{sieve_series, SieveVariant};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let limit: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000_000);
+    let limit: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10_000_000);
     let max_threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
     let samples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
 
@@ -48,5 +51,8 @@ fn main() {
         "\nld-ld fix overhead at {max_threads} threads: {:+.1}% (paper: +15.3% on ARM)",
         100.0 * (fixed - rlx) / rlx
     );
-    println!("SC-atomics overhead at {max_threads} threads: {:+.1}%", 100.0 * (sc - rlx) / rlx);
+    println!(
+        "SC-atomics overhead at {max_threads} threads: {:+.1}%",
+        100.0 * (sc - rlx) / rlx
+    );
 }

@@ -14,9 +14,21 @@ fn show(figure: &str, test: &LitmusTest, mapping: &dyn Mapping) {
 }
 
 fn main() {
-    show("Figure 8 (WRC, Base Intuitive)", &suite::fig3_wrc(), &BaseIntuitive);
-    show("Figure 9 (IRIW all-SC, Base Intuitive)", &suite::fig4_iriw_sc(), &BaseIntuitive);
-    show("Figure 10 (WRC, Base+A Intuitive)", &suite::fig3_wrc(), &BaseAIntuitive);
+    show(
+        "Figure 8 (WRC, Base Intuitive)",
+        &suite::fig3_wrc(),
+        &BaseIntuitive,
+    );
+    show(
+        "Figure 9 (IRIW all-SC, Base Intuitive)",
+        &suite::fig4_iriw_sc(),
+        &BaseIntuitive,
+    );
+    show(
+        "Figure 10 (WRC, Base+A Intuitive)",
+        &suite::fig3_wrc(),
+        &BaseAIntuitive,
+    );
     show(
         "Figure 12 (MP roach-motel, Base+A Intuitive)",
         &suite::fig11_mp_roach_motel(),

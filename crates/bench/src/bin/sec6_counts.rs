@@ -43,11 +43,19 @@ fn main() {
 
     let mut checks: Vec<Check> = Vec::new();
     let mut push = |label: String, paper: usize, measured: usize| {
-        checks.push(Check { label, paper, measured });
+        checks.push(Check {
+            label,
+            paper,
+            measured,
+        });
     };
 
     // §5.1.1 / §6.1: WRC under Base riscv-curr on the nMCA models.
-    for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
+    for model in [
+        UarchModel::nwr(Curr),
+        UarchModel::nmm(Curr),
+        UarchModel::a9like(Curr),
+    ] {
         push(
             format!("WRC Base/curr on {}", model.name()),
             paper::WRC_BASE_CURR_NMCA,
@@ -55,7 +63,11 @@ fn main() {
         );
     }
     // §5.1.2 / §6.1: RWC and IRIW under Base riscv-curr.
-    for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
+    for model in [
+        UarchModel::nwr(Curr),
+        UarchModel::nmm(Curr),
+        UarchModel::a9like(Curr),
+    ] {
         push(
             format!("RWC Base/curr on {}", model.name()),
             paper::RWC_BASE_CURR_NMCA,
@@ -69,7 +81,11 @@ fn main() {
     }
     // §5.1.3 / §6.1: CoRR and CO-RSDWI on read-reordering models.
     for isa in [Base, BaseA] {
-        for model in [UarchModel::rmm(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
+        for model in [
+            UarchModel::rmm(Curr),
+            UarchModel::nmm(Curr),
+            UarchModel::a9like(Curr),
+        ] {
             push(
                 format!("CoRR {isa}/curr on {}", model.name()),
                 paper::CORR_CURR_RELAXED_RR,
@@ -113,7 +129,10 @@ fn main() {
         }
     }
 
-    println!("{:<50} {:>7} {:>9}  verdict", "experiment", "paper", "measured");
+    println!(
+        "{:<50} {:>7} {:>9}  verdict",
+        "experiment", "paper", "measured"
+    );
     let mut failures = 0;
     for c in &checks {
         let ok = c.paper == c.measured;

@@ -9,10 +9,14 @@ use tricheck_litmus::suite;
 use tricheck_uarch::UarchModel;
 
 fn study(name: &str, mapping: &dyn Mapping, results: &[TestResult]) {
-    let bugs: Vec<&TestResult> =
-        results.iter().filter(|r| r.classification() == Classification::Bug).collect();
-    let strict =
-        results.iter().filter(|r| r.classification() == Classification::OverlyStrict).count();
+    let bugs: Vec<&TestResult> = results
+        .iter()
+        .filter(|r| r.classification() == Classification::Bug)
+        .collect();
+    let strict = results
+        .iter()
+        .filter(|r| r.classification() == Classification::OverlyStrict)
+        .count();
     println!(
         "{name} ({}): {} bugs, {} overly strict, {} equivalent",
         mapping.name(),
@@ -54,10 +58,14 @@ fn main() {
     let trailing = sweep.run_stack(&tests, &PowerTrailingSync, &model);
     study("trailing-sync", &PowerTrailingSync, &trailing);
 
-    let leading_bugs =
-        leading.iter().filter(|r| r.classification() == Classification::Bug).count();
-    let trailing_bugs =
-        trailing.iter().filter(|r| r.classification() == Classification::Bug).count();
+    let leading_bugs = leading
+        .iter()
+        .filter(|r| r.classification() == Classification::Bug)
+        .count();
+    let trailing_bugs = trailing
+        .iter()
+        .filter(|r| r.classification() == Classification::Bug)
+        .count();
     if trailing_bugs > 0 && leading_bugs == 0 {
         println!(
             "=> trailing-sync is invalidated on A9like while leading-sync survives, \

@@ -58,7 +58,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use tricheck_litmus::{
-    enumerate_executions, outcome_set, target_realizable, Execution, LitmusTest, MemOrder, Outcome,
+    enumerate_executions, outcome_set, ConsistencyModel, Execution, ExecutionSpace, LitmusTest,
+    MemOrder, Outcome,
 };
 use tricheck_rel::{linear_extensions, EventSet, Relation};
 
@@ -126,7 +127,11 @@ impl C11Model {
         if !derived.hb.compose(&derived.eco).is_irreflexive() {
             return Err(C11Violation::Coherence);
         }
-        if !exec.rmw().intersect(&exec.fr().compose(exec.co())).is_empty() {
+        if !exec
+            .rmw()
+            .intersect(&exec.fr().compose(exec.co()))
+            .is_empty()
+        {
             return Err(C11Violation::Atomicity);
         }
         if !sc_order_exists(exec, &derived) {
@@ -142,9 +147,21 @@ impl C11Model {
     }
 
     /// Whether the test's target outcome is permitted by C11.
+    ///
+    /// One-shot adapter over the execution-space engine: short-circuits
+    /// the enumeration at the first consistent witness. When the same
+    /// program is judged repeatedly, prefer [`Self::permits_target_in`]
+    /// over a shared space.
     #[must_use]
     pub fn permits_target(&self, test: &LitmusTest) -> bool {
-        target_realizable(test.program(), test.target(), |e| self.consistent(e))
+        ExecutionSpace::witness_search(test.program(), test.target(), |e| self.consistent(e))
+    }
+
+    /// Whether `target` is permitted, judged over a shared
+    /// [`ExecutionSpace`] (the enumerate-once path used by sweeps).
+    #[must_use]
+    pub fn permits_target_in(&self, space: &ExecutionSpace<MemOrder>, target: &Outcome) -> bool {
+        self.permits(space, target)
     }
 
     /// The verdict on the test's target outcome.
@@ -158,6 +175,10 @@ impl C11Model {
     }
 
     /// The full set of outcomes C11 permits for the test.
+    ///
+    /// One-shot: streams the enumeration with O(1) execution storage.
+    /// When many models judge one program, use
+    /// [`ConsistencyModel::allowed_outcomes`] over a shared space.
     #[must_use]
     pub fn permitted_outcomes(&self, test: &LitmusTest) -> BTreeSet<Outcome> {
         outcome_set(test.program(), test.observed(), |e| self.consistent(e))
@@ -175,6 +196,18 @@ impl C11Model {
             true
         });
         n
+    }
+}
+
+impl ConsistencyModel for C11Model {
+    type Ann = MemOrder;
+
+    fn model_name(&self) -> &str {
+        "C11"
+    }
+
+    fn consistent(&self, exec: &Execution<MemOrder>) -> bool {
+        C11Model::consistent(self, exec)
     }
 }
 
@@ -202,13 +235,22 @@ impl DerivedRelations {
         }
         let hb = hb_base.transitive_closure();
 
-        let eco = exec.rf().union(exec.co()).union(&exec.fr()).transitive_closure();
+        let eco = exec
+            .rf()
+            .union(exec.co())
+            .union(&exec.fr())
+            .transitive_closure();
 
         let is_sc = |e: usize| exec.ann(e).is_some_and(|mo| mo.is_sc());
         let sc_events = EventSet::from_ids(n, (0..n).filter(|&e| is_sc(e)));
         let sc_writes = sc_events.intersect(exec.writes());
 
-        DerivedRelations { hb, eco, sc_events, sc_writes }
+        DerivedRelations {
+            hb,
+            eco,
+            sc_events,
+            sc_writes,
+        }
     }
 }
 
@@ -242,12 +284,18 @@ fn release_sequence(exec: &Execution<MemOrder>, w: usize) -> Vec<usize> {
     let Some(loc) = exec.loc(w) else { return rs };
     // co is a per-location strict total order: sort the location's writes
     // by their number of co-predecessors within the location.
-    let mut loc_writes: Vec<usize> =
-        exec.writes().iter().filter(|&e| exec.loc(e) == Some(loc)).collect();
+    let mut loc_writes: Vec<usize> = exec
+        .writes()
+        .iter()
+        .filter(|&e| exec.loc(e) == Some(loc))
+        .collect();
     let key = |e: usize, all: &[usize]| all.iter().filter(|&&p| exec.co().contains(p, e)).count();
     let snapshot = loc_writes.clone();
     loc_writes.sort_by_key(|&e| key(e, &snapshot));
-    let start = loc_writes.iter().position(|&e| e == w).expect("w writes to loc");
+    let start = loc_writes
+        .iter()
+        .position(|&e| e == w)
+        .expect("w writes to loc");
     for &w2 in &loc_writes[start + 1..] {
         let same_thread = !exec.is_external(w, w2);
         let is_rmw = exec.events()[w2].is_rmw;
@@ -267,8 +315,10 @@ fn sc_order_exists(exec: &Execution<MemOrder>, derived: &DerivedRelations) -> bo
     }
     let n = exec.len();
     // S must be consistent with hb and mo restricted to SC events.
-    let constraint =
-        derived.hb.union(exec.co()).restrict(derived.sc_events, derived.sc_events);
+    let constraint = derived
+        .hb
+        .union(exec.co())
+        .restrict(derived.sc_events, derived.sc_events);
     if !constraint.is_acyclic() {
         return false;
     }
@@ -298,9 +348,13 @@ fn sc_reads_restricted(
     let rf_inv = exec.rf().inverse();
     for r in exec.reads().intersect(derived.sc_events).iter() {
         let Some(loc) = exec.loc(r) else { continue };
-        let Some(w) = rf_inv.successors(r).iter().next() else { continue };
-        let sc_writes_here =
-            derived.sc_writes.iter().filter(|&w2| exec.loc(w2) == Some(loc));
+        let Some(w) = rf_inv.successors(r).iter().next() else {
+            continue;
+        };
+        let sc_writes_here = derived
+            .sc_writes
+            .iter()
+            .filter(|&w2| exec.loc(w2) == Some(loc));
         if derived.sc_events.contains(w) {
             // w must be S-before r with no SC write to loc in between.
             if pos[w] >= pos[r] {
@@ -426,11 +480,15 @@ mod tests {
 
     #[test]
     fn mp_and_sb_forbidden_counts() {
-        let mp_forbidden =
-            suite::mp_template().instantiate_all().filter(|t| !model().permits_target(t)).count();
+        let mp_forbidden = suite::mp_template()
+            .instantiate_all()
+            .filter(|t| !model().permits_target(t))
+            .count();
         assert_eq!(mp_forbidden, 36);
-        let sb_forbidden =
-            suite::sb_template().instantiate_all().filter(|t| !model().permits_target(t)).count();
+        let sb_forbidden = suite::sb_template()
+            .instantiate_all()
+            .filter(|t| !model().permits_target(t))
+            .count();
         assert_eq!(sb_forbidden, 1);
     }
 

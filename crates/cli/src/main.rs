@@ -10,13 +10,18 @@
 //!                                             verify + witness / per-axiom analysis
 //! tricheck dot NAME [--model M] [--isa B] [--spec V]
 //!                                             emit a Graphviz graph of the witness
-//! tricheck sweep [FAMILY]                     Figure-15-style chart for a family
+//! tricheck sweep [FAMILY] [--threads N] [--cache-stats]
+//!                                             Figure-15-style chart for a family
 //! tricheck file PATH [--model M] [--isa B] [--spec V]
 //!                                             parse a .litmus file and verify it
 //!
 //! options: --isa base|base+a    (default base)
 //!          --spec curr|ours     (default curr)
 //!          --model WR|rWR|rWM|rMM|nWR|nMM|A9like   (default nMM)
+//!          --threads N          sweep worker threads (default: all cores;
+//!                               1 = deterministic serial run)
+//!          --cache-stats        print the shared-engine cache counters
+//!                               after a sweep
 //! ```
 
 use std::process::ExitCode;
@@ -45,24 +50,42 @@ const USAGE: &str = "usage:
   tricheck verify NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck diagnose NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck dot NAME [--model M] [--isa base|base+a] [--spec curr|ours]
-  tricheck sweep [FAMILY]
+  tricheck sweep [FAMILY] [--threads N] [--cache-stats]
   tricheck file PATH [--model M] [--isa base|base+a] [--spec curr|ours]
 
-models: WR rWR rWM rMM nWR nMM A9like (default nMM)";
+models: WR rWR rWM rMM nWR nMM A9like (default nMM)
+sweeps: --threads 1 gives a deterministic serial run; --cache-stats prints
+        the shared execution-space engine's cache counters";
 
 struct Options {
     isa: RiscvIsa,
     spec: SpecVersion,
     model: String,
+    threads: Option<usize>,
+    cache_stats: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
-    let mut opts =
-        Options { isa: RiscvIsa::Base, spec: SpecVersion::Curr, model: "nMM".to_string() };
+    let mut opts = Options {
+        isa: RiscvIsa::Base,
+        spec: SpecVersion::Curr,
+        model: "nMM".to_string(),
+        threads: None,
+        cache_stats: false,
+    };
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = Some(n);
+            }
+            "--cache-stats" => opts.cache_stats = true,
             "--isa" => {
                 let v = it.next().ok_or("--isa needs a value")?;
                 opts.isa = match v.to_lowercase().as_str() {
@@ -228,8 +251,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "file" => {
             let path = pos.next().ok_or("file needs a path")?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let test =
-                tricheck::litmus::format::parse_litmus(&text).map_err(|e| e.to_string())?;
+            let test = tricheck::litmus::format::parse_litmus(&text).map_err(|e| e.to_string())?;
             println!("{}", format_c11_program(&test));
             println!("target outcome: {}", test.target());
             let mapping = riscv_mapping(opts.isa, opts.spec);
@@ -240,13 +262,38 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "sweep" => {
             let family = pos.next().cloned().unwrap_or_else(|| "wrc".to_string());
-            let tests: Vec<LitmusTest> =
-                suite::full_suite().into_iter().filter(|t| t.family() == family).collect();
+            let tests: Vec<LitmusTest> = suite::full_suite()
+                .into_iter()
+                .filter(|t| t.family() == family)
+                .collect();
             if tests.is_empty() {
                 return Err(format!("unknown family '{family}'"));
             }
-            let results = Sweep::new().run_riscv(&tests);
+            let sweep = match opts.threads {
+                Some(threads) => Sweep::with_options(SweepOptions { threads }),
+                None => Sweep::new(),
+            };
+            let results = sweep.run_riscv(&tests);
             print!("{}", report::family_chart(&results, &family));
+            if opts.cache_stats {
+                let s = results.stats();
+                println!();
+                println!("shared-engine cache statistics:");
+                println!("  tests × cells        {} × {}", s.tests, s.cells);
+                println!(
+                    "  C11 evaluations      {} ({} shared cell visits)",
+                    s.c11_evaluations,
+                    s.tests * s.cells - s.c11_evaluations
+                );
+                println!(
+                    "  compilations         {} ({} cache hits)",
+                    s.compile_calls, s.compile_cache_hits
+                );
+                println!(
+                    "  execution spaces     {} distinct programs, {} enumerations, {} cache hits",
+                    s.distinct_programs, s.space_enumerations, s.space_cache_hits
+                );
+            }
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
@@ -273,11 +320,25 @@ mod tests {
 
     #[test]
     fn options_parse_overrides() {
-        let args = strings(&["verify", "x", "--isa", "base+a", "--spec", "ours", "--model", "A9like"]);
+        let args = strings(&[
+            "verify", "x", "--isa", "base+a", "--spec", "ours", "--model", "A9like",
+        ]);
         let (_, opts) = parse_options(&args).unwrap();
         assert_eq!(opts.isa, RiscvIsa::BaseA);
         assert_eq!(opts.spec, SpecVersion::Ours);
         assert_eq!(opts.model, "A9like");
+    }
+
+    #[test]
+    fn thread_and_cache_stat_flags_parse() {
+        let args = strings(&["sweep", "mp", "--threads", "4", "--cache-stats"]);
+        let (pos, opts) = parse_options(&args).unwrap();
+        assert_eq!(pos.len(), 2);
+        assert_eq!(opts.threads, Some(4));
+        assert!(opts.cache_stats);
+        assert!(parse_options(&strings(&["sweep", "--threads", "0"])).is_err());
+        assert!(parse_options(&strings(&["sweep", "--threads", "many"])).is_err());
+        assert!(parse_options(&strings(&["sweep", "--threads"])).is_err());
     }
 
     #[test]

@@ -122,28 +122,45 @@ pub trait Mapping: Sync {
         _kind: RmwKind,
         _mo: MemOrder,
     ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
-        Err(CompileError::Unsupported { mapping: self.name(), construct: "C11 RMW" })
+        Err(CompileError::Unsupported {
+            mapping: self.name(),
+            construct: "C11 RMW",
+        })
     }
 }
 
 fn fence(pred: AccessTypes, succ: AccessTypes) -> Instr<HwAnnot> {
-    Instr::Fence { ann: HwAnnot::Fence(FenceKind::Normal { pred, succ }) }
+    Instr::Fence {
+        ann: HwAnnot::Fence(FenceKind::Normal { pred, succ }),
+    }
 }
 
 fn lwf() -> Instr<HwAnnot> {
-    Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeLight) }
+    Instr::Fence {
+        ann: HwAnnot::Fence(FenceKind::CumulativeLight),
+    }
 }
 
 fn hwf() -> Instr<HwAnnot> {
-    Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) }
+    Instr::Fence {
+        ann: HwAnnot::Fence(FenceKind::CumulativeHeavy),
+    }
 }
 
 fn plain_load(dst: Reg, addr: Expr) -> Instr<HwAnnot> {
-    Instr::Read { dst, addr, ann: HwAnnot::Plain }
+    Instr::Read {
+        dst,
+        addr,
+        ann: HwAnnot::Plain,
+    }
 }
 
 fn plain_store(addr: Expr, val: Expr) -> Instr<HwAnnot> {
-    Instr::Write { addr, val, ann: HwAnnot::Plain }
+    Instr::Write {
+        addr,
+        val,
+        ann: HwAnnot::Plain,
+    }
 }
 
 /// The AMO-as-load idiom (`amoadd.w dst, x0, (addr)`): the zero-add write
@@ -151,11 +168,20 @@ fn plain_store(addr: Expr, val: Expr) -> Instr<HwAnnot> {
 /// paper's µspec models treat it as a load carrying the AMO ordering
 /// bits, and so do we. (A genuine C11 RMW still compiles to `Instr::Rmw`.)
 fn amo_load(dst: Reg, addr: Expr, bits: AmoBits) -> Instr<HwAnnot> {
-    Instr::Read { dst, addr, ann: HwAnnot::Amo(bits) }
+    Instr::Read {
+        dst,
+        addr,
+        ann: HwAnnot::Amo(bits),
+    }
 }
 
 fn amo_store(scratch: Reg, addr: Expr, val: Expr, bits: AmoBits) -> Instr<HwAnnot> {
-    Instr::Rmw { dst: scratch, addr, kind: RmwKind::Swap(val), ann: HwAnnot::Amo(bits) }
+    Instr::Rmw {
+        dst: scratch,
+        addr,
+        kind: RmwKind::Swap(val),
+        ann: HwAnnot::Amo(bits),
+    }
 }
 
 /// Table 2, "Intuitive": the mapping a compiler writer would derive from
@@ -179,7 +205,10 @@ impl Mapping for BaseIntuitive {
     ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
         Ok(match mo {
             MemOrder::Rlx => vec![plain_load(dst, addr)],
-            MemOrder::Acq => vec![plain_load(dst, addr), fence(AccessTypes::R, AccessTypes::RW)],
+            MemOrder::Acq => vec![
+                plain_load(dst, addr),
+                fence(AccessTypes::R, AccessTypes::RW),
+            ],
             MemOrder::Sc => vec![
                 fence(AccessTypes::RW, AccessTypes::RW),
                 plain_load(dst, addr),
@@ -204,10 +233,16 @@ impl Mapping for BaseIntuitive {
         Ok(match mo {
             MemOrder::Rlx => vec![plain_store(addr, val)],
             MemOrder::Rel => {
-                vec![fence(AccessTypes::RW, AccessTypes::W), plain_store(addr, val)]
+                vec![
+                    fence(AccessTypes::RW, AccessTypes::W),
+                    plain_store(addr, val),
+                ]
             }
             MemOrder::Sc => {
-                vec![fence(AccessTypes::RW, AccessTypes::RW), plain_store(addr, val)]
+                vec![
+                    fence(AccessTypes::RW, AccessTypes::RW),
+                    plain_store(addr, val),
+                ]
             }
             MemOrder::Acq | MemOrder::AcqRel => {
                 return Err(CompileError::Unsupported {
@@ -239,9 +274,16 @@ impl Mapping for BaseRefined {
     ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
         Ok(match mo {
             MemOrder::Rlx => vec![plain_load(dst, addr)],
-            MemOrder::Acq => vec![plain_load(dst, addr), fence(AccessTypes::R, AccessTypes::RW)],
+            MemOrder::Acq => vec![
+                plain_load(dst, addr),
+                fence(AccessTypes::R, AccessTypes::RW),
+            ],
             MemOrder::Sc => {
-                vec![hwf(), plain_load(dst, addr), fence(AccessTypes::R, AccessTypes::RW)]
+                vec![
+                    hwf(),
+                    plain_load(dst, addr),
+                    fence(AccessTypes::R, AccessTypes::RW),
+                ]
             }
             MemOrder::Rel | MemOrder::AcqRel => {
                 return Err(CompileError::Unsupported {
@@ -338,7 +380,12 @@ impl Mapping for BaseAIntuitive {
             MemOrder::Rel => AmoBits::RL,
             MemOrder::AcqRel | MemOrder::Sc => AmoBits::AQ_RL,
         };
-        Ok(vec![Instr::Rmw { dst, addr, kind, ann: HwAnnot::Amo(bits) }])
+        Ok(vec![Instr::Rmw {
+            dst,
+            addr,
+            kind,
+            ann: HwAnnot::Amo(bits),
+        }])
     }
 }
 
@@ -405,10 +452,19 @@ impl Mapping for BaseARefined {
             MemOrder::Rlx => AmoBits::NONE,
             MemOrder::Acq => AmoBits::AQ,
             MemOrder::Rel => AmoBits::RL,
-            MemOrder::AcqRel => AmoBits { aq: true, rl: true, sc: false },
+            MemOrder::AcqRel => AmoBits {
+                aq: true,
+                rl: true,
+                sc: false,
+            },
             MemOrder::Sc => AmoBits::AQ_RL,
         };
-        Ok(vec![Instr::Rmw { dst, addr, kind, ann: HwAnnot::Amo(bits) }])
+        Ok(vec![Instr::Rmw {
+            dst,
+            addr,
+            kind,
+            ann: HwAnnot::Amo(bits),
+        }])
     }
 }
 
@@ -602,7 +658,12 @@ pub fn compile(test: &LitmusTest, mapping: &dyn Mapping) -> Result<CompiledTest,
                 Instr::Write { addr, val, ann } => {
                     out.extend(mapping.store(*addr, *val, *ann, next_scratch())?);
                 }
-                Instr::Rmw { dst, addr, kind, ann } => {
+                Instr::Rmw {
+                    dst,
+                    addr,
+                    kind,
+                    ann,
+                } => {
                     out.extend(mapping.rmw(*dst, *addr, *kind, *ann)?);
                 }
                 Instr::Fence { .. } => {
@@ -687,15 +748,27 @@ T2:
     #[test]
     fn figure12_roach_motel_base_a_intuitive_uses_aq_rl() {
         let out = listing(&suite::fig11_mp_roach_motel(), &BaseAIntuitive, Asm::RiscV);
-        assert!(out.contains("amoswap.w.aq.rl"), "SC store must be AMO.aq.rl:\n{out}");
-        assert!(out.contains("amoadd.w.aq.rl"), "SC load must be AMO.aq.rl:\n{out}");
+        assert!(
+            out.contains("amoswap.w.aq.rl"),
+            "SC store must be AMO.aq.rl:\n{out}"
+        );
+        assert!(
+            out.contains("amoadd.w.aq.rl"),
+            "SC load must be AMO.aq.rl:\n{out}"
+        );
     }
 
     #[test]
     fn refined_roach_motel_decouples_sc_bit() {
         let out = listing(&suite::fig11_mp_roach_motel(), &BaseARefined, Asm::RiscV);
-        assert!(out.contains("amoswap.w.rl.sc"), "SC store must be AMO.rl.sc:\n{out}");
-        assert!(out.contains("amoadd.w.aq.sc"), "SC load must be AMO.aq.sc:\n{out}");
+        assert!(
+            out.contains("amoswap.w.rl.sc"),
+            "SC store must be AMO.rl.sc:\n{out}"
+        );
+        assert!(
+            out.contains("amoadd.w.aq.sc"),
+            "SC load must be AMO.aq.sc:\n{out}"
+        );
     }
 
     #[test]
@@ -745,16 +818,35 @@ T1:
         let compiled = compile(&suite::sb([MemOrder::Sc; 4]), &PowerTrailingSync).unwrap();
         let t0 = &compiled.program().threads()[0];
         // st sc = lwsync; st; sync — then ld sc = ld; sync.
-        assert!(matches!(t0[0], Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeLight) }));
+        assert!(matches!(
+            t0[0],
+            Instr::Fence {
+                ann: HwAnnot::Fence(FenceKind::CumulativeLight)
+            }
+        ));
         assert!(matches!(t0[1], Instr::Write { .. }));
-        assert!(matches!(t0[2], Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) }));
+        assert!(matches!(
+            t0[2],
+            Instr::Fence {
+                ann: HwAnnot::Fence(FenceKind::CumulativeHeavy)
+            }
+        ));
         assert!(matches!(t0[3], Instr::Read { .. }));
-        assert!(matches!(t0[4], Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) }));
+        assert!(matches!(
+            t0[4],
+            Instr::Fence {
+                ann: HwAnnot::Fence(FenceKind::CumulativeHeavy)
+            }
+        ));
     }
 
     #[test]
     fn compilation_preserves_observed_registers() {
-        for mapping in [&BaseIntuitive as &dyn Mapping, &BaseAIntuitive, &PowerLeadingSync] {
+        for mapping in [
+            &BaseIntuitive as &dyn Mapping,
+            &BaseAIntuitive,
+            &PowerLeadingSync,
+        ] {
             let test = suite::fig3_wrc();
             let compiled = compile(&test, mapping).unwrap();
             assert_eq!(compiled.observed(), test.observed());
@@ -763,7 +855,7 @@ T1:
     }
 
     #[test]
-    fn whole_suite_compiles_under_every_riscv_mapping(){
+    fn whole_suite_compiles_under_every_riscv_mapping() {
         for (isa, version) in [
             (RiscvIsa::Base, SpecVersion::Curr),
             (RiscvIsa::Base, SpecVersion::Ours),
@@ -772,8 +864,9 @@ T1:
         ] {
             let mapping = riscv_mapping(isa, version);
             for test in suite::full_suite() {
-                compile(&test, mapping)
-                    .unwrap_or_else(|e| panic!("{} fails under {}: {e}", test.name(), mapping.name()));
+                compile(&test, mapping).unwrap_or_else(|e| {
+                    panic!("{} fails under {}: {e}", test.name(), mapping.name())
+                });
             }
         }
     }
@@ -783,6 +876,12 @@ T1:
         let err = BaseIntuitive
             .rmw(Reg(0), Expr::Const(1), RmwKind::FetchAddZero, MemOrder::Sc)
             .unwrap_err();
-        assert!(matches!(err, CompileError::Unsupported { construct: "C11 RMW", .. }));
+        assert!(matches!(
+            err,
+            CompileError::Unsupported {
+                construct: "C11 RMW",
+                ..
+            }
+        ));
     }
 }

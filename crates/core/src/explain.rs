@@ -52,8 +52,16 @@ impl fmt::Display for Diagnosis {
         writeln!(
             f,
             "C11 {} the target; microarchitecture {} it => {}",
-            if self.c11_permits { "permits" } else { "forbids" },
-            if self.uarch_observes { "observes" } else { "cannot observe" },
+            if self.c11_permits {
+                "permits"
+            } else {
+                "forbids"
+            },
+            if self.uarch_observes {
+                "observes"
+            } else {
+                "cannot observe"
+            },
             self.classification
         )?;
         if let Some(witness) = &self.witness {
@@ -96,9 +104,7 @@ pub fn diagnose(
                 let lines = (0..exec.len())
                     .map(|e| {
                         let mut line = exec.describe_event(e);
-                        if let Some(src) =
-                            exec.rf().inverse().successors(e).iter().next()
-                        {
+                        if let Some(src) = exec.rf().inverse().successors(e).iter().next() {
                             line.push_str(&format!("  (reads from e{src})"));
                         }
                         line

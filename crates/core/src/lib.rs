@@ -18,6 +18,13 @@
 //! [`runner::Sweep`] fans a litmus suite across every µarch model and ISA
 //! variant and aggregates Figure-15-style counts; [`report`] renders them.
 //!
+//! Sweeps run on the shared execution-space engine (see [`runner`] for
+//! the architecture): C11 verdicts are computed once per test,
+//! compilation once per (test, mapping), and candidate-execution
+//! enumeration once per distinct compiled program, with a work-stealing
+//! scheduler fanning (test × stack) items over the shared caches.
+//! [`SweepResults::stats`] exposes the counters that prove it.
+//!
 //! # Examples
 //!
 //! Verify the paper's Figure 3 WRC test against the shared-store-buffer
@@ -52,7 +59,7 @@ pub mod runner;
 pub mod verdict;
 
 pub use explain::{diagnose, Diagnosis};
-pub use runner::{Sweep, SweepOptions, SweepResults, SweepRow};
+pub use runner::{Sweep, SweepOptions, SweepResults, SweepRow, SweepStats};
 pub use verdict::{Classification, FullComparison, TestResult};
 
 use std::collections::BTreeSet;
@@ -77,7 +84,11 @@ impl<'m> TriCheck<'m> {
     /// Assembles a stack from a compiler mapping and a µarch model.
     #[must_use]
     pub fn new(mapping: &'m dyn Mapping, uarch: UarchModel) -> Self {
-        TriCheck { hll: C11Model::new(), mapping, uarch }
+        TriCheck {
+            hll: C11Model::new(),
+            mapping,
+            uarch,
+        }
     }
 
     /// The compiler mapping under evaluation.
@@ -119,8 +130,9 @@ impl<'m> TriCheck<'m> {
     pub fn verify_full(&self, test: &LitmusTest) -> Result<FullComparison, CompileError> {
         let permitted = self.hll.permitted_outcomes(test);
         let compiled = compile(test, self.mapping)?;
-        let observable: BTreeSet<Outcome> =
-            self.uarch.observable_outcomes(compiled.program(), compiled.observed());
+        let observable: BTreeSet<Outcome> = self
+            .uarch
+            .observable_outcomes(compiled.program(), compiled.observed());
         Ok(FullComparison::new(test.name(), permitted, observable))
     }
 }
@@ -136,18 +148,30 @@ mod tests {
     fn wrc_bug_found_and_fixed() {
         let t = suite::fig3_wrc();
         let buggy = TriCheck::new(&BaseIntuitive, UarchModel::nmm(Curr));
-        assert_eq!(buggy.verify(&t).unwrap().classification(), Classification::Bug);
+        assert_eq!(
+            buggy.verify(&t).unwrap().classification(),
+            Classification::Bug
+        );
         let fixed = TriCheck::new(&BaseRefined, UarchModel::nmm(Ours));
-        assert_eq!(fixed.verify(&t).unwrap().classification(), Classification::Equivalent);
+        assert_eq!(
+            fixed.verify(&t).unwrap().classification(),
+            Classification::Equivalent
+        );
     }
 
     #[test]
     fn overly_strict_detected_for_roach_motel() {
         let t = suite::fig11_mp_roach_motel();
         let strict = TriCheck::new(&BaseAIntuitive, UarchModel::rmm(Curr));
-        assert_eq!(strict.verify(&t).unwrap().classification(), Classification::OverlyStrict);
+        assert_eq!(
+            strict.verify(&t).unwrap().classification(),
+            Classification::OverlyStrict
+        );
         let relaxed = TriCheck::new(&BaseARefined, UarchModel::rmm(Ours));
-        assert_eq!(relaxed.verify(&t).unwrap().classification(), Classification::Equivalent);
+        assert_eq!(
+            relaxed.verify(&t).unwrap().classification(),
+            Classification::Equivalent
+        );
     }
 
     #[test]

@@ -72,8 +72,7 @@ pub fn aggregate_chart(results: &SweepResults, families: &[&str]) -> String {
                 let bugs = rows.iter().map(|r| r.bugs).max().unwrap_or(0);
                 let strict = rows.iter().map(|r| r.overly_strict).max().unwrap_or(0);
                 let bugs_pct = 100.0 * bugs as f64 / total as f64;
-                let strict_pct =
-                    (100.0 * strict as f64 / total as f64).min(100.0 - bugs_pct);
+                let strict_pct = (100.0 * strict as f64 / total as f64).min(100.0 - bugs_pct);
                 let equiv_pct = 100.0 - bugs_pct - strict_pct;
                 let _ = writeln!(
                     out,
@@ -98,7 +97,10 @@ pub fn aggregate_chart(results: &SweepResults, families: &[&str]) -> String {
 pub fn headline_table(results: &SweepResults) -> String {
     let models = ["WR", "rWR", "rWM", "rMM", "nWR", "nMM", "A9like"];
     let mut out = String::new();
-    let _ = writeln!(out, "== total C11-forbidden-yet-observable outcomes (suite of 1701) ==");
+    let _ = writeln!(
+        out,
+        "== total C11-forbidden-yet-observable outcomes (suite of 1701) =="
+    );
     let _ = writeln!(
         out,
         "{:<8} {:<12} {}",
@@ -179,7 +181,10 @@ mod tests {
         for line in chart.lines().skip(2) {
             for field in line.split_whitespace().filter(|f| f.ends_with('%')) {
                 let v: f64 = field.trim_end_matches('%').parse().unwrap();
-                assert!((0.0..=100.0).contains(&v), "percentage out of range: {line}");
+                assert!(
+                    (0.0..=100.0).contains(&v),
+                    "percentage out of range: {line}"
+                );
             }
         }
     }

@@ -92,7 +92,11 @@ impl fmt::Display for TestResult {
             "{}: C11 {} / µarch {} => {}",
             self.name,
             if self.permitted { "permits" } else { "forbids" },
-            if self.observable { "observes" } else { "cannot observe" },
+            if self.observable {
+                "observes"
+            } else {
+                "cannot observe"
+            },
             self.classification()
         )
     }
@@ -112,7 +116,11 @@ impl FullComparison {
         permitted: BTreeSet<Outcome>,
         observable: BTreeSet<Outcome>,
     ) -> Self {
-        FullComparison { name: name.to_string(), permitted, observable }
+        FullComparison {
+            name: name.to_string(),
+            permitted,
+            observable,
+        }
     }
 
     /// The litmus test's name.
@@ -136,13 +144,19 @@ impl FullComparison {
     /// Outcomes forbidden by C11 yet observable — each one a bug witness.
     #[must_use]
     pub fn bug_witnesses(&self) -> BTreeSet<Outcome> {
-        self.observable.difference(&self.permitted).cloned().collect()
+        self.observable
+            .difference(&self.permitted)
+            .cloned()
+            .collect()
     }
 
     /// Outcomes permitted by C11 yet unobservable.
     #[must_use]
     pub fn strictness_witnesses(&self) -> BTreeSet<Outcome> {
-        self.permitted.difference(&self.observable).cloned().collect()
+        self.permitted
+            .difference(&self.observable)
+            .cloned()
+            .collect()
     }
 
     /// The classification implied by the outcome sets: any bug witness
@@ -176,9 +190,15 @@ mod tests {
             TestResult::new(&t, permitted, observable)
         };
         assert_eq!(mk(false, true).classification(), Classification::Bug);
-        assert_eq!(mk(true, false).classification(), Classification::OverlyStrict);
+        assert_eq!(
+            mk(true, false).classification(),
+            Classification::OverlyStrict
+        );
         assert_eq!(mk(true, true).classification(), Classification::Equivalent);
-        assert_eq!(mk(false, false).classification(), Classification::Equivalent);
+        assert_eq!(
+            mk(false, false).classification(),
+            Classification::Equivalent
+        );
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! An offline, API-compatible subset of the `criterion` benchmark
+//! harness.
+//!
+//! The build environment has no crates.io access, so this crate stands in
+//! for the real `criterion` under the same name: the workspace's bench
+//! files compile unchanged against it, and swapping in the real crate is
+//! a one-line change in the workspace manifest.
+//!
+//! What it implements:
+//!
+//! - [`Criterion::benchmark_group`] / [`BenchmarkGroup::bench_function`] /
+//!   [`BenchmarkGroup::finish`],
+//! - [`Bencher::iter`] and [`Bencher::iter_batched`],
+//! - [`black_box`], [`BatchSize`], and the [`criterion_group!`] /
+//!   [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a calibration
+//! pass to pick an iteration count targeting ~200ms of work (bounded by
+//! `sample_size`), then reports the mean, min and max per-iteration time
+//! on stdout in a `name ... time: [low mean high]` line mirroring
+//! criterion's output shape. No statistics beyond that, no plots, no
+//! baseline files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque value barrier.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// Timing loop driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(id: &str, samples: usize, mut bench: impl FnMut(&mut Bencher)) {
+    // Calibrate: run single iterations until we know the per-iter cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    bench(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~200ms total across `samples` samples, at least 1 iter each.
+    let target = Duration::from_millis(200);
+    let iters_per_sample = (target.as_nanos() / per_iter.as_nanos() / samples.max(1) as u128)
+        .clamp(1, 1_000_000) as u64;
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        bench(&mut b);
+        times.push(b.elapsed / u32::try_from(iters_per_sample).unwrap_or(u32::MAX));
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / u32::try_from(times.len().max(1)).unwrap();
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, bench: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, bench);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, bench: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 10, bench);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

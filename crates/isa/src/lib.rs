@@ -51,11 +51,20 @@ pub struct AccessTypes {
 
 impl AccessTypes {
     /// Reads only.
-    pub const R: AccessTypes = AccessTypes { reads: true, writes: false };
+    pub const R: AccessTypes = AccessTypes {
+        reads: true,
+        writes: false,
+    };
     /// Writes only.
-    pub const W: AccessTypes = AccessTypes { reads: false, writes: true };
+    pub const W: AccessTypes = AccessTypes {
+        reads: false,
+        writes: true,
+    };
     /// Reads and writes (the paper's `m`).
-    pub const RW: AccessTypes = AccessTypes { reads: true, writes: true };
+    pub const RW: AccessTypes = AccessTypes {
+        reads: true,
+        writes: true,
+    };
 
     /// Whether an event kind belongs to this set.
     #[must_use]
@@ -122,7 +131,10 @@ impl FenceKind {
     /// observed writes, §2.3.2).
     #[must_use]
     pub fn is_cumulative(self) -> bool {
-        matches!(self, FenceKind::CumulativeLight | FenceKind::CumulativeHeavy)
+        matches!(
+            self,
+            FenceKind::CumulativeLight | FenceKind::CumulativeHeavy
+        )
     }
 
     /// Whether a (pred-kind, succ-kind) pair of events is ordered by this
@@ -138,7 +150,10 @@ impl FenceKind {
         match self {
             FenceKind::Normal { pred, succ } => pred.matches(before) && succ.matches(after),
             FenceKind::CumulativeLight => {
-                matches!((before, after), (Read, Read) | (Read, Write) | (Write, Write))
+                matches!(
+                    (before, after),
+                    (Read, Read) | (Read, Write) | (Write, Write)
+                )
             }
             FenceKind::CumulativeHeavy => {
                 matches!((before, after), (Read | Write, Read | Write))
@@ -189,18 +204,42 @@ pub struct AmoBits {
 
 impl AmoBits {
     /// No ordering bits (unordered AMO).
-    pub const NONE: AmoBits = AmoBits { aq: false, rl: false, sc: false };
+    pub const NONE: AmoBits = AmoBits {
+        aq: false,
+        rl: false,
+        sc: false,
+    };
     /// `aq` only.
-    pub const AQ: AmoBits = AmoBits { aq: true, rl: false, sc: false };
+    pub const AQ: AmoBits = AmoBits {
+        aq: true,
+        rl: false,
+        sc: false,
+    };
     /// `rl` only.
-    pub const RL: AmoBits = AmoBits { aq: false, rl: true, sc: false };
+    pub const RL: AmoBits = AmoBits {
+        aq: false,
+        rl: true,
+        sc: false,
+    };
     /// `aq.rl` — the current ISA's strongest annotation, which also
     /// implies store atomicity and SC-order membership (§4.2.2).
-    pub const AQ_RL: AmoBits = AmoBits { aq: true, rl: true, sc: true };
+    pub const AQ_RL: AmoBits = AmoBits {
+        aq: true,
+        rl: true,
+        sc: true,
+    };
     /// `aq.sc` — refined-ISA SC load: acquire + store atomic, no release.
-    pub const AQ_SC: AmoBits = AmoBits { aq: true, rl: false, sc: true };
+    pub const AQ_SC: AmoBits = AmoBits {
+        aq: true,
+        rl: false,
+        sc: true,
+    };
     /// `rl.sc` — refined-ISA SC store: release + store atomic, no acquire.
-    pub const RL_SC: AmoBits = AmoBits { aq: false, rl: true, sc: true };
+    pub const RL_SC: AmoBits = AmoBits {
+        aq: false,
+        rl: true,
+        sc: true,
+    };
 
     /// The suffix in assembly, e.g. `".aq.rl"`.
     #[must_use]
@@ -346,18 +385,33 @@ pub fn format_instr(instr: &Instr<HwAnnot>, dialect: Asm) -> String {
         },
         Instr::Write { addr, val, ann } => match ann {
             HwAnnot::Amo(bits) => {
-                format!("amoswap.w{} -, {}, {}", bits.suffix(), fmt_expr(val), fmt_addr(addr))
+                format!(
+                    "amoswap.w{} -, {}, {}",
+                    bits.suffix(),
+                    fmt_expr(val),
+                    fmt_addr(addr)
+                )
             }
             _ => format!("{st_op} {}, {}", fmt_expr(val), fmt_addr(addr)),
         },
-        Instr::Rmw { dst, addr, kind, ann } => {
+        Instr::Rmw {
+            dst,
+            addr,
+            kind,
+            ann,
+        } => {
             let bits = ann.amo_bits().unwrap_or_default();
             match kind {
                 RmwKind::FetchAddZero => {
                     format!("amoadd.w{} {dst}, 0, {}", bits.suffix(), fmt_addr(addr))
                 }
                 RmwKind::Swap(v) => {
-                    format!("amoswap.w{} {dst}, {}, {}", bits.suffix(), fmt_expr(v), fmt_addr(addr))
+                    format!(
+                        "amoswap.w{} {dst}, {}, {}",
+                        bits.suffix(),
+                        fmt_expr(v),
+                        fmt_addr(addr)
+                    )
                 }
             }
         }
@@ -393,13 +447,21 @@ pub mod build {
     /// Plain load `dst = [loc]`.
     #[must_use]
     pub fn lw(dst: Reg, loc: Loc) -> Instr<HwAnnot> {
-        Instr::Read { dst, addr: Expr::Const(loc.0), ann: HwAnnot::Plain }
+        Instr::Read {
+            dst,
+            addr: Expr::Const(loc.0),
+            ann: HwAnnot::Plain,
+        }
     }
 
     /// Plain store `[loc] = val`.
     #[must_use]
     pub fn sw(loc: Loc, val: u64) -> Instr<HwAnnot> {
-        Instr::Write { addr: Expr::Const(loc.0), val: Expr::Const(val), ann: HwAnnot::Plain }
+        Instr::Write {
+            addr: Expr::Const(loc.0),
+            val: Expr::Const(val),
+            ann: HwAnnot::Plain,
+        }
     }
 
     /// AMO load idiom: `amoadd.w dst, 0, (loc)` with the given bits.
@@ -409,7 +471,11 @@ pub mod build {
     /// the AMO ordering bits — matching the paper's µspec treatment.
     #[must_use]
     pub fn amo_load(dst: Reg, loc: Loc, bits: AmoBits) -> Instr<HwAnnot> {
-        Instr::Read { dst, addr: Expr::Const(loc.0), ann: HwAnnot::Amo(bits) }
+        Instr::Read {
+            dst,
+            addr: Expr::Const(loc.0),
+            ann: HwAnnot::Amo(bits),
+        }
     }
 
     /// AMO store idiom: `amoswap.w -, val, (loc)` with the given bits.
@@ -427,19 +493,25 @@ pub mod build {
     /// RISC-V `fence pred, succ`.
     #[must_use]
     pub fn fence(pred: super::AccessTypes, succ: super::AccessTypes) -> Instr<HwAnnot> {
-        Instr::Fence { ann: HwAnnot::Fence(FenceKind::Normal { pred, succ }) }
+        Instr::Fence {
+            ann: HwAnnot::Fence(FenceKind::Normal { pred, succ }),
+        }
     }
 
     /// The refined ISA's cumulative lightweight fence (`lwf`).
     #[must_use]
     pub fn lwf() -> Instr<HwAnnot> {
-        Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeLight) }
+        Instr::Fence {
+            ann: HwAnnot::Fence(FenceKind::CumulativeLight),
+        }
     }
 
     /// The refined ISA's cumulative heavyweight fence (`hwf`).
     #[must_use]
     pub fn hwf() -> Instr<HwAnnot> {
-        Instr::Fence { ann: HwAnnot::Fence(FenceKind::CumulativeHeavy) }
+        Instr::Fence {
+            ann: HwAnnot::Fence(FenceKind::CumulativeHeavy),
+        }
     }
 }
 
@@ -465,7 +537,10 @@ mod tests {
 
     #[test]
     fn normal_fence_orders_by_type_filter() {
-        let f = FenceKind::Normal { pred: AccessTypes::RW, succ: AccessTypes::W };
+        let f = FenceKind::Normal {
+            pred: AccessTypes::RW,
+            succ: AccessTypes::W,
+        };
         assert!(f.orders(Read, Write));
         assert!(f.orders(Write, Write));
         assert!(!f.orders(Read, Read));
@@ -489,7 +564,10 @@ mod tests {
 
     #[test]
     fn fence_assembly_by_dialect() {
-        let f = FenceKind::Normal { pred: AccessTypes::R, succ: AccessTypes::RW };
+        let f = FenceKind::Normal {
+            pred: AccessTypes::R,
+            succ: AccessTypes::RW,
+        };
         assert_eq!(f.asm(Asm::RiscV), "fence r, rw");
         assert_eq!(f.asm(Asm::Power), "ctrlisync");
         assert_eq!(FenceKind::CumulativeLight.asm(Asm::Power), "lwsync");
@@ -532,8 +610,7 @@ mod tests {
     fn program_listing_has_one_section_per_thread() {
         use build::*;
         use tricheck_litmus::{Loc, Program, Reg};
-        let prog =
-            Program::new(vec![vec![sw(Loc(1), 1)], vec![lw(Reg(0), Loc(1))]], []).unwrap();
+        let prog = Program::new(vec![vec![sw(Loc(1), 1)], vec![lw(Reg(0), Loc(1))]], []).unwrap();
         let listing = format_program(&prog, Asm::RiscV);
         assert!(listing.contains("T0:\n  sw 1, (x)"));
         assert!(listing.contains("T1:\n  lw r0, (x)"));

@@ -21,6 +21,9 @@ use crate::exec::{Event, EventKind, Execution};
 use crate::mir::{Expr, Instr, Loc, Program, Reg, RmwKind, Val};
 use crate::outcome::Outcome;
 
+/// Fully-propagated per-event locations and values.
+type ResolvedState = (Vec<Option<Loc>>, Vec<Option<Val>>);
+
 /// How a write event obtains its value.
 #[derive(Clone, Copy, Debug)]
 enum ValSrc {
@@ -86,15 +89,20 @@ impl<A: Clone> Skeleton<A> {
         for (tid, thread) in prog.threads().iter().enumerate() {
             let start = events.len();
             let mut po_index = 0usize;
-            let mut push = |kind: EventKind,
-                            ann: Option<A>,
-                            is_rmw: bool,
-                            events: &mut Vec<Event<A>>| {
-                let id = events.len();
-                events.push(Event { id, tid: Some(tid), po_index, kind, ann, is_rmw });
-                po_index += 1;
-                id
-            };
+            let mut push =
+                |kind: EventKind, ann: Option<A>, is_rmw: bool, events: &mut Vec<Event<A>>| {
+                    let id = events.len();
+                    events.push(Event {
+                        id,
+                        tid: Some(tid),
+                        po_index,
+                        kind,
+                        ann,
+                        is_rmw,
+                    });
+                    po_index += 1;
+                    id
+                };
             for instr in thread {
                 match instr {
                     Instr::Read { dst, addr, ann } => {
@@ -119,7 +127,12 @@ impl<A: Clone> Skeleton<A> {
                             data_deps.push((reg_def[&(tid, r)], e));
                         }
                     }
-                    Instr::Rmw { dst, addr, kind, ann } => {
+                    Instr::Rmw {
+                        dst,
+                        addr,
+                        kind,
+                        ann,
+                    } => {
                         let r = push(EventKind::Read, Some(ann.clone()), true, &mut events);
                         addr_expr.push(Some(*addr));
                         val_src.push(ValSrc::None);
@@ -164,8 +177,16 @@ impl<A: Clone> Skeleton<A> {
             }
         }
         let inits = EventSet::from_ids(n, inits.iter().filter(|&i| i < init_count));
-        let reads = events.iter().filter(|e| e.kind == EventKind::Read).map(|e| e.id).collect();
-        let writes = events.iter().filter(|e| e.kind == EventKind::Write).map(|e| e.id).collect();
+        let reads = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Read)
+            .map(|e| e.id)
+            .collect();
+        let writes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Write)
+            .map(|e| e.id)
+            .collect();
 
         let mut expected = vec![None; n];
         if let Some(t) = target {
@@ -196,10 +217,8 @@ impl<A: Clone> Skeleton<A> {
     /// Resolves locations and values given a (partial) `rf` assignment.
     /// Returns `None` on contradiction (rf source/location mismatch or a
     /// resolved value contradicting the target outcome).
-    fn propagate(
-        &self,
-        rf_choice: &[Option<usize>],
-    ) -> Option<(Vec<Option<Loc>>, Vec<Option<Val>>)> {
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+    fn propagate(&self, rf_choice: &[Option<usize>]) -> Option<ResolvedState> {
         let n = self.events.len();
         let mut loc = self.init_loc.clone();
         let mut val: Vec<Option<Val>> = vec![None; n];
@@ -263,7 +282,9 @@ impl<A: Clone> Skeleton<A> {
         match expr {
             Expr::Const(c) => Some(c),
             Expr::Reg(r) => {
-                let tid = self.events[event].tid.expect("init events have no register operands");
+                let tid = self.events[event]
+                    .tid
+                    .expect("init events have no register operands");
                 let def = self.reg_def[&(tid, r)];
                 val[def].map(|v| v.0)
             }
@@ -328,7 +349,12 @@ fn enumerate_inner<A: Clone>(
         reg_def: skel.reg_def.clone(),
     };
     let mut rf_choice: Vec<Option<usize>> = vec![None; n];
-    let mut ctx = Ctx { skel: &skel, exec: &mut exec, visit, target };
+    let mut ctx = Ctx {
+        skel: &skel,
+        exec: &mut exec,
+        visit,
+        target,
+    };
     ctx.assign_reads(0, &mut rf_choice)
 }
 
@@ -391,7 +417,10 @@ impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
         let n = self.skel.events.len();
         let mut groups: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
         for &w in &self.skel.writes {
-            groups.entry(loc[w].expect("writes resolved above")).or_default().push(w);
+            groups
+                .entry(loc[w].expect("writes resolved above"))
+                .or_default()
+                .push(w);
         }
         // Constraints: init writes first, same-thread writes in program
         // order (required by coherence in C11 and by SC-per-location in
@@ -404,9 +433,10 @@ impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
                         continue;
                     }
                     let (ea, eb) = (&self.skel.events[a], &self.skel.events[b]);
-                    if ea.tid.is_none() && eb.tid.is_some() {
-                        constraint.insert(a, b);
-                    } else if ea.tid == eb.tid && ea.tid.is_some() && ea.po_index < eb.po_index {
+                    let init_first = ea.tid.is_none() && eb.tid.is_some();
+                    let same_thread_po =
+                        ea.tid == eb.tid && ea.tid.is_some() && ea.po_index < eb.po_index;
+                    if init_first || same_thread_po {
                         constraint.insert(a, b);
                     }
                 }
@@ -515,11 +545,19 @@ mod tests {
     use crate::mir::Instr;
 
     fn read(dst: u8, addr: u64) -> Instr<()> {
-        Instr::Read { dst: Reg(dst), addr: Expr::Const(addr), ann: () }
+        Instr::Read {
+            dst: Reg(dst),
+            addr: Expr::Const(addr),
+            ann: (),
+        }
     }
 
     fn write(addr: u64, val: u64) -> Instr<()> {
-        Instr::Write { addr: Expr::Const(addr), val: Expr::Const(val), ann: () }
+        Instr::Write {
+            addr: Expr::Const(addr),
+            val: Expr::Const(val),
+            ann: (),
+        }
     }
 
     fn prog(threads: Vec<Vec<Instr<()>>>) -> Program<()> {
@@ -530,8 +568,10 @@ mod tests {
     fn single_read_sees_init_or_store() {
         let p = prog(vec![vec![write(1, 7)], vec![read(0, 1)]]);
         let outcomes = outcome_set(&p, &[(1, Reg(0))], |_| true);
-        let vals: Vec<u64> =
-            outcomes.iter().map(|o| o.get(1, Reg(0)).unwrap().0).collect();
+        let vals: Vec<u64> = outcomes
+            .iter()
+            .map(|o| o.get(1, Reg(0)).unwrap().0)
+            .collect();
         assert_eq!(vals, vec![0, 7]);
     }
 
@@ -539,7 +579,10 @@ mod tests {
     fn candidate_counts_for_store_buffering() {
         // SB: 2 writes (one per loc) + 2 reads with 2 choices each.
         // co per location is forced (init + 1 write). 2*2 = 4 candidates.
-        let p = prog(vec![vec![write(1, 1), read(0, 2)], vec![write(2, 1), read(1, 1)]]);
+        let p = prog(vec![
+            vec![write(1, 1), read(0, 2)],
+            vec![write(2, 1), read(1, 1)],
+        ]);
         assert_eq!(count_executions(&p), 4);
     }
 
@@ -606,7 +649,11 @@ mod tests {
                 vec![write(2, 1)],
                 vec![
                     read(0, 2),
-                    Instr::Read { dst: Reg(1), addr: Expr::Reg(Reg(0)), ann: () },
+                    Instr::Read {
+                        dst: Reg(1),
+                        addr: Expr::Reg(Reg(0)),
+                        ann: (),
+                    },
                 ],
             ],
             [Loc(0), Loc(1)],
@@ -628,7 +675,11 @@ mod tests {
         let p = Program::new(
             vec![vec![
                 read(0, 1),
-                Instr::Write { addr: Expr::Const(2), val: Expr::Reg(Reg(0)), ann: () },
+                Instr::Write {
+                    addr: Expr::Const(2),
+                    val: Expr::Reg(Reg(0)),
+                    ann: (),
+                },
             ]],
             [],
         )
@@ -641,9 +692,11 @@ mod tests {
 
     #[test]
     fn target_filter_restricts_enumeration() {
-        let p = prog(vec![vec![write(1, 1), read(0, 2)], vec![write(2, 1), read(1, 1)]]);
-        let target =
-            Outcome::from_values([((0, Reg(0)), Val(0)), ((1, Reg(1)), Val(0))]);
+        let p = prog(vec![
+            vec![write(1, 1), read(0, 2)],
+            vec![write(2, 1), read(1, 1)],
+        ]);
+        let target = Outcome::from_values([((0, Reg(0)), Val(0)), ((1, Reg(1)), Val(0))]);
         let mut count = 0;
         enumerate_matching(&p, &target, &mut |exec| {
             assert_eq!(exec.outcome(&[(0, Reg(0)), (1, Reg(1))]), target);

@@ -202,13 +202,19 @@ impl<A> Execution<A> {
     /// External (inter-thread) part of a relation.
     #[must_use]
     pub fn external(&self, r: &Relation) -> Relation {
-        Relation::from_pairs(self.len(), r.pairs().filter(|&(a, b)| self.is_external(a, b)))
+        Relation::from_pairs(
+            self.len(),
+            r.pairs().filter(|&(a, b)| self.is_external(a, b)),
+        )
     }
 
     /// Internal (intra-thread) part of a relation.
     #[must_use]
     pub fn internal(&self, r: &Relation) -> Relation {
-        Relation::from_pairs(self.len(), r.pairs().filter(|&(a, b)| !self.is_external(a, b)))
+        Relation::from_pairs(
+            self.len(),
+            r.pairs().filter(|&(a, b)| !self.is_external(a, b)),
+        )
     }
 
     /// External reads-from (`rfe`).
@@ -333,7 +339,11 @@ impl<A: std::fmt::Display> Execution<A> {
 
         // Init events and one cluster per thread.
         for e in self.inits.iter() {
-            let _ = writeln!(out, "  n{e} [label=\"{}\", style=dashed];", self.describe_event(e));
+            let _ = writeln!(
+                out,
+                "  n{e} [label=\"{}\", style=dashed];",
+                self.describe_event(e)
+            );
         }
         let mut tids: Vec<usize> = self.events.iter().filter_map(|e| e.tid).collect();
         tids.sort_unstable();
@@ -362,7 +372,11 @@ impl<A: std::fmt::Display> Execution<A> {
                 .filter(|n| n.tid == Some(t) && n.po_index > ev.po_index)
                 .min_by_key(|n| n.po_index)
             {
-                let _ = writeln!(out, "  n{} -> n{} [color=gray, label=\"po\"];", ev.id, next.id);
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [color=gray, label=\"po\"];",
+                    ev.id, next.id
+                );
             }
         }
         let edge_set = |name: &str, color: &str, rel: &Relation, buf: &mut String| {

@@ -19,11 +19,19 @@ use crate::template::{variant_name, LitmusTest, SlotKind, Template};
 pub const Z: Loc = Loc(3);
 
 fn ld(dst: u8, loc: Loc, mo: MemOrder) -> Instr<MemOrder> {
-    Instr::Read { dst: Reg(dst), addr: Expr::Const(loc.0), ann: mo }
+    Instr::Read {
+        dst: Reg(dst),
+        addr: Expr::Const(loc.0),
+        ann: mo,
+    }
 }
 
 fn st(loc: Loc, val: u64, mo: MemOrder) -> Instr<MemOrder> {
-    Instr::Write { addr: Expr::Const(loc.0), val: Expr::Const(val), ann: mo }
+    Instr::Write {
+        addr: Expr::Const(loc.0),
+        val: Expr::Const(val),
+        ann: mo,
+    }
 }
 
 fn prog(threads: Vec<Vec<Instr<MemOrder>>>) -> Program<MemOrder> {
@@ -32,7 +40,9 @@ fn prog(threads: Vec<Vec<Instr<MemOrder>>>) -> Program<MemOrder> {
 
 fn outcome(entries: &[(usize, u8, u64)]) -> Outcome {
     Outcome::from_values(
-        entries.iter().map(|&(tid, reg, val)| ((tid, Reg(reg)), crate::mir::Val(val))),
+        entries
+            .iter()
+            .map(|&(tid, reg, val)| ((tid, Reg(reg)), crate::mir::Val(val))),
     )
 }
 
@@ -210,7 +220,9 @@ pub fn corw(o: [MemOrder; 3]) -> LitmusTest {
 #[must_use]
 pub fn lb_template() -> Template {
     use SlotKind::{Load, Store};
-    Template::new("lb", vec![Load, Store, Load, Store], |o| lb([o[0], o[1], o[2], o[3]]))
+    Template::new("lb", vec![Load, Store, Load, Store], |o| {
+        lb([o[0], o[1], o[2], o[3]])
+    })
 }
 
 /// Template for [`isa2`].
@@ -252,7 +264,13 @@ pub fn w_rwc_template() -> Template {
 /// All extra templates (not part of the paper's 1,701-test evaluation).
 #[must_use]
 pub fn extra_templates() -> Vec<Template> {
-    vec![lb_template(), isa2_template(), s_template(), r_template(), w_rwc_template()]
+    vec![
+        lb_template(),
+        isa2_template(),
+        s_template(),
+        r_template(),
+        w_rwc_template(),
+    ]
 }
 
 #[cfg(test)]
@@ -275,7 +293,11 @@ mod tests {
             corw([Rlx; 3]),
         ];
         for test in shapes {
-            assert!(count_executions(test.program()) > 0, "{} has no candidates", test.name());
+            assert!(
+                count_executions(test.program()) > 0,
+                "{} has no candidates",
+                test.name()
+            );
             assert!(
                 target_realizable(test.program(), test.target(), |_| true),
                 "{} target unreachable without a model",
@@ -286,11 +308,19 @@ mod tests {
 
     #[test]
     fn extra_template_counts() {
-        let counts: Vec<(&str, usize)> =
-            extra_templates().iter().map(|t| (t.name(), t.variant_count())).collect();
+        let counts: Vec<(&str, usize)> = extra_templates()
+            .iter()
+            .map(|t| (t.name(), t.variant_count()))
+            .collect();
         assert_eq!(
             counts,
-            vec![("lb", 81), ("isa2", 729), ("s", 81), ("r", 81), ("w+rwc", 243)]
+            vec![
+                ("lb", 81),
+                ("isa2", 729),
+                ("s", 81),
+                ("r", 81),
+                ("w+rwc", 243)
+            ]
         );
     }
 

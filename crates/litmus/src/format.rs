@@ -74,7 +74,10 @@ impl fmt::Display for ParseError {
 impl Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Maps location names to addresses, assigning fresh addresses in order
@@ -108,9 +111,10 @@ fn parse_order(s: &str, line: usize) -> Result<MemOrder, ParseError> {
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
     let trimmed = s.trim();
-    let digits = trimmed
-        .strip_prefix('r')
-        .ok_or_else(|| ParseError { line, message: format!("expected register, got '{trimmed}'") })?;
+    let digits = trimmed.strip_prefix('r').ok_or_else(|| ParseError {
+        line,
+        message: format!("expected register, got '{trimmed}'"),
+    })?;
     match digits.parse::<u8>() {
         Ok(n) => Ok(Reg(n)),
         Err(_) => err(line, format!("bad register '{trimmed}'")),
@@ -150,15 +154,14 @@ fn split_call(s: &str, line: usize) -> Result<(&str, Vec<&str>), ParseError> {
             let args: Vec<&str> = s[o + 1..c].split(',').map(str::trim).collect();
             Ok((name, args))
         }
-        _ => err(line, format!("expected a call like 'st(x,1,rlx)', got '{s}'")),
+        _ => err(
+            line,
+            format!("expected a call like 'st(x,1,rlx)', got '{s}'"),
+        ),
     }
 }
 
-fn parse_instr(
-    s: &str,
-    locs: &mut LocTable,
-    line: usize,
-) -> Result<Instr<MemOrder>, ParseError> {
+fn parse_instr(s: &str, locs: &mut LocTable, line: usize) -> Result<Instr<MemOrder>, ParseError> {
     let t = s.trim();
     if let Some(eq) = t.find('=') {
         // REG = ld/xchg/fetchadd0(...)
@@ -184,7 +187,10 @@ fn parse_instr(
             }),
             (other, args) => err(
                 line,
-                format!("unknown or mis-arity instruction '{other}' with {} args", args.len()),
+                format!(
+                    "unknown or mis-arity instruction '{other}' with {} args",
+                    args.len()
+                ),
             ),
         }
     } else {
@@ -195,10 +201,15 @@ fn parse_instr(
                 val: parse_value(val, locs, line)?,
                 ann: parse_order(mo, line)?,
             }),
-            ("fence", [mo]) => Ok(Instr::Fence { ann: parse_order(mo, line)? }),
+            ("fence", [mo]) => Ok(Instr::Fence {
+                ann: parse_order(mo, line)?,
+            }),
             (other, args) => err(
                 line,
-                format!("unknown or mis-arity instruction '{other}' with {} args", args.len()),
+                format!(
+                    "unknown or mis-arity instruction '{other}' with {} args",
+                    args.len()
+                ),
             ),
         }
     }
@@ -209,7 +220,10 @@ fn parse_outcome(s: &str, line: usize) -> Result<Outcome, ParseError> {
         .trim()
         .strip_prefix('(')
         .and_then(|rest| rest.strip_suffix(')'))
-        .ok_or_else(|| ParseError { line, message: "expected '( ... )'".into() })?;
+        .ok_or_else(|| ParseError {
+            line,
+            message: "expected '( ... )'".into(),
+        })?;
     let mut outcome = Outcome::new();
     for clause in inner.split("/\\") {
         let c = clause.trim();
@@ -217,22 +231,27 @@ fn parse_outcome(s: &str, line: usize) -> Result<Outcome, ParseError> {
             continue;
         }
         // PN:rM=V
-        let (thread_part, rest) = c
-            .split_once(':')
-            .ok_or_else(|| ParseError { line, message: format!("bad clause '{c}'") })?;
+        let (thread_part, rest) = c.split_once(':').ok_or_else(|| ParseError {
+            line,
+            message: format!("bad clause '{c}'"),
+        })?;
         let tid: usize = thread_part
             .trim()
             .strip_prefix('P')
             .and_then(|d| d.parse().ok())
-            .ok_or_else(|| ParseError { line, message: format!("bad thread '{thread_part}'") })?;
-        let (reg_part, val_part) = rest
-            .split_once('=')
-            .ok_or_else(|| ParseError { line, message: format!("bad clause '{c}'") })?;
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("bad thread '{thread_part}'"),
+            })?;
+        let (reg_part, val_part) = rest.split_once('=').ok_or_else(|| ParseError {
+            line,
+            message: format!("bad clause '{c}'"),
+        })?;
         let reg = parse_reg(reg_part, line)?;
-        let val: u64 = val_part
-            .trim()
-            .parse()
-            .map_err(|_| ParseError { line, message: format!("bad value '{val_part}'") })?;
+        let val: u64 = val_part.trim().parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad value '{val_part}'"),
+        })?;
         outcome.set(tid, reg, Val(val));
     }
     if outcome.is_empty() {
@@ -262,9 +281,10 @@ pub fn parse_litmus(text: &str) -> Result<LitmusTest, ParseError> {
             continue;
         }
         if name.is_none() {
-            let rest = line
-                .strip_prefix("C11")
-                .ok_or_else(|| ParseError { line: line_no, message: "expected 'C11 <name>' header".into() })?;
+            let rest = line.strip_prefix("C11").ok_or_else(|| ParseError {
+                line: line_no,
+                message: "expected 'C11 <name>' header".into(),
+            })?;
             name = Some(rest.trim().to_string());
             continue;
         }
@@ -296,21 +316,33 @@ pub fn parse_litmus(text: &str) -> Result<LitmusTest, ParseError> {
             // Header row: P0 | P1 | …
             for (tid, cell) in cells.iter().enumerate() {
                 if cell != &format!("P{tid}") {
-                    return err(line_no, format!("expected thread header 'P{tid}', got '{cell}'"));
+                    return err(
+                        line_no,
+                        format!("expected thread header 'P{tid}', got '{cell}'"),
+                    );
                 }
             }
             n_threads = cells.len();
         } else if cells.len() > n_threads {
-            return err(line_no, format!("row has {} cells, expected ≤ {n_threads}", cells.len()));
+            return err(
+                line_no,
+                format!("row has {} cells, expected ≤ {n_threads}", cells.len()),
+            );
         }
         rows.push((line_no, cells));
     }
 
-    let name = name.ok_or(ParseError { line: 1, message: "missing header".into() })?;
+    let name = name.ok_or(ParseError {
+        line: 1,
+        message: "missing header".into(),
+    })?;
     if rows.is_empty() {
         return err(1, "no thread table");
     }
-    let outcome = outcome.ok_or(ParseError { line: 1, message: "missing 'exists' clause".into() })?;
+    let outcome = outcome.ok_or(ParseError {
+        line: 1,
+        message: "missing 'exists' clause".into(),
+    })?;
 
     // Column-major: cell (row r, col t) is thread t's r-th instruction.
     let mut threads: Vec<Vec<Instr<MemOrder>>> = vec![Vec::new(); n_threads];
@@ -323,8 +355,10 @@ pub fn parse_litmus(text: &str) -> Result<LitmusTest, ParseError> {
         }
     }
 
-    let program = Program::new(threads, extra_locs)
-        .map_err(|e| ParseError { line: 1, message: e.to_string() })?;
+    let program = Program::new(threads, extra_locs).map_err(|e| ParseError {
+        line: 1,
+        message: e.to_string(),
+    })?;
     Ok(LitmusTest::new(name, "parsed", program, outcome))
 }
 
@@ -348,11 +382,25 @@ fn write_instr(i: &Instr<MemOrder>) -> String {
         Instr::Write { addr, val, ann } => {
             format!("st({}, {}, {ann})", write_addr(addr), write_expr(val))
         }
-        Instr::Rmw { dst, addr, kind: RmwKind::FetchAddZero, ann } => {
+        Instr::Rmw {
+            dst,
+            addr,
+            kind: RmwKind::FetchAddZero,
+            ann,
+        } => {
             format!("{dst} = fetchadd0({}, {ann})", write_addr(addr))
         }
-        Instr::Rmw { dst, addr, kind: RmwKind::Swap(v), ann } => {
-            format!("{dst} = xchg({}, {}, {ann})", write_addr(addr), write_expr(v))
+        Instr::Rmw {
+            dst,
+            addr,
+            kind: RmwKind::Swap(v),
+            ann,
+        } => {
+            format!(
+                "{dst} = xchg({}, {}, {ann})",
+                write_addr(addr),
+                write_expr(v)
+            )
         }
         Instr::Fence { ann } => format!("fence({ann})"),
     }
@@ -389,8 +437,11 @@ pub fn write_litmus(test: &LitmusTest) -> String {
         .collect();
     out.push_str(&format!("{{ {} }}\n", decls.join(" ")));
     for row in &table {
-        let cells: Vec<String> =
-            row.iter().zip(&widths).map(|(cell, w)| format!("{cell:<w$}")).collect();
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{cell:<w$}"))
+            .collect();
         out.push_str(&cells.join(" | "));
         out.push_str(" ;\n");
     }
@@ -430,8 +481,7 @@ mod tests {
                     st(y,1,rel) | r1 = ld(x,rlx) ;\n\
                     exists (P1:r0=1 /\\ P1:r1=0)\n";
         let parsed = parse_litmus(text).unwrap();
-        let builtin =
-            suite::mp([MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Rlx]);
+        let builtin = suite::mp([MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Rlx]);
         assert_eq!(parsed.program(), builtin.program());
         assert_eq!(parsed.target(), builtin.target());
     }
@@ -457,9 +507,15 @@ mod tests {
                     st(y,&x,rel)  | r1 = ld([r0],acq) ;\n\
                     exists (P1:r0=2 /\\ P1:r1=0)\n";
         let test = parse_litmus(text).unwrap();
-        let has_reg_addr = test.program().threads()[1]
-            .iter()
-            .any(|i| matches!(i, Instr::Read { addr: Expr::Reg(_), .. }));
+        let has_reg_addr = test.program().threads()[1].iter().any(|i| {
+            matches!(
+                i,
+                Instr::Read {
+                    addr: Expr::Reg(_),
+                    ..
+                }
+            )
+        });
         assert!(has_reg_addr);
     }
 
@@ -474,7 +530,11 @@ mod tests {
         assert_eq!(test.program().threads()[0].len(), 2);
         assert!(matches!(
             test.program().threads()[0][0],
-            Instr::Rmw { kind: RmwKind::Swap(_), ann: MemOrder::AcqRel, .. }
+            Instr::Rmw {
+                kind: RmwKind::Swap(_),
+                ann: MemOrder::AcqRel,
+                ..
+            }
         ));
     }
 
@@ -511,6 +571,9 @@ mod tests {
     #[test]
     fn unknown_order_is_an_error() {
         let text = "C11 t\nP0 ;\nst(x,1,weird) ;\nexists (P0:r0=0)\n";
-        assert!(parse_litmus(text).unwrap_err().message.contains("memory order"));
+        assert!(parse_litmus(text)
+            .unwrap_err()
+            .message
+            .contains("memory order"));
     }
 }

@@ -48,12 +48,16 @@ pub mod format;
 pub mod mir;
 pub mod order;
 pub mod outcome;
+pub mod space;
 pub mod suite;
 pub mod template;
 
-pub use enumerate::{count_executions, enumerate_executions, outcome_set, target_realizable};
+pub use enumerate::{
+    count_executions, enumerate_executions, enumerate_matching, outcome_set, target_realizable,
+};
 pub use exec::{Event, EventKind, Execution};
 pub use mir::{Expr, Instr, Loc, Program, ProgramError, Reg, RmwKind, Val};
 pub use order::MemOrder;
 pub use outcome::Outcome;
+pub use space::{ConsistencyModel, ExecutionSpace, Fingerprint, SpaceStats};
 pub use template::{LitmusTest, SlotKind, Template};

@@ -156,9 +156,27 @@ impl<A> Instr<A> {
     /// Rewrites the annotation type, leaving the shape untouched.
     pub fn map_ann<B>(self, f: &mut impl FnMut(A) -> B) -> Instr<B> {
         match self {
-            Instr::Read { dst, addr, ann } => Instr::Read { dst, addr, ann: f(ann) },
-            Instr::Write { addr, val, ann } => Instr::Write { addr, val, ann: f(ann) },
-            Instr::Rmw { dst, addr, kind, ann } => Instr::Rmw { dst, addr, kind, ann: f(ann) },
+            Instr::Read { dst, addr, ann } => Instr::Read {
+                dst,
+                addr,
+                ann: f(ann),
+            },
+            Instr::Write { addr, val, ann } => Instr::Write {
+                addr,
+                val,
+                ann: f(ann),
+            },
+            Instr::Rmw {
+                dst,
+                addr,
+                kind,
+                ann,
+            } => Instr::Rmw {
+                dst,
+                addr,
+                kind,
+                ann: f(ann),
+            },
             Instr::Fence { ann } => Instr::Fence { ann: f(ann) },
         }
     }
@@ -200,7 +218,10 @@ impl fmt::Display for ProgramError {
                 write!(f, "register {reg} read before assignment in thread {tid}")
             }
             ProgramError::TooManyEvents { events } => {
-                write!(f, "program has {events} events, exceeding the supported maximum of 64")
+                write!(
+                    f,
+                    "program has {events} events, exceeding the supported maximum of 64"
+                )
             }
         }
     }
@@ -235,7 +256,7 @@ impl Error for ProgramError {}
 /// assert_eq!(prog.locations(), &[x, y]);
 /// # Ok::<(), tricheck_litmus::ProgramError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Program<A> {
     threads: Vec<Vec<Instr<A>>>,
     locations: Vec<Loc>,
@@ -291,7 +312,9 @@ impl<A> Program<A> {
                         }
                         events += 1;
                     }
-                    Instr::Rmw { dst, addr, kind, .. } => {
+                    Instr::Rmw {
+                        dst, addr, kind, ..
+                    } => {
                         check_expr(addr)?;
                         if let RmwKind::Swap(v) = kind {
                             check_expr(v)?;
@@ -314,7 +337,10 @@ impl<A> Program<A> {
         if total > tricheck_rel::MAX_EVENTS {
             return Err(ProgramError::TooManyEvents { events: total });
         }
-        Ok(Program { threads, locations: locations.into_iter().collect() })
+        Ok(Program {
+            threads,
+            locations: locations.into_iter().collect(),
+        })
     }
 
     /// The threads of the program, in thread-id order.
@@ -350,11 +376,19 @@ mod tests {
     use super::*;
 
     fn read(dst: u8, addr: u64) -> Instr<()> {
-        Instr::Read { dst: Reg(dst), addr: Expr::Const(addr), ann: () }
+        Instr::Read {
+            dst: Reg(dst),
+            addr: Expr::Const(addr),
+            ann: (),
+        }
     }
 
     fn write(addr: u64, val: u64) -> Instr<()> {
-        Instr::Write { addr: Expr::Const(addr), val: Expr::Const(val), ann: () }
+        Instr::Write {
+            addr: Expr::Const(addr),
+            val: Expr::Const(val),
+            ann: (),
+        }
     }
 
     #[test]
@@ -373,16 +407,32 @@ mod tests {
     #[test]
     fn rejects_register_reassignment() {
         let err = Program::new(vec![vec![read(0, 1), read(0, 2)]], []).unwrap_err();
-        assert_eq!(err, ProgramError::RegisterReassigned { tid: 0, reg: Reg(0) });
+        assert_eq!(
+            err,
+            ProgramError::RegisterReassigned {
+                tid: 0,
+                reg: Reg(0)
+            }
+        );
     }
 
     #[test]
     fn rejects_undefined_register_reads() {
         let p: Result<Program<()>, _> = Program::new(
-            vec![vec![Instr::Read { dst: Reg(1), addr: Expr::Reg(Reg(0)), ann: () }]],
+            vec![vec![Instr::Read {
+                dst: Reg(1),
+                addr: Expr::Reg(Reg(0)),
+                ann: (),
+            }]],
             [],
         );
-        assert_eq!(p.unwrap_err(), ProgramError::UndefinedRegister { tid: 0, reg: Reg(0) });
+        assert_eq!(
+            p.unwrap_err(),
+            ProgramError::UndefinedRegister {
+                tid: 0,
+                reg: Reg(0)
+            }
+        );
     }
 
     #[test]
@@ -390,7 +440,11 @@ mod tests {
         let p: Result<Program<()>, _> = Program::new(
             vec![vec![
                 read(0, 1),
-                Instr::Read { dst: Reg(1), addr: Expr::Reg(Reg(0)), ann: () },
+                Instr::Read {
+                    dst: Reg(1),
+                    addr: Expr::Reg(Reg(0)),
+                    ann: (),
+                },
             ]],
             [],
         );

@@ -37,7 +37,9 @@ impl Outcome {
     /// Creates an outcome from `((tid, reg), value)` entries.
     #[must_use]
     pub fn from_values<I: IntoIterator<Item = ((usize, Reg), Val)>>(entries: I) -> Self {
-        Outcome { values: entries.into_iter().collect() }
+        Outcome {
+            values: entries.into_iter().collect(),
+        }
     }
 
     /// Records that `reg` of thread `tid` observed `val`.

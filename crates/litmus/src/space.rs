@@ -1,0 +1,436 @@
+//! The shared execution-space engine: enumerate once, judge everywhere.
+//!
+//! Candidate-execution enumeration depends only on the *program* — not on
+//! the memory model judging it. TriCheck's full-stack sweep evaluates the
+//! same compiled program against many microarchitecture models, so
+//! re-running [`crate::enumerate_executions`] per model multiplies the
+//! most expensive phase of the pipeline by the number of model cells.
+//!
+//! [`ExecutionSpace`] fixes that by making the candidate space a shared,
+//! lazily-materialized value:
+//!
+//! - [`ExecutionSpace::executions`] enumerates the full candidate space
+//!   exactly once (thread-safe, via [`OnceLock`]) and caches it;
+//! - [`ExecutionSpace::matching`] does the same for the target-restricted
+//!   space (the only part target-mode verification ever looks at),
+//!   cached per target outcome;
+//! - [`ExecutionSpace::realizes`] is the short-circuiting witness search:
+//!   it scans the cached matching space and stops at the first execution
+//!   the model accepts. For one-shot queries (no sharing),
+//!   [`ExecutionSpace::witness_search`] short-circuits the *enumeration*
+//!   itself without materializing anything.
+//!
+//! Spaces are keyed by a structural [`Fingerprint`] of the program, so a
+//! cache of spaces deduplicates not only the model cells of one compiled
+//! test but any two mappings that compile a test to the same instruction
+//! sequence (e.g. an all-relaxed variant under the intuitive and refined
+//! mappings).
+//!
+//! [`ConsistencyModel`] is the other half of the engine: a memory model
+//! reduced to its consistency predicate. Both the C11 model and the
+//! microarchitecture models implement it, which is what lets one
+//! enumeration serve every layer of the stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use tricheck_litmus::{suite, ExecutionSpace, MemOrder};
+//!
+//! let test = suite::mp([MemOrder::Rlx; 4]);
+//! let space = ExecutionSpace::new(test.program().clone());
+//! // First full enumeration materializes the space…
+//! let n = space.executions().len();
+//! assert!(n > 0);
+//! // …subsequent passes reuse it (one enumeration total).
+//! assert_eq!(space.executions().len(), n);
+//! assert_eq!(space.stats().enumerations, 1);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::enumerate::{enumerate_executions, enumerate_matching, target_realizable};
+use crate::exec::Execution;
+use crate::mir::{Program, Reg};
+use crate::outcome::Outcome;
+
+/// A structural fingerprint of a program: two programs with identical
+/// threads, instructions, annotations and location sets share one.
+///
+/// The FNV-1a mixing is pinned, so fingerprints are deterministic for a
+/// given build — stable across processes of the *same* binary, which is
+/// what same-build work sharding needs. They are NOT a persistence
+/// format: the hashed byte stream comes from derived `Hash` impls,
+/// which std does not specify across releases or platforms, so on-disk
+/// caches keyed by fingerprint would need a hand-rolled encoding.
+/// Collisions are theoretically possible; caches keyed by fingerprint
+/// must fall back to structural equality on hit (see `tricheck-core`'s
+/// space cache).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Fingerprints a program.
+    #[must_use]
+    pub fn of<A: Hash>(program: &Program<A>) -> Self {
+        let mut h = Fnv1a::default();
+        program.hash(&mut h);
+        Fingerprint(h.finish())
+    }
+
+    /// The raw 64-bit value (for sharding and diagnostics).
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// 64-bit FNV-1a: unlike `DefaultHasher`, the mixing can never change
+/// between Rust releases, so same-build processes always agree on
+/// fingerprints (the remaining instability is the derived-`Hash` byte
+/// stream — see [`Fingerprint`]).
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Counters describing how much enumeration work a space performed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpaceStats {
+    /// Enumeration passes actually run (full or target-restricted).
+    pub enumerations: usize,
+    /// Queries answered from an already-materialized space.
+    pub cache_hits: usize,
+}
+
+/// The candidate-execution space of one program, enumerated at most once
+/// per view (full, or restricted to a target outcome) and shared across
+/// every model that judges the program.
+///
+/// All methods take `&self`; the space is internally synchronized and can
+/// be shared across worker threads behind an [`Arc`].
+#[derive(Debug)]
+pub struct ExecutionSpace<A> {
+    program: Program<A>,
+    fingerprint: Fingerprint,
+    full: OnceLock<Arc<Vec<Execution<A>>>>,
+    matching: Mutex<BTreeMap<Outcome, Arc<Vec<Execution<A>>>>>,
+    enumerations: AtomicUsize,
+    cache_hits: AtomicUsize,
+}
+
+impl<A: Clone + Hash> ExecutionSpace<A> {
+    /// Wraps a program; no enumeration happens until a query needs it.
+    #[must_use]
+    pub fn new(program: Program<A>) -> Self {
+        let fingerprint = Fingerprint::of(&program);
+        ExecutionSpace {
+            program,
+            fingerprint,
+            full: OnceLock::new(),
+            matching: Mutex::new(BTreeMap::new()),
+            enumerations: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The program this space belongs to.
+    #[must_use]
+    pub fn program(&self) -> &Program<A> {
+        &self.program
+    }
+
+    /// The program's structural fingerprint (the space's cache key).
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// The full candidate-execution space, enumerated on first use and
+    /// cached for every later caller.
+    #[must_use]
+    pub fn executions(&self) -> Arc<Vec<Execution<A>>> {
+        let mut enumerated = false;
+        let execs = self.full.get_or_init(|| {
+            enumerated = true;
+            self.enumerations.fetch_add(1, Ordering::Relaxed);
+            let mut all = Vec::new();
+            enumerate_executions(&self.program, &mut |exec| {
+                all.push(exec.clone());
+                true
+            });
+            Arc::new(all)
+        });
+        if !enumerated {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(execs)
+    }
+
+    /// The candidate executions whose outcome matches `target`, enumerated
+    /// on first use per target and cached.
+    ///
+    /// If the full space is already materialized, the restriction filters
+    /// it instead of enumerating again.
+    #[must_use]
+    pub fn matching(&self, target: &Outcome) -> Arc<Vec<Execution<A>>> {
+        // The lock is held across the enumeration so each (space, target)
+        // pair is enumerated exactly once even under contention — the
+        // losing racer waits and reads the winner's result. Distinct
+        // targets of one space serialize too, which is acceptable: a
+        // compiled litmus test has a single target outcome.
+        let mut map = self.matching.lock().expect("space lock");
+        if let Some(cached) = map.get(target) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        let restricted: Arc<Vec<Execution<A>>> = if let Some(full) = self.full.get() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let observed: Vec<(usize, Reg)> = target.observed().collect();
+            Arc::new(
+                full.iter()
+                    .filter(|e| e.outcome(&observed) == *target)
+                    .cloned()
+                    .collect(),
+            )
+        } else {
+            self.enumerations.fetch_add(1, Ordering::Relaxed);
+            let mut out = Vec::new();
+            enumerate_matching(&self.program, target, &mut |exec| {
+                out.push(exec.clone());
+                true
+            });
+            Arc::new(out)
+        };
+        map.insert(target.clone(), Arc::clone(&restricted));
+        restricted
+    }
+
+    /// Short-circuiting witness search over the shared space: `true` if
+    /// some candidate execution realizes `target` and satisfies
+    /// `consistent`.
+    ///
+    /// The target-restricted space is materialized once (shared by every
+    /// model asking about this program); each model's scan stops at its
+    /// first witness.
+    #[must_use]
+    pub fn realizes(
+        &self,
+        target: &Outcome,
+        mut consistent: impl FnMut(&Execution<A>) -> bool,
+    ) -> bool {
+        self.matching(target).iter().any(&mut consistent)
+    }
+
+    /// The outcomes over `observed` registers across all candidate
+    /// executions satisfying `consistent` (full-outcome-set mode).
+    #[must_use]
+    pub fn outcome_set(
+        &self,
+        observed: &[(usize, Reg)],
+        mut consistent: impl FnMut(&Execution<A>) -> bool,
+    ) -> BTreeSet<Outcome> {
+        let mut out = BTreeSet::new();
+        for exec in self.executions().iter() {
+            let outcome = exec.outcome(observed);
+            if !out.contains(&outcome) && consistent(exec) {
+                out.insert(outcome);
+            }
+        }
+        out
+    }
+
+    /// One-shot witness search that short-circuits the *enumeration*
+    /// itself: stops generating candidates at the first consistent
+    /// witness, materializing nothing.
+    ///
+    /// Use this when a program is judged by a single model once (e.g.
+    /// [`TriCheck::verify`]-style single-stack queries); use a shared
+    /// space when many models will judge the same program.
+    ///
+    /// [`TriCheck::verify`]: https://docs.rs/tricheck-core
+    #[must_use]
+    pub fn witness_search(
+        program: &Program<A>,
+        target: &Outcome,
+        consistent: impl FnMut(&Execution<A>) -> bool,
+    ) -> bool {
+        target_realizable(program, target, consistent)
+    }
+
+    /// This space's enumeration/cache counters.
+    #[must_use]
+    pub fn stats(&self) -> SpaceStats {
+        SpaceStats {
+            enumerations: self.enumerations.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A memory model reduced to its consistency predicate over candidate
+/// executions — the judge half of the enumerate-once/judge-everywhere
+/// engine.
+///
+/// Implemented by `tricheck_c11::C11Model` (over [`crate::MemOrder`]
+/// annotations) and `tricheck_uarch::UarchModel` (over hardware
+/// annotations); the provided methods turn any implementation into
+/// target-mode and outcome-set verdicts over a shared
+/// [`ExecutionSpace`].
+pub trait ConsistencyModel: Sync {
+    /// The instruction annotation level the model judges.
+    type Ann: Clone + Hash;
+
+    /// The model's display name.
+    fn model_name(&self) -> &str;
+
+    /// `true` if the candidate execution is consistent under the model.
+    fn consistent(&self, exec: &Execution<Self::Ann>) -> bool;
+
+    /// Whether some execution in the shared space realizes `target`
+    /// under this model (short-circuiting witness search).
+    fn permits(&self, space: &ExecutionSpace<Self::Ann>, target: &Outcome) -> bool {
+        space.realizes(target, |e| self.consistent(e))
+    }
+
+    /// The full outcome set this model allows over the shared space.
+    fn allowed_outcomes(
+        &self,
+        space: &ExecutionSpace<Self::Ann>,
+        observed: &[(usize, Reg)],
+    ) -> BTreeSet<Outcome> {
+        space.outcome_set(observed, |e| self.consistent(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{count_executions, outcome_set};
+    use crate::order::MemOrder;
+    use crate::suite;
+
+    #[test]
+    fn fingerprint_is_structural_and_stable() {
+        let a = suite::mp([MemOrder::Rlx; 4]);
+        let b = suite::mp([MemOrder::Rlx; 4]);
+        let c = suite::mp([MemOrder::Sc; 4]);
+        assert_eq!(Fingerprint::of(a.program()), Fingerprint::of(b.program()));
+        assert_ne!(Fingerprint::of(a.program()), Fingerprint::of(c.program()));
+    }
+
+    #[test]
+    fn full_space_matches_direct_enumeration() {
+        let t = suite::sb([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        assert_eq!(space.executions().len(), count_executions(t.program()));
+    }
+
+    #[test]
+    fn full_space_enumerates_once() {
+        let t = suite::mp([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        for _ in 0..5 {
+            let _ = space.executions();
+        }
+        let stats = space.stats();
+        assert_eq!(stats.enumerations, 1);
+        assert_eq!(stats.cache_hits, 4);
+    }
+
+    #[test]
+    fn matching_space_is_cached_per_target() {
+        let t = suite::mp([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let a = space.matching(t.target());
+        let b = space.matching(t.target());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(space.stats().enumerations, 1);
+    }
+
+    #[test]
+    fn matching_after_full_filters_without_enumerating() {
+        let t = suite::mp([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let full = space.executions();
+        let matched = space.matching(t.target());
+        assert_eq!(
+            space.stats().enumerations,
+            1,
+            "restriction must filter the full space"
+        );
+        assert!(matched.len() <= full.len());
+        let observed: Vec<(usize, Reg)> = t.target().observed().collect();
+        assert!(matched.iter().all(|e| e.outcome(&observed) == *t.target()));
+    }
+
+    #[test]
+    fn realizes_agrees_with_one_shot_witness_search() {
+        for t in [
+            suite::mp([MemOrder::Rlx; 4]),
+            suite::mp([MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Rlx]),
+            suite::sb([MemOrder::Sc; 4]),
+        ] {
+            let space = ExecutionSpace::new(t.program().clone());
+            // Trivial model: everything consistent.
+            assert_eq!(
+                space.realizes(t.target(), |_| true),
+                ExecutionSpace::witness_search(t.program(), t.target(), |_| true),
+                "{}",
+                t.name()
+            );
+            // Impossible model: nothing consistent.
+            assert!(!space.realizes(t.target(), |_| false));
+        }
+    }
+
+    #[test]
+    fn outcome_set_matches_free_function() {
+        let t = suite::wrc([MemOrder::Rlx; 5]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let via_space = space.outcome_set(t.observed(), |_| true);
+        let direct = outcome_set(t.program(), t.observed(), |_| true);
+        assert_eq!(via_space, direct);
+    }
+
+    #[test]
+    fn spaces_are_shareable_across_threads() {
+        let t = suite::iriw([MemOrder::Rlx; 6]);
+        let space = Arc::new(ExecutionSpace::new(t.program().clone()));
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let space = Arc::clone(&space);
+                    s.spawn(move || space.executions().len())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("space worker"))
+                .collect()
+        });
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(
+            space.stats().enumerations,
+            1,
+            "OnceLock must serialize the enumeration"
+        );
+    }
+}

@@ -29,11 +29,19 @@ pub const X: Loc = Loc(1);
 pub const Y: Loc = Loc(2);
 
 fn ld(dst: u8, loc: Loc, mo: MemOrder) -> Instr<MemOrder> {
-    Instr::Read { dst: Reg(dst), addr: Expr::Const(loc.0), ann: mo }
+    Instr::Read {
+        dst: Reg(dst),
+        addr: Expr::Const(loc.0),
+        ann: mo,
+    }
 }
 
 fn st(loc: Loc, val: u64, mo: MemOrder) -> Instr<MemOrder> {
-    Instr::Write { addr: Expr::Const(loc.0), val: Expr::Const(val), ann: mo }
+    Instr::Write {
+        addr: Expr::Const(loc.0),
+        val: Expr::Const(val),
+        ann: mo,
+    }
 }
 
 fn prog(threads: Vec<Vec<Instr<MemOrder>>>) -> Program<MemOrder> {
@@ -42,7 +50,9 @@ fn prog(threads: Vec<Vec<Instr<MemOrder>>>) -> Program<MemOrder> {
 
 fn outcome(entries: &[(usize, u8, u64)]) -> Outcome {
     Outcome::from_values(
-        entries.iter().map(|&(tid, reg, val)| ((tid, Reg(reg)), Val(val))),
+        entries
+            .iter()
+            .map(|&(tid, reg, val)| ((tid, Reg(reg)), Val(val))),
     )
 }
 
@@ -174,7 +184,9 @@ pub fn mp_template() -> Template {
 #[must_use]
 pub fn sb_template() -> Template {
     use SlotKind::{Load, Store};
-    Template::new("sb", vec![Store, Load, Store, Load], |o| sb([o[0], o[1], o[2], o[3]]))
+    Template::new("sb", vec![Store, Load, Store, Load], |o| {
+        sb([o[0], o[1], o[2], o[3]])
+    })
 }
 
 /// Template for [`wrc`].
@@ -239,7 +251,10 @@ pub fn all_templates() -> Vec<Template> {
 /// The full 1,701-test suite (every variant of every template).
 #[must_use]
 pub fn full_suite() -> Vec<LitmusTest> {
-    all_templates().iter().flat_map(|t| t.instantiate_all().collect::<Vec<_>>()).collect()
+    all_templates()
+        .iter()
+        .flat_map(|t| t.instantiate_all().collect::<Vec<_>>())
+        .collect()
 }
 
 /// Paper Figure 3: the WRC variant with a release/acquire pair on `y` and
@@ -288,7 +303,11 @@ pub fn fig13_mp_lazy() -> LitmusTest {
             vec![st(X, 1, Rel), st(Y, X.0, Rel)],
             vec![
                 ld(0, Y, Rlx),
-                Instr::Read { dst: Reg(1), addr: Expr::Reg(Reg(0)), ann: Acq },
+                Instr::Read {
+                    dst: Reg(1),
+                    addr: Expr::Reg(Reg(0)),
+                    ann: Acq,
+                },
             ],
         ],
         [Loc(0)],
@@ -313,8 +332,10 @@ mod tests {
 
     #[test]
     fn per_template_variant_counts_match_paper() {
-        let counts: Vec<(&str, usize)> =
-            all_templates().iter().map(|t| (t.name(), t.variant_count())).collect();
+        let counts: Vec<(&str, usize)> = all_templates()
+            .iter()
+            .map(|t| (t.name(), t.variant_count()))
+            .collect();
         assert_eq!(
             counts,
             vec![
@@ -357,9 +378,15 @@ mod tests {
     fn fig13_has_an_address_dependency_and_location_zero() {
         let t = fig13_mp_lazy();
         assert_eq!(t.program().locations(), &[Loc(0), X, Y]);
-        let has_reg_addr = t.program().threads()[1]
-            .iter()
-            .any(|i| matches!(i, Instr::Read { addr: Expr::Reg(_), .. }));
+        let has_reg_addr = t.program().threads()[1].iter().any(|i| {
+            matches!(
+                i,
+                Instr::Read {
+                    addr: Expr::Reg(_),
+                    ..
+                }
+            )
+        });
         assert!(has_reg_addr, "second T1 load must be address-dependent");
     }
 

@@ -58,7 +58,13 @@ impl LitmusTest {
         target: Outcome,
     ) -> Self {
         let observed = target.observed().collect();
-        LitmusTest { name: name.into(), family, program, target, observed }
+        LitmusTest {
+            name: name.into(),
+            family,
+            program,
+            target,
+            observed,
+        }
     }
 
     /// The test's unique name (template name plus order suffix).
@@ -98,6 +104,9 @@ impl fmt::Display for LitmusTest {
     }
 }
 
+/// A template's builder: memory orders in, instantiated test out.
+type BuildFn = Box<dyn Fn(&[MemOrder]) -> LitmusTest + Send + Sync>;
+
 /// A litmus test template: a name, slot kinds, and a builder that turns a
 /// concrete order assignment into a [`LitmusTest`].
 ///
@@ -114,7 +123,7 @@ impl fmt::Display for LitmusTest {
 pub struct Template {
     name: &'static str,
     slots: Vec<SlotKind>,
-    build: Box<dyn Fn(&[MemOrder]) -> LitmusTest + Send + Sync>,
+    build: BuildFn,
 }
 
 impl Template {
@@ -128,7 +137,11 @@ impl Template {
         slots: Vec<SlotKind>,
         build: impl Fn(&[MemOrder]) -> LitmusTest + Send + Sync + 'static,
     ) -> Self {
-        Template { name, slots, build: Box::new(build) }
+        Template {
+            name,
+            slots,
+            build: Box::new(build),
+        }
     }
 
     /// The template's name (also the family of its instantiations).
@@ -165,7 +178,11 @@ impl Template {
             self.slots.len()
         );
         for (i, (&o, &k)) in orders.iter().zip(&self.slots).enumerate() {
-            assert!(k.orders().contains(&o), "slot {i} of {} cannot take order {o}", self.name);
+            assert!(
+                k.orders().contains(&o),
+                "slot {i} of {} cannot take order {o}",
+                self.name
+            );
         }
         (self.build)(orders)
     }
@@ -217,8 +234,10 @@ mod tests {
     #[test]
     fn instantiate_all_is_exhaustive_and_unique() {
         let t = suite::mp_template();
-        let names: std::collections::BTreeSet<String> =
-            t.instantiate_all().map(|test| test.name().to_string()).collect();
+        let names: std::collections::BTreeSet<String> = t
+            .instantiate_all()
+            .map(|test| test.name().to_string())
+            .collect();
         assert_eq!(names.len(), 81);
     }
 
@@ -232,14 +251,21 @@ mod tests {
     #[should_panic(expected = "cannot take order")]
     fn wrong_order_kind_panics() {
         // slot 0 of MP is a store; Acq is load-only.
-        let _ = suite::mp_template()
-            .instantiate(&[MemOrder::Acq, MemOrder::Rlx, MemOrder::Rlx, MemOrder::Rlx]);
+        let _ = suite::mp_template().instantiate(&[
+            MemOrder::Acq,
+            MemOrder::Rlx,
+            MemOrder::Rlx,
+            MemOrder::Rlx,
+        ]);
     }
 
     #[test]
     fn variant_name_format() {
         assert_eq!(
-            variant_name("mp", &[MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Sc]),
+            variant_name(
+                "mp",
+                &[MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Sc]
+            ),
             "mp+rlx+rel+acq+sc"
         );
     }

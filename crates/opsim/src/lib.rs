@@ -214,7 +214,11 @@ impl OpMachine {
     pub fn run(&self, prog: &Program<HwAnnot>, observed: &[(usize, Reg)]) -> BTreeSet<Outcome> {
         let n_threads = prog.threads().len();
         let init = State {
-            executed: prog.threads().iter().map(|t| vec![false; t.len()]).collect(),
+            executed: prog
+                .threads()
+                .iter()
+                .map(|t| vec![false; t.len()])
+                .collect(),
             regs: vec![BTreeMap::new(); n_threads],
             buffers: vec![Vec::new(); n_threads],
             memory: prog.locations().iter().map(|l| (l.0, 0)).collect(),
@@ -307,10 +311,16 @@ impl OpMachine {
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(i, _)| i)
                 .expect("non-empty");
-            return if globally_addr_oldest(&buffer[min]) { vec![min] } else { Vec::new() };
+            return if globally_addr_oldest(&buffer[min]) {
+                vec![min]
+            } else {
+                Vec::new()
+            };
         }
         // Non-FIFO: any entry that is globally oldest for its address.
-        (0..buffer.len()).filter(|&i| globally_addr_oldest(&buffer[i])).collect()
+        (0..buffer.len())
+            .filter(|&i| globally_addr_oldest(&buffer[i]))
+            .collect()
     }
 
     /// May instruction `idx` of thread `tid` execute now?
@@ -338,11 +348,10 @@ impl OpMachine {
             return false; // AMO-annotated accesses execute in order
         }
         let my_addr = self.addr_of(state, tid, instr);
-        for j in 0..idx {
+        for (j, earlier) in thread.iter().enumerate().take(idx) {
             if state.executed[tid][j] {
                 continue;
             }
-            let earlier = &thread[j];
             if self.conflicts(state, tid, earlier, instr, my_addr) {
                 return false;
             }
@@ -380,7 +389,9 @@ impl OpMachine {
     ) -> bool {
         let group = self.config.visible_to(tid);
         let group_holds = |addr: u64| {
-            group.iter().any(|&t| state.buffers[t].iter().any(|e| e.addr == addr))
+            group
+                .iter()
+                .any(|&t| state.buffers[t].iter().any(|e| e.addr == addr))
         };
         match instr {
             Instr::Read { addr, ann, .. } => {
@@ -437,7 +448,9 @@ impl OpMachine {
         // Fences and AMO-annotated accesses are ordering points.
         match earlier {
             Instr::Fence { ann } => {
-                let Some(kind) = ann.fence_kind() else { return true };
+                let Some(kind) = ann.fence_kind() else {
+                    return true;
+                };
                 let later_kind = match later {
                     Instr::Read { .. } => EventKind::Read,
                     Instr::Write { .. } | Instr::Rmw { .. } => EventKind::Write,
@@ -461,7 +474,7 @@ impl OpMachine {
             // does not require same-address load ordering.
             let both_reads =
                 matches!(earlier, Instr::Read { .. }) && matches!(later, Instr::Read { .. });
-            return !(both_reads && !self.same_addr_rr_blocks());
+            return !both_reads || self.same_addr_rr_blocks();
         }
         // Dependency: later's operands read a register the earlier load
         // defines.
@@ -539,9 +552,15 @@ impl OpMachine {
                 let v = self.eval(state, tid, val);
                 let stamp = next.next_stamp;
                 next.next_stamp += 1;
-                next.buffers[tid].push(BufEntry { stamp, addr: a, val: v });
+                next.buffers[tid].push(BufEntry {
+                    stamp,
+                    addr: a,
+                    val: v,
+                });
             }
-            Instr::Rmw { dst, addr, kind, .. } => {
+            Instr::Rmw {
+                dst, addr, kind, ..
+            } => {
                 let a = self.eval(state, tid, addr);
                 let old = *next.memory.get(&a).unwrap_or(&0);
                 let new = match kind {
@@ -658,7 +677,10 @@ mod tests {
         let outcomes = machine.run(c.program(), c.observed());
         // MP has 3 coherent outcomes on a strong machine: (0,0), (0,1), (1,1).
         assert_eq!(outcomes.len(), 3);
-        assert!(!outcomes.contains(c.target()), "WR must not show stale reads");
+        assert!(
+            !outcomes.contains(c.target()),
+            "WR must not show stale reads"
+        );
     }
 
     #[test]
@@ -696,8 +718,7 @@ mod tests {
         // machines agree on the outcome; this pins the stall behaviour.
         use tricheck_isa::build::{lw, sw};
         use tricheck_litmus::{Loc, Program, Reg};
-        let prog =
-            Program::new(vec![vec![sw(Loc(1), 1), lw(Reg(0), Loc(1))]], []).unwrap();
+        let prog = Program::new(vec![vec![sw(Loc(1), 1), lw(Reg(0), Loc(1))]], []).unwrap();
         for machine in [OpMachine::wr(1), OpMachine::rwr(1)] {
             let outcomes = machine.run(&prog, &[(0, Reg(0))]);
             assert_eq!(outcomes.len(), 1);
@@ -727,11 +748,8 @@ mod tests {
     #[test]
     fn refined_mapping_fixes_wrc_even_on_shared_buffers() {
         let c = compile(&suite::fig3_wrc(), &BaseRefined).unwrap();
-        let outcomes = outcomes_over_partitions(
-            OpMachine::nwr_with_groups,
-            c.program(),
-            c.observed(),
-        );
+        let outcomes =
+            outcomes_over_partitions(OpMachine::nwr_with_groups, c.program(), c.observed());
         assert!(
             !outcomes.contains(c.target()),
             "cumulative lwf must prevent the WRC outcome operationally"
@@ -741,8 +759,12 @@ mod tests {
     #[test]
     fn corr_requires_out_of_order_reads() {
         let c = compiled(&suite::corr([MemOrder::Rlx; 4]));
-        assert!(!OpMachine::rwr(2).run(c.program(), c.observed()).contains(c.target()));
-        assert!(OpMachine::rmm(2).run(c.program(), c.observed()).contains(c.target()));
+        assert!(!OpMachine::rwr(2)
+            .run(c.program(), c.observed())
+            .contains(c.target()));
+        assert!(OpMachine::rmm(2)
+            .run(c.program(), c.observed())
+            .contains(c.target()));
     }
 
     #[test]
@@ -869,17 +891,16 @@ mod tests {
     fn shared_buffer_machines_are_within_nmca_models() {
         use tricheck_uarch::UarchModel;
         let version = SpecVersion::Curr;
-        let tests =
-            [suite::fig3_wrc(), suite::fig4_iriw_sc(), suite::mp([MemOrder::Rlx; 4])];
+        let tests = [
+            suite::fig3_wrc(),
+            suite::fig4_iriw_sc(),
+            suite::mp([MemOrder::Rlx; 4]),
+        ];
         for test in &tests {
             let c = compile(test, riscv_mapping(RiscvIsa::Base, version)).unwrap();
-            let op = outcomes_over_partitions(
-                OpMachine::nwr_with_groups,
-                c.program(),
-                c.observed(),
-            );
-            let ax = UarchModel::nwr(version)
-                .observable_outcomes(c.program(), c.observed());
+            let op =
+                outcomes_over_partitions(OpMachine::nwr_with_groups, c.program(), c.observed());
+            let ax = UarchModel::nwr(version).observable_outcomes(c.program(), c.observed());
             assert!(
                 op.is_subset(&ax),
                 "{}: nWR operational exceeds axiomatic\nop: {:?}\nax: {:?}",

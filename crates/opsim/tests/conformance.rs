@@ -33,11 +33,19 @@ fn random_program(rng: &mut StdRng) -> (Program<HwAnnot>, Vec<(usize, Reg)>) {
                     let dst = Reg(next_reg);
                     next_reg += 1;
                     observed.push((tid, dst));
-                    thread.push(Instr::Read { dst, addr, ann: HwAnnot::Plain });
+                    thread.push(Instr::Read {
+                        dst,
+                        addr,
+                        ann: HwAnnot::Plain,
+                    });
                 }
                 4..=7 => {
                     let val = Expr::Const(rng.gen_range(1..=3));
-                    thread.push(Instr::Write { addr, val, ann: HwAnnot::Plain });
+                    thread.push(Instr::Write {
+                        addr,
+                        val,
+                        ann: HwAnnot::Plain,
+                    });
                 }
                 8 => thread.push(Instr::Fence {
                     ann: HwAnnot::Fence(FenceKind::Normal {
@@ -60,12 +68,7 @@ fn random_program(rng: &mut StdRng) -> (Program<HwAnnot>, Vec<(usize, Reg)>) {
     (program, observed)
 }
 
-fn check_conformance(
-    seed: u64,
-    cases: usize,
-    op_of: impl Fn(usize) -> OpMachine,
-    ax: &UarchModel,
-) {
+fn check_conformance(seed: u64, cases: usize, op_of: impl Fn(usize) -> OpMachine, ax: &UarchModel) {
     let mut rng = StdRng::seed_from_u64(seed);
     for case in 0..cases {
         let (program, observed) = random_program(&mut rng);

@@ -77,7 +77,10 @@ impl EventSet {
     /// Panics if `n > MAX_EVENTS`.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        assert!(n <= MAX_EVENTS, "event universe too large: {n} > {MAX_EVENTS}");
+        assert!(
+            n <= MAX_EVENTS,
+            "event universe too large: {n} > {MAX_EVENTS}"
+        );
         EventSet { n, bits: 0 }
     }
 
@@ -145,27 +148,39 @@ impl EventSet {
     #[must_use]
     pub fn union(self, other: EventSet) -> EventSet {
         self.check(other);
-        EventSet { n: self.n, bits: self.bits | other.bits }
+        EventSet {
+            n: self.n,
+            bits: self.bits | other.bits,
+        }
     }
 
     /// Set intersection.
     #[must_use]
     pub fn intersect(self, other: EventSet) -> EventSet {
         self.check(other);
-        EventSet { n: self.n, bits: self.bits & other.bits }
+        EventSet {
+            n: self.n,
+            bits: self.bits & other.bits,
+        }
     }
 
     /// Set difference (`self \ other`).
     #[must_use]
     pub fn minus(self, other: EventSet) -> EventSet {
         self.check(other);
-        EventSet { n: self.n, bits: self.bits & !other.bits }
+        EventSet {
+            n: self.n,
+            bits: self.bits & !other.bits,
+        }
     }
 
     /// Complement within the universe.
     #[must_use]
     pub fn complement(self) -> EventSet {
-        EventSet { n: self.n, bits: !self.bits & mask(self.n) }
+        EventSet {
+            n: self.n,
+            bits: !self.bits & mask(self.n),
+        }
     }
 
     /// Iterates over the member event indices in increasing order.
@@ -181,7 +196,11 @@ impl EventSet {
     }
 
     fn check(&self, other: EventSet) {
-        assert_eq!(self.n, other.n, "event set universes differ: {} vs {}", self.n, other.n);
+        assert_eq!(
+            self.n, other.n,
+            "event set universes differ: {} vs {}",
+            self.n, other.n
+        );
     }
 }
 
@@ -230,8 +249,14 @@ impl Relation {
     /// Panics if `n > MAX_EVENTS`.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        assert!(n <= MAX_EVENTS, "event universe too large: {n} > {MAX_EVENTS}");
-        Relation { n, rows: vec![0; n] }
+        assert!(
+            n <= MAX_EVENTS,
+            "event universe too large: {n} > {MAX_EVENTS}"
+        );
+        Relation {
+            n,
+            rows: vec![0; n],
+        }
     }
 
     /// Creates the identity relation `{(i, i)}` over `n` events.
@@ -283,7 +308,11 @@ impl Relation {
     /// Panics if the two sets range over different universes.
     #[must_use]
     pub fn cross(dom: EventSet, rng: EventSet) -> Self {
-        assert_eq!(dom.universe(), rng.universe(), "cross product over mismatched universes");
+        assert_eq!(
+            dom.universe(),
+            rng.universe(),
+            "cross product over mismatched universes"
+        );
         let mut r = Self::empty(dom.universe());
         for i in dom.iter() {
             r.rows[i] = rng.bits();
@@ -303,7 +332,11 @@ impl Relation {
     ///
     /// Panics if `a >= universe()` or `b >= universe()`.
     pub fn insert(&mut self, a: usize, b: usize) {
-        assert!(a < self.n && b < self.n, "pair ({a},{b}) out of range {}", self.n);
+        assert!(
+            a < self.n && b < self.n,
+            "pair ({a},{b}) out of range {}",
+            self.n
+        );
         self.rows[a] |= 1 << b;
     }
 
@@ -333,7 +366,12 @@ impl Relation {
     #[must_use]
     pub fn union(&self, other: &Relation) -> Relation {
         self.check(other);
-        let rows = self.rows.iter().zip(&other.rows).map(|(a, b)| a | b).collect();
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .map(|(a, b)| a | b)
+            .collect();
         Relation { n: self.n, rows }
     }
 
@@ -345,7 +383,12 @@ impl Relation {
     #[must_use]
     pub fn intersect(&self, other: &Relation) -> Relation {
         self.check(other);
-        let rows = self.rows.iter().zip(&other.rows).map(|(a, b)| a & b).collect();
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .map(|(a, b)| a & b)
+            .collect();
         Relation { n: self.n, rows }
     }
 
@@ -357,7 +400,12 @@ impl Relation {
     #[must_use]
     pub fn minus(&self, other: &Relation) -> Relation {
         self.check(other);
-        let rows = self.rows.iter().zip(&other.rows).map(|(a, b)| a & !b).collect();
+        let rows = self
+            .rows
+            .iter()
+            .zip(&other.rows)
+            .map(|(a, b)| a & !b)
+            .collect();
         Relation { n: self.n, rows }
     }
 
@@ -407,9 +455,9 @@ impl Relation {
         for k in 0..self.n {
             let row_k = rows[k];
             let bit = 1u64 << k;
-            for a in 0..self.n {
-                if rows[a] & bit != 0 {
-                    rows[a] |= row_k;
+            for row in rows.iter_mut().take(self.n) {
+                if *row & bit != 0 {
+                    *row |= row_k;
                 }
             }
         }
@@ -448,7 +496,10 @@ impl Relation {
     /// Returns `true` if the relation contains no pair `(a, a)`.
     #[must_use]
     pub fn is_irreflexive(&self) -> bool {
-        self.rows.iter().enumerate().all(|(i, &row)| row & (1 << i) == 0)
+        self.rows
+            .iter()
+            .enumerate()
+            .all(|(i, &row)| row & (1 << i) == 0)
     }
 
     /// Returns `true` if the relation (viewed as a directed graph) has no
@@ -472,7 +523,13 @@ impl Relation {
     /// Iterates over all pairs `(a, b)` in the relation.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.rows.iter().enumerate().flat_map(move |(a, &row)| {
-            (0..self.n).filter_map(move |b| if row & (1 << b) != 0 { Some((a, b)) } else { None })
+            (0..self.n).filter_map(move |b| {
+                if row & (1 << b) != 0 {
+                    Some((a, b))
+                } else {
+                    None
+                }
+            })
         })
     }
 
@@ -506,7 +563,10 @@ impl Relation {
     #[must_use]
     pub fn successors(&self, a: usize) -> EventSet {
         assert!(a < self.n, "event id {a} out of range {}", self.n);
-        EventSet { n: self.n, bits: self.rows[a] }
+        EventSet {
+            n: self.n,
+            bits: self.rows[a],
+        }
     }
 
     /// Returns one linear extension of the relation (a topological order),
@@ -542,13 +602,19 @@ impl Relation {
     }
 
     fn check(&self, other: &Relation) {
-        assert_eq!(self.n, other.n, "relation universes differ: {} vs {}", self.n, other.n);
+        assert_eq!(
+            self.n, other.n,
+            "relation universes differ: {} vs {}",
+            self.n, other.n
+        );
     }
 }
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.pairs().map(|(a, b)| format!("{a}->{b}"))).finish()
+        f.debug_set()
+            .entries(self.pairs().map(|(a, b)| format!("{a}->{b}")))
+            .finish()
     }
 }
 

@@ -6,8 +6,7 @@ use tricheck_rel::{linear_extensions, EventSet, Relation};
 const N: usize = 8;
 
 fn arb_relation() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0..N, 0..N), 0..24)
-        .prop_map(|pairs| Relation::from_pairs(N, pairs))
+    proptest::collection::vec((0..N, 0..N), 0..24).prop_map(|pairs| Relation::from_pairs(N, pairs))
 }
 
 fn arb_set() -> impl Strategy<Value = EventSet> {
@@ -128,7 +127,7 @@ proptest! {
             let mut seen = 0usize;
             linear_extensions(s, &constraint, &mut |order| {
                 seen += 1;
-                let mut pos = vec![usize::MAX; N];
+                let mut pos = [usize::MAX; N];
                 for (idx, &e) in order.iter().enumerate() {
                     pos[e] = idx;
                 }

@@ -51,8 +51,11 @@ pub enum SieveVariant {
 
 impl SieveVariant {
     /// All three variants, in the paper's presentation order.
-    pub const ALL: [SieveVariant; 3] =
-        [SieveVariant::Relaxed, SieveVariant::RelaxedWithLdLdFix, SieveVariant::SeqCst];
+    pub const ALL: [SieveVariant; 3] = [
+        SieveVariant::Relaxed,
+        SieveVariant::RelaxedWithLdLdFix,
+        SieveVariant::SeqCst,
+    ];
 
     /// Human-readable label matching the Figure 2 legend.
     #[must_use]
@@ -141,31 +144,36 @@ pub fn run_sieve(variant: SieveVariant, threads: usize, limit: usize) -> SieveRe
     let start = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| {
-                loop {
-                    let p = next_base.fetch_add(1, Ordering::Relaxed);
-                    if p > sqrt {
-                        break;
+            s.spawn(|| loop {
+                let p = next_base.fetch_add(1, Ordering::Relaxed);
+                if p > sqrt {
+                    break;
+                }
+                if variant.load(&composite[p]) {
+                    continue;
+                }
+                let mut m = p * p;
+                while m < limit {
+                    if !variant.load(&composite[m]) {
+                        variant.store(&composite[m]);
                     }
-                    if variant.load(&composite[p]) {
-                        continue;
-                    }
-                    let mut m = p * p;
-                    while m < limit {
-                        if !variant.load(&composite[m]) {
-                            variant.store(&composite[m]);
-                        }
-                        m += p;
-                    }
+                    m += p;
                 }
             });
         }
     });
     let duration = start.elapsed();
 
-    let prime_count =
-        (2..limit).filter(|&i| !composite[i].load(Ordering::Relaxed)).count();
-    SieveResult { variant, threads, limit, duration, prime_count }
+    let prime_count = (2..limit)
+        .filter(|&i| !composite[i].load(Ordering::Relaxed))
+        .count();
+    SieveResult {
+        variant,
+        threads,
+        limit,
+        duration,
+        prime_count,
+    }
 }
 
 /// Runs the full Figure 2 series: every variant at 1..=`max_threads`
@@ -176,12 +184,11 @@ pub fn run_sieve(variant: SieveVariant, threads: usize, limit: usize) -> SieveRe
 ///
 /// Panics if `max_threads == 0`, `samples == 0` or `limit < 2`.
 #[must_use]
-pub fn sieve_series(
-    limit: usize,
-    max_threads: usize,
-    samples: usize,
-) -> Vec<SieveResult> {
-    assert!(max_threads > 0 && samples > 0, "need at least one thread and one sample");
+pub fn sieve_series(limit: usize, max_threads: usize, samples: usize) -> Vec<SieveResult> {
+    assert!(
+        max_threads > 0 && samples > 0,
+        "need at least one thread and one sample"
+    );
     let mut results = Vec::new();
     for variant in SieveVariant::ALL {
         for threads in 1..=max_threads {
@@ -259,7 +266,9 @@ mod tests {
     #[test]
     fn labels_match_figure_2_legend() {
         assert_eq!(SieveVariant::Relaxed.label(), "RLX atomics");
-        assert!(SieveVariant::RelaxedWithLdLdFix.label().contains("ld-ld hazard fix"));
+        assert!(SieveVariant::RelaxedWithLdLdFix
+            .label()
+            .contains("ld-ld hazard fix"));
         assert!(SieveVariant::SeqCst.label().contains("DMB"));
     }
 }

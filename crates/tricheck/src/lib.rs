@@ -32,6 +32,43 @@
 //! assert_eq!(stack.verify(&test)?.classification(), Classification::Bug);
 //! # Ok::<(), tricheck::compiler::CompileError>(())
 //! ```
+//!
+//! # Pipeline architecture: enumerate once, judge everywhere
+//!
+//! Every verification question in the stack factors through the same
+//! three stages, and the crates are arranged so each stage's work is
+//! computed at the widest scope it is valid for:
+//!
+//! ```text
+//!   LitmusTest ──compile(mapping)──▶ Program<HwAnnot>
+//!        │                                │
+//!        │ one C11 verdict per test       │ one ExecutionSpace per
+//!        ▼                                ▼ distinct compiled program
+//!   C11Model::permits_target     ExecutionSpace (litmus::space)
+//!        │                                │
+//!        │            ConsistencyModel::permits(space, target)
+//!        │                                │  ← C11Model and UarchModel
+//!        ▼                                ▼    are both just predicates
+//!      Step 1 verdict ──────────▶ Step 4 classification ◀── Step 3 verdict
+//! ```
+//!
+//! - **Enumeration** ([`litmus::ExecutionSpace`]) depends only on the
+//!   program: it is lazily materialized at most once per structural
+//!   [`litmus::Fingerprint`] and shared by every model that judges the
+//!   program. A short-circuiting witness mode serves one-shot queries.
+//! - **Judgement** ([`litmus::ConsistencyModel`]) is a pure predicate
+//!   over candidate executions; [`c11::C11Model`] and
+//!   [`uarch::UarchModel`] both implement it, so `permits_target` and
+//!   `observes` are thin adapters over the same engine.
+//! - **Scheduling** ([`core::Sweep`]) fans (test × stack) work items over
+//!   a work-stealing pool whose workers share the compiled-program and
+//!   execution-space caches; `SweepResults::stats()` proves the
+//!   exactly-once contract, and `SweepOptions { threads: 1 }` degrades
+//!   to a fully deterministic serial run.
+//!
+//! The pre-engine per-cell pipeline survives as
+//! [`core::Sweep::run_riscv_naive`], used by the differential tests in
+//! `tests/engine_equivalence.rs` and the `pipeline` benchmark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,8 +87,8 @@ pub use tricheck_uarch as uarch;
 pub mod prelude {
     pub use tricheck_c11::{C11Model, C11Verdict};
     pub use tricheck_compiler::{
-        compile, riscv_mapping, BaseAIntuitive, BaseARefined, BaseIntuitive, BaseRefined,
-        Mapping, PowerLeadingSync, PowerTrailingSync,
+        compile, riscv_mapping, BaseAIntuitive, BaseARefined, BaseIntuitive, BaseRefined, Mapping,
+        PowerLeadingSync, PowerTrailingSync,
     };
     pub use tricheck_core::{
         report, Classification, Sweep, SweepOptions, SweepResults, TestResult, TriCheck,

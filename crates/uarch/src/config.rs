@@ -220,13 +220,34 @@ mod tests {
             .map(|c| (c.name.clone(), c.relax_ww, c.relax_rm, c.atomicity))
             .collect();
         assert_eq!(rows.len(), 7);
-        assert_eq!(rows[0], ("WR/riscv-curr".into(), false, false, StoreAtomicity::Mca));
-        assert_eq!(rows[1], ("rWR/riscv-curr".into(), false, false, StoreAtomicity::RMca));
-        assert_eq!(rows[2], ("rWM/riscv-curr".into(), true, false, StoreAtomicity::RMca));
-        assert_eq!(rows[3], ("rMM/riscv-curr".into(), true, true, StoreAtomicity::RMca));
-        assert_eq!(rows[4], ("nWR/riscv-curr".into(), false, false, StoreAtomicity::NMca));
-        assert_eq!(rows[5], ("nMM/riscv-curr".into(), true, true, StoreAtomicity::NMca));
-        assert_eq!(rows[6], ("A9like/riscv-curr".into(), true, true, StoreAtomicity::NMca));
+        assert_eq!(
+            rows[0],
+            ("WR/riscv-curr".into(), false, false, StoreAtomicity::Mca)
+        );
+        assert_eq!(
+            rows[1],
+            ("rWR/riscv-curr".into(), false, false, StoreAtomicity::RMca)
+        );
+        assert_eq!(
+            rows[2],
+            ("rWM/riscv-curr".into(), true, false, StoreAtomicity::RMca)
+        );
+        assert_eq!(
+            rows[3],
+            ("rMM/riscv-curr".into(), true, true, StoreAtomicity::RMca)
+        );
+        assert_eq!(
+            rows[4],
+            ("nWR/riscv-curr".into(), false, false, StoreAtomicity::NMca)
+        );
+        assert_eq!(
+            rows[5],
+            ("nMM/riscv-curr".into(), true, true, StoreAtomicity::NMca)
+        );
+        assert_eq!(
+            rows[6],
+            ("A9like/riscv-curr".into(), true, true, StoreAtomicity::NMca)
+        );
     }
 
     #[test]
@@ -239,7 +260,10 @@ mod tests {
         let ours = UarchConfig::nmm(SpecVersion::Ours);
         assert!(ours.same_addr_rr_ordered);
         assert!(!ours.release_sync_any_load);
-        assert_eq!(ours.release_predecessors, ReleasePredecessors::HappensBefore);
+        assert_eq!(
+            ours.release_predecessors,
+            ReleasePredecessors::HappensBefore
+        );
     }
 
     #[test]

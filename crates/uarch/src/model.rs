@@ -34,7 +34,7 @@ use std::fmt;
 
 use tricheck_isa::{HwAnnot, SpecVersion};
 use tricheck_litmus::{
-    outcome_set, target_realizable, Execution, Outcome, Program, Reg,
+    outcome_set, ConsistencyModel, Execution, ExecutionSpace, Outcome, Program, Reg,
 };
 use tricheck_rel::{EventSet, Relation};
 
@@ -145,7 +145,10 @@ impl UarchModel {
     /// All seven Table 7 models for one spec version.
     #[must_use]
     pub fn all_riscv(version: SpecVersion) -> Vec<Self> {
-        UarchConfig::all_riscv(version).into_iter().map(Self::from_config).collect()
+        UarchConfig::all_riscv(version)
+            .into_iter()
+            .map(Self::from_config)
+            .collect()
     }
 
     /// The model's configuration.
@@ -214,12 +217,28 @@ impl UarchModel {
 
     /// Whether the target outcome is observable for the compiled program
     /// on this microarchitecture (Step 3 verdict).
+    ///
+    /// One-shot adapter over the execution-space engine: short-circuits
+    /// the enumeration at the first realizable witness. When many models
+    /// judge the same compiled program, prefer [`Self::observes_in`]
+    /// over a shared space.
     #[must_use]
     pub fn observes(&self, prog: &Program<HwAnnot>, target: &Outcome) -> bool {
-        target_realizable(prog, target, |e| self.consistent(e))
+        ExecutionSpace::witness_search(prog, target, |e| self.consistent(e))
+    }
+
+    /// Whether `target` is observable, judged over a shared
+    /// [`ExecutionSpace`] (the enumerate-once path used by sweeps).
+    #[must_use]
+    pub fn observes_in(&self, space: &ExecutionSpace<HwAnnot>, target: &Outcome) -> bool {
+        self.permits(space, target)
     }
 
     /// The full set of outcomes observable on this microarchitecture.
+    ///
+    /// One-shot: streams the enumeration with O(1) execution storage.
+    /// When many models judge one program, use
+    /// [`ConsistencyModel::allowed_outcomes`] over a shared space.
     #[must_use]
     pub fn observable_outcomes(
         &self,
@@ -227,6 +246,18 @@ impl UarchModel {
         observed: &[(usize, Reg)],
     ) -> BTreeSet<Outcome> {
         outcome_set(prog, observed, |e| self.consistent(e))
+    }
+}
+
+impl ConsistencyModel for UarchModel {
+    type Ann = HwAnnot;
+
+    fn model_name(&self) -> &str {
+        self.name()
+    }
+
+    fn consistent(&self, exec: &Execution<HwAnnot>) -> bool {
+        UarchModel::consistent(self, exec)
     }
 }
 
@@ -256,7 +287,9 @@ impl HwRelations {
         let mut f_cum = Relation::empty(n);
         let mut f_heavy = Relation::empty(n);
         for f in exec.fences().iter() {
-            let Some(HwAnnot::Fence(k)) = exec.ann(f) else { continue };
+            let Some(HwAnnot::Fence(k)) = exec.ann(f) else {
+                continue;
+            };
             for x in exec.po().inverse().successors(f).intersect(accesses).iter() {
                 for y in exec.po().successors(f).intersect(accesses).iter() {
                     if k.orders(kind(x), kind(y)) {
@@ -396,12 +429,15 @@ impl HwRelations {
                 //    through exactly ONE reads-from hop, followed by the
                 //    observing thread's local ordering — never further.
                 let drain = f_noncum.restrict(accesses, reads);
-                let per_observer =
-                    f_noncum.union(&pipeline_ppo).restrict(accesses, writes);
+                let per_observer = f_noncum.union(&pipeline_ppo).restrict(accesses, writes);
 
                 // Edges with global meaning compose freely.
-                let strong =
-                    cum.union(&sync).union(&scvis).union(&local).union(&drain).transitive_closure();
+                let strong = cum
+                    .union(&sync)
+                    .union(&scvis)
+                    .union(&local)
+                    .union(&drain)
+                    .transitive_closure();
                 // One-hop observer relays.
                 let relayed = strong
                     .maybe()
@@ -433,7 +469,15 @@ impl HwRelations {
         let local_order = ppo.union(&fences).transitive_closure();
         po_loc = po_loc.union(&local_order.intersect(&same_loc));
 
-        HwRelations { po_loc, com, fr, fre, hb, prop, sc_amo }
+        HwRelations {
+            po_loc,
+            com,
+            fr,
+            fre,
+            hb,
+            prop,
+            sc_amo,
+        }
     }
 }
 
@@ -455,12 +499,21 @@ fn release_sync(
             continue;
         }
         let preds: Vec<usize> = match cfg.release_predecessors {
-            ReleasePredecessors::ProgramOrder => {
-                exec.po().inverse().successors(w).intersect(accesses).iter().collect()
-            }
+            ReleasePredecessors::ProgramOrder => exec
+                .po()
+                .inverse()
+                .successors(w)
+                .intersect(accesses)
+                .iter()
+                .collect(),
             ReleasePredecessors::HappensBefore => {
                 let hb_plus = hb.transitive_closure();
-                hb_plus.inverse().successors(w).intersect(accesses).iter().collect()
+                hb_plus
+                    .inverse()
+                    .successors(w)
+                    .intersect(accesses)
+                    .iter()
+                    .collect()
             }
         };
         for r in exec.rfe().successors(w).iter() {
@@ -513,8 +566,16 @@ mod tests {
     #[test]
     fn wrc_fig3_observable_on_nmca_models_under_current_base_isa() {
         let t = suite::fig3_wrc();
-        for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
-            assert!(base_curr(&t, &model), "{} must exhibit the WRC bug", model.name());
+        for model in [
+            UarchModel::nwr(Curr),
+            UarchModel::nmm(Curr),
+            UarchModel::a9like(Curr),
+        ] {
+            assert!(
+                base_curr(&t, &model),
+                "{} must exhibit the WRC bug",
+                model.name()
+            );
         }
     }
 
@@ -534,8 +595,16 @@ mod tests {
     #[test]
     fn wrc_fig3_fixed_by_cumulative_lightweight_fences() {
         let t = suite::fig3_wrc();
-        for model in [UarchModel::nwr(Ours), UarchModel::nmm(Ours), UarchModel::a9like(Ours)] {
-            assert!(!base_ours(&t, &model), "{} must forbid WRC after the fix", model.name());
+        for model in [
+            UarchModel::nwr(Ours),
+            UarchModel::nmm(Ours),
+            UarchModel::a9like(Ours),
+        ] {
+            assert!(
+                !base_ours(&t, &model),
+                "{} must forbid WRC after the fix",
+                model.name()
+            );
         }
     }
 
@@ -544,16 +613,32 @@ mod tests {
     #[test]
     fn iriw_sc_observable_on_nmca_models_under_current_base_isa() {
         let t = suite::fig4_iriw_sc();
-        for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
-            assert!(base_curr(&t, &model), "{} must exhibit the IRIW bug", model.name());
+        for model in [
+            UarchModel::nwr(Curr),
+            UarchModel::nmm(Curr),
+            UarchModel::a9like(Curr),
+        ] {
+            assert!(
+                base_curr(&t, &model),
+                "{} must exhibit the IRIW bug",
+                model.name()
+            );
         }
     }
 
     #[test]
     fn iriw_sc_fixed_by_cumulative_heavyweight_fences() {
         let t = suite::fig4_iriw_sc();
-        for model in [UarchModel::nwr(Ours), UarchModel::nmm(Ours), UarchModel::a9like(Ours)] {
-            assert!(!base_ours(&t, &model), "{} must forbid IRIW after the fix", model.name());
+        for model in [
+            UarchModel::nwr(Ours),
+            UarchModel::nmm(Ours),
+            UarchModel::a9like(Ours),
+        ] {
+            assert!(
+                !base_ours(&t, &model),
+                "{} must forbid IRIW after the fix",
+                model.name()
+            );
         }
     }
 
@@ -561,7 +646,7 @@ mod tests {
     fn iriw_lightweight_fences_insufficient() {
         // §5.1.2: cumulative *lightweight* fences between the load pairs do
         // not forbid IRIW — heavyweight cumulativity is required.
-        use tricheck_isa::build::{lwf, lw, sw};
+        use tricheck_isa::build::{lw, lwf, sw};
         use tricheck_litmus::{Loc, Program, Reg};
         let x = Loc(1);
         let y = Loc(2);
@@ -584,7 +669,11 @@ mod tests {
     #[test]
     fn corr_observable_on_read_reordering_models_under_curr() {
         let t = suite::corr([MemOrder::Rlx; 4]);
-        for model in [UarchModel::rmm(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
+        for model in [
+            UarchModel::rmm(Curr),
+            UarchModel::nmm(Curr),
+            UarchModel::a9like(Curr),
+        ] {
             assert!(base_curr(&t, &model), "{} must exhibit CoRR", model.name());
         }
     }
@@ -605,8 +694,16 @@ mod tests {
     #[test]
     fn corr_fixed_by_same_address_ordering_requirement() {
         let t = suite::corr([MemOrder::Rlx; 4]);
-        for model in [UarchModel::rmm(Ours), UarchModel::nmm(Ours), UarchModel::a9like(Ours)] {
-            assert!(!base_ours(&t, &model), "{} must forbid CoRR after the fix", model.name());
+        for model in [
+            UarchModel::rmm(Ours),
+            UarchModel::nmm(Ours),
+            UarchModel::a9like(Ours),
+        ] {
+            assert!(
+                !base_ours(&t, &model),
+                "{} must forbid CoRR after the fix",
+                model.name()
+            );
         }
     }
 
@@ -615,8 +712,16 @@ mod tests {
     #[test]
     fn wrc_base_a_observable_under_current_amo_releases() {
         let t = suite::fig3_wrc();
-        for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
-            assert!(basea_curr(&t, &model), "{} must exhibit the Base+A WRC bug", model.name());
+        for model in [
+            UarchModel::nwr(Curr),
+            UarchModel::nmm(Curr),
+            UarchModel::a9like(Curr),
+        ] {
+            assert!(
+                basea_curr(&t, &model),
+                "{} must exhibit the Base+A WRC bug",
+                model.name()
+            );
         }
     }
 
@@ -647,8 +752,16 @@ mod tests {
     #[test]
     fn wrc_base_a_fixed_by_cumulative_releases() {
         let t = suite::fig3_wrc();
-        for model in [UarchModel::nwr(Ours), UarchModel::nmm(Ours), UarchModel::a9like(Ours)] {
-            assert!(!basea_ours(&t, &model), "{} must forbid WRC after the fix", model.name());
+        for model in [
+            UarchModel::nwr(Ours),
+            UarchModel::nmm(Ours),
+            UarchModel::a9like(Ours),
+        ] {
+            assert!(
+                !basea_ours(&t, &model),
+                "{} must forbid WRC after the fix",
+                model.name()
+            );
         }
     }
 
@@ -660,7 +773,11 @@ mod tests {
         // over-order: Overly Strict on every model.
         let t = suite::fig11_mp_roach_motel();
         for model in UarchModel::all_riscv(Curr) {
-            assert!(!basea_curr(&t, &model), "{} must (over-)forbid Figure 11", model.name());
+            assert!(
+                !basea_curr(&t, &model),
+                "{} must (over-)forbid Figure 11",
+                model.name()
+            );
         }
     }
 
@@ -675,14 +792,26 @@ mod tests {
             UarchModel::nmm(Ours),
             UarchModel::a9like(Ours),
         ] {
-            assert!(basea_ours(&t, &model), "{} must allow Figure 11", model.name());
+            assert!(
+                basea_ours(&t, &model),
+                "{} must allow Figure 11",
+                model.name()
+            );
         }
         // Models that keep W→W order still cannot exhibit it (§6.1:
         // Overly Strict bars that "stay the same"). This includes the
         // shared store buffer: its FIFO drains the SC store first, and a
         // buffer-sharing reader would see both writes.
-        for model in [UarchModel::wr(Ours), UarchModel::rwr(Ours), UarchModel::nwr(Ours)] {
-            assert!(!basea_ours(&t, &model), "{} cannot exploit roach-motel", model.name());
+        for model in [
+            UarchModel::wr(Ours),
+            UarchModel::rwr(Ours),
+            UarchModel::nwr(Ours),
+        ] {
+            assert!(
+                !basea_ours(&t, &model),
+                "{} cannot exploit roach-motel",
+                model.name()
+            );
         }
     }
 
@@ -691,8 +820,16 @@ mod tests {
     #[test]
     fn lazy_cumulativity_fig13_forbidden_under_current_any_load_sync() {
         let t = suite::fig13_mp_lazy();
-        for model in [UarchModel::nwr(Curr), UarchModel::nmm(Curr), UarchModel::a9like(Curr)] {
-            assert!(!basea_curr(&t, &model), "{} must (over-)forbid Figure 13", model.name());
+        for model in [
+            UarchModel::nwr(Curr),
+            UarchModel::nmm(Curr),
+            UarchModel::a9like(Curr),
+        ] {
+            assert!(
+                !basea_curr(&t, &model),
+                "{} must (over-)forbid Figure 13",
+                model.name()
+            );
         }
     }
 
@@ -700,7 +837,11 @@ mod tests {
     fn lazy_cumulativity_fig13_allowed_under_acquire_only_sync() {
         let t = suite::fig13_mp_lazy();
         for model in [UarchModel::nmm(Ours), UarchModel::a9like(Ours)] {
-            assert!(basea_ours(&t, &model), "{} must allow Figure 13", model.name());
+            assert!(
+                basea_ours(&t, &model),
+                "{} must allow Figure 13",
+                model.name()
+            );
         }
     }
 
@@ -711,8 +852,16 @@ mod tests {
         // shared FIFO buffer (nWR) likewise drains the two releases in
         // order, so its readers cannot miss the first one.
         let t = suite::fig13_mp_lazy();
-        for model in [UarchModel::wr(Ours), UarchModel::rwr(Ours), UarchModel::nwr(Ours)] {
-            assert!(!basea_ours(&t, &model), "{} must forbid Figure 13", model.name());
+        for model in [
+            UarchModel::wr(Ours),
+            UarchModel::rwr(Ours),
+            UarchModel::nwr(Ours),
+        ] {
+            assert!(
+                !basea_ours(&t, &model),
+                "{} must forbid Figure 13",
+                model.name()
+            );
         }
     }
 
@@ -723,7 +872,11 @@ mod tests {
         // fence rw,rw gives W→R ordering without cumulativity.
         let t = suite::sb([MemOrder::Sc; 4]);
         for model in UarchModel::all_riscv(Curr) {
-            assert!(!base_curr(&t, &model), "{} must forbid SB+fences", model.name());
+            assert!(
+                !base_curr(&t, &model),
+                "{} must forbid SB+fences",
+                model.name()
+            );
         }
     }
 
@@ -732,7 +885,11 @@ mod tests {
         let t = suite::sb([MemOrder::Rlx; 4]);
         for version in [Curr, Ours] {
             for model in UarchModel::all_riscv(version) {
-                assert!(base_curr(&t, &model), "{} must allow relaxed SB", model.name());
+                assert!(
+                    base_curr(&t, &model),
+                    "{} must allow relaxed SB",
+                    model.name()
+                );
             }
         }
     }
@@ -741,8 +898,16 @@ mod tests {
     fn mp_release_acquire_never_buggy_on_riscv_models() {
         let t = suite::mp([MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Rlx]);
         for model in UarchModel::all_riscv(Curr) {
-            assert!(!base_curr(&t, &model), "{} must forbid MP rel/acq (Base)", model.name());
-            assert!(!basea_curr(&t, &model), "{} must forbid MP rel/acq (Base+A)", model.name());
+            assert!(
+                !base_curr(&t, &model),
+                "{} must forbid MP rel/acq (Base)",
+                model.name()
+            );
+            assert!(
+                !basea_curr(&t, &model),
+                "{} must forbid MP rel/acq (Base+A)",
+                model.name()
+            );
         }
     }
 
@@ -775,14 +940,26 @@ mod tests {
         // Relaxed atomics compile to plain loads; the A9 hazard lets two
         // same-address loads reorder, exposing a C11-forbidden outcome.
         let t = suite::corr([MemOrder::Rlx; 4]);
-        assert!(observes(&t, &PowerLeadingSync, &UarchModel::armv7_a9_ldld_hazard()));
-        assert!(!observes(&t, &PowerLeadingSync, &UarchModel::armv7_a9like()));
+        assert!(observes(
+            &t,
+            &PowerLeadingSync,
+            &UarchModel::armv7_a9_ldld_hazard()
+        ));
+        assert!(!observes(
+            &t,
+            &PowerLeadingSync,
+            &UarchModel::armv7_a9like()
+        ));
     }
 
     #[test]
     fn arm_iriw_sc_forbidden_with_cumulative_fences() {
         let t = suite::fig4_iriw_sc();
-        assert!(!observes(&t, &PowerLeadingSync, &UarchModel::armv7_a9like()));
+        assert!(!observes(
+            &t,
+            &PowerLeadingSync,
+            &UarchModel::armv7_a9like()
+        ));
     }
 
     #[test]

@@ -17,24 +17,40 @@ fn observable(test: &LitmusTest, isa: RiscvIsa, model: &UarchModel) -> bool {
 fn dropping_same_address_ordering_reintroduces_corr() {
     let test = suite::corr([MemOrder::Rlx; 4]);
     // Fully refined: forbidden.
-    assert!(!observable(&test, RiscvIsa::Base, &UarchModel::rmm(SpecVersion::Ours)));
+    assert!(!observable(
+        &test,
+        RiscvIsa::Base,
+        &UarchModel::rmm(SpecVersion::Ours)
+    ));
     // Refined except §5.1.3: the CoRR bug returns.
     let mut cfg = UarchConfig::rmm(SpecVersion::Ours);
     cfg.same_addr_rr_ordered = false;
     cfg.name = "rMM/ours-minus-5.1.3".into();
-    assert!(observable(&test, RiscvIsa::Base, &UarchModel::from_config(cfg)));
+    assert!(observable(
+        &test,
+        RiscvIsa::Base,
+        &UarchModel::from_config(cfg)
+    ));
 }
 
 #[test]
 fn dropping_cumulative_releases_reintroduces_base_a_wrc() {
     let test = suite::fig3_wrc();
-    assert!(!observable(&test, RiscvIsa::BaseA, &UarchModel::nmm(SpecVersion::Ours)));
+    assert!(!observable(
+        &test,
+        RiscvIsa::BaseA,
+        &UarchModel::nmm(SpecVersion::Ours)
+    ));
     // Refined except §5.2.1: releases publish only their own thread's
     // program-order predecessors again.
     let mut cfg = UarchConfig::nmm(SpecVersion::Ours);
     cfg.release_predecessors = ReleasePredecessors::ProgramOrder;
     cfg.name = "nMM/ours-minus-5.2.1".into();
-    assert!(observable(&test, RiscvIsa::BaseA, &UarchModel::from_config(cfg)));
+    assert!(observable(
+        &test,
+        RiscvIsa::BaseA,
+        &UarchModel::from_config(cfg)
+    ));
 }
 
 #[test]
@@ -54,11 +70,19 @@ fn eager_release_sync_forbids_the_lazy_optimization() {
     // otherwise-refined model makes Figure 13 unobservable again (the
     // lazy-coherence implementation would be outlawed).
     let test = suite::fig13_mp_lazy();
-    assert!(observable(&test, RiscvIsa::BaseA, &UarchModel::nmm(SpecVersion::Ours)));
+    assert!(observable(
+        &test,
+        RiscvIsa::BaseA,
+        &UarchModel::nmm(SpecVersion::Ours)
+    ));
     let mut cfg = UarchConfig::nmm(SpecVersion::Ours);
     cfg.release_sync_any_load = true;
     cfg.name = "nMM/ours-minus-5.2.3".into();
-    assert!(!observable(&test, RiscvIsa::BaseA, &UarchModel::from_config(cfg)));
+    assert!(!observable(
+        &test,
+        RiscvIsa::BaseA,
+        &UarchModel::from_config(cfg)
+    ));
 }
 
 #[test]

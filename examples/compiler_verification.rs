@@ -36,7 +36,11 @@ impl Mapping for DroppedReleaseFence {
     ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
         match mo {
             // BUG: releases compiled as plain stores.
-            MemOrder::Rel => Ok(vec![Instr::Write { addr, val, ann: HwAnnot::Plain }]),
+            MemOrder::Rel => Ok(vec![Instr::Write {
+                addr,
+                val,
+                ann: HwAnnot::Plain,
+            }]),
             _ => PowerLeadingSync.store(addr, val, mo, scratch),
         }
     }
@@ -45,9 +49,16 @@ impl Mapping for DroppedReleaseFence {
 fn audit(mapping: &dyn Mapping, tests: &[LitmusTest], machine: &UarchModel) {
     let sweep = Sweep::new();
     let results = sweep.run_stack(tests, mapping, machine);
-    let bugs: Vec<_> =
-        results.iter().filter(|r| r.classification() == Classification::Bug).collect();
-    println!("{}: {} bugs / {} tests", mapping.name(), bugs.len(), results.len());
+    let bugs: Vec<_> = results
+        .iter()
+        .filter(|r| r.classification() == Classification::Bug)
+        .collect();
+    println!(
+        "{}: {} bugs / {} tests",
+        mapping.name(),
+        bugs.len(),
+        results.len()
+    );
     for b in bugs.iter().take(5) {
         println!("   counterexample: {}", b.name());
     }
@@ -56,7 +67,11 @@ fn audit(mapping: &dyn Mapping, tests: &[LitmusTest], machine: &UarchModel) {
 fn main() {
     let machine = UarchModel::armv7_a9like();
     let tests = suite::full_suite();
-    println!("auditing C11→Power mappings on {} ({} tests)\n", machine.name(), tests.len());
+    println!(
+        "auditing C11→Power mappings on {} ({} tests)\n",
+        machine.name(),
+        tests.len()
+    );
 
     audit(&PowerLeadingSync, &tests, &machine);
     audit(&PowerTrailingSync, &tests, &machine);

@@ -24,16 +24,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = Program::new(
         vec![
             vec![
-                Instr::Write { addr: Expr::Const(x), val: Expr::Const(1), ann: Rlx },
-                Instr::Write { addr: Expr::Const(f1), val: Expr::Const(1), ann: Rel },
+                Instr::Write {
+                    addr: Expr::Const(x),
+                    val: Expr::Const(1),
+                    ann: Rlx,
+                },
+                Instr::Write {
+                    addr: Expr::Const(f1),
+                    val: Expr::Const(1),
+                    ann: Rel,
+                },
             ],
             vec![
-                Instr::Read { dst: Reg(0), addr: Expr::Const(f1), ann: Acq },
-                Instr::Write { addr: Expr::Const(f2), val: Expr::Const(1), ann: Rel },
+                Instr::Read {
+                    dst: Reg(0),
+                    addr: Expr::Const(f1),
+                    ann: Acq,
+                },
+                Instr::Write {
+                    addr: Expr::Const(f2),
+                    val: Expr::Const(1),
+                    ann: Rel,
+                },
             ],
             vec![
-                Instr::Read { dst: Reg(1), addr: Expr::Const(f2), ann: Acq },
-                Instr::Read { dst: Reg(2), addr: Expr::Const(x), ann: Rlx },
+                Instr::Read {
+                    dst: Reg(1),
+                    addr: Expr::Const(f2),
+                    ann: Acq,
+                },
+                Instr::Read {
+                    dst: Reg(2),
+                    addr: Expr::Const(x),
+                    ann: Rlx,
+                },
             ],
         ],
         [],
@@ -56,13 +80,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = UarchConfig::nwr(SpecVersion::Curr);
     config.name = "custom-inorder-nMCA".to_string();
     assert_eq!(config.atomicity, StoreAtomicity::NMca);
-    assert_eq!(config.release_predecessors, ReleasePredecessors::ProgramOrder);
+    assert_eq!(
+        config.release_predecessors,
+        ReleasePredecessors::ProgramOrder
+    );
     let machine = UarchModel::from_config(config);
 
     // --- Probe it through the full stack ---
-    for (label, mapping) in
-        [("intuitive", &BaseIntuitive as &dyn Mapping), ("refined", &BaseRefined)]
-    {
+    for (label, mapping) in [
+        ("intuitive", &BaseIntuitive as &dyn Mapping),
+        ("refined", &BaseRefined),
+    ] {
         let compiled = compile(&test, mapping)?;
         let observable = machine.observes(compiled.program(), compiled.target());
         let permitted = c11.permits_target(&test);
@@ -78,7 +106,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // intuitive mapping.
     let compiled = compile(&test, &BaseIntuitive)?;
     let outcomes = machine.observable_outcomes(compiled.program(), compiled.observed());
-    println!("\nobservable outcomes on {} ({} total):", machine.name(), outcomes.len());
+    println!(
+        "\nobservable outcomes on {} ({} total):",
+        machine.name(),
+        outcomes.len()
+    );
     for o in &outcomes {
         println!("  {o}");
     }

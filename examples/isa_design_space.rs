@@ -39,7 +39,11 @@ fn check(step: &Step) -> Result<(), Box<dyn std::error::Error>> {
         stack.uarch().name(),
         after.classification()
     );
-    assert_ne!(after.classification(), Classification::Bug, "refinement must remove the bug");
+    assert_ne!(
+        after.classification(),
+        Classification::Bug,
+        "refinement must remove the bug"
+    );
     println!();
     Ok(())
 }
@@ -93,8 +97,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  riscv-curr: {}", curr.verify(&t)?.classification());
     println!("  riscv-ours: {}", ours.verify(&t)?.classification());
-    assert_eq!(curr.verify(&t)?.classification(), Classification::OverlyStrict);
-    assert_eq!(ours.verify(&t)?.classification(), Classification::Equivalent);
+    assert_eq!(
+        curr.verify(&t)?.classification(),
+        Classification::OverlyStrict
+    );
+    assert_eq!(
+        ours.verify(&t)?.classification(),
+        Classification::Equivalent
+    );
 
     println!("\n--- §5.2.3: lazy cumulativity ---");
     let t = suite::fig13_mp_lazy();
@@ -108,7 +118,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  riscv-curr: {}", curr.verify(&t)?.classification());
     println!("  riscv-ours: {}", ours.verify(&t)?.classification());
-    assert_eq!(ours.verify(&t)?.classification(), Classification::Equivalent);
+    assert_eq!(
+        ours.verify(&t)?.classification(),
+        Classification::Equivalent
+    );
 
     println!("\nall §5 refinement steps reproduced.");
     Ok(())

@@ -24,19 +24,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         machine.config().name
     );
     for o in &outcomes {
-        let marker = if o == compiled.target() { "  <-- C11-FORBIDDEN" } else { "" };
+        let marker = if o == compiled.target() {
+            "  <-- C11-FORBIDDEN"
+        } else {
+            ""
+        };
         println!("  {o}{marker}");
     }
     assert!(outcomes.contains(compiled.target()));
 
     // Private buffers: the same machine family cannot produce it.
     let private = OpMachine::nwr_with_groups(vec![vec![0], vec![1], vec![2]]);
-    assert!(!private.run(compiled.program(), compiled.observed()).contains(compiled.target()));
+    assert!(!private
+        .run(compiled.program(), compiled.observed())
+        .contains(compiled.target()));
     println!("\nwith private buffers the outcome disappears (store-atomic machine).");
 
     // --- The refined ISA closes it on every sharing topology ---
     let fixed = compile(&test, &BaseRefined)?;
-    let all = outcomes_over_partitions(OpMachine::nwr_with_groups, fixed.program(), fixed.observed());
+    let all = outcomes_over_partitions(
+        OpMachine::nwr_with_groups,
+        fixed.program(),
+        fixed.observed(),
+    );
     assert!(!all.contains(fixed.target()));
     println!(
         "after the cumulative-fence refinement, no buffer-sharing topology \

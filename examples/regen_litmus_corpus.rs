@@ -1,0 +1,65 @@
+//! Regenerates the `litmus/` corpus shipped with the repository.
+//!
+//! The corpus files exercised by `tests/litmus_corpus.rs` are written
+//! with [`write_litmus`] from the built-in suite, so text and IR can
+//! never drift apart. Run after changing the suite or the text format:
+//!
+//! ```text
+//! cargo run --example regen_litmus_corpus
+//! ```
+
+use std::path::Path;
+
+use tricheck::litmus::extra;
+use tricheck::litmus::format::write_litmus;
+use tricheck::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus");
+    std::fs::create_dir_all(&dir)?;
+    let corpus = [
+        (
+            "mp_rel_acq.litmus",
+            suite::mp([MemOrder::Rlx, MemOrder::Rel, MemOrder::Acq, MemOrder::Rlx]),
+        ),
+        ("wrc_fig3.litmus", suite::fig3_wrc()),
+        ("iriw_sc.litmus", suite::fig4_iriw_sc()),
+        (
+            "isa2_rel_acq.litmus",
+            extra::isa2([
+                MemOrder::Rlx,
+                MemOrder::Rel,
+                MemOrder::Acq,
+                MemOrder::Rel,
+                MemOrder::Acq,
+                MemOrder::Rlx,
+            ]),
+        ),
+    ];
+    for (file, test) in corpus {
+        let path = dir.join(file);
+        std::fs::write(&path, write_litmus(&test))?;
+        println!("wrote {}", path.display());
+    }
+
+    // Figure 13 is written by hand: its dependent load dereferences the
+    // *address* of `x`, and the text format cannot name the builtin's
+    // explicit location 0 (parsed addresses start at 1). The target-mode
+    // verdicts are unaffected — the target outcome pins `r0 = &x`.
+    let fig13 = "\
+C11 dep_fig13
+-- Paper Figure 13: lazy cumulativity. T0 releases x, then releases the
+-- address of x into y; T1 reads y relaxed and dereferences it with an
+-- acquire load (address dependency). C11 allows the target: a release
+-- synchronizes only with acquire operations, and the y read is relaxed.
+{ x=0; y=0; }
+P0           | P1                ;
+st(x,1,rel)  | r0 = ld(y,rlx)    ;
+st(y,&x,rel) | r1 = ld([r0],acq) ;
+exists (P1:r0=1 /\\ P1:r1=0)
+";
+    let path = dir.join("dep_fig13.litmus");
+    std::fs::write(&path, fig13)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -7,7 +7,9 @@ use tricheck::litmus::format::parse_litmus;
 use tricheck::prelude::*;
 
 fn load(name: &str) -> LitmusTest {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus").join(name);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("litmus")
+        .join(name);
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
     parse_litmus(&text).unwrap_or_else(|e| panic!("parsing {name}: {e}"))
@@ -74,5 +76,8 @@ fn dependency_corpus_test_exercises_lazy_cumulativity() {
         riscv_mapping(RiscvIsa::BaseA, SpecVersion::Ours),
         UarchModel::nmm(SpecVersion::Ours),
     );
-    assert_eq!(lazy.verify(&test).unwrap().classification(), Classification::Equivalent);
+    assert_eq!(
+        lazy.verify(&test).unwrap().classification(),
+        Classification::Equivalent
+    );
 }

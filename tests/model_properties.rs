@@ -77,9 +77,10 @@ proptest! {
     /// each Table 7 model chain is ordered by observational strength.
     #[test]
     fn uarch_models_form_a_strength_chain(test in arb_variant()) {
+        type ModelCtor = fn(SpecVersion) -> UarchModel;
         let mapping = riscv_mapping(RiscvIsa::Base, SpecVersion::Curr);
         let compiled = compile(&test, mapping).unwrap();
-        let chains: [&[fn(SpecVersion) -> UarchModel]; 2] = [
+        let chains: [&[ModelCtor]; 2] = [
             &[UarchModel::wr, UarchModel::rwr, UarchModel::rwm, UarchModel::rmm],
             &[UarchModel::nwr, UarchModel::nmm],
         ];

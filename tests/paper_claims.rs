@@ -3,11 +3,7 @@
 
 use tricheck::prelude::*;
 
-fn stack(
-    isa: RiscvIsa,
-    version: SpecVersion,
-    model: UarchModel,
-) -> TriCheck<'static> {
+fn stack(isa: RiscvIsa, version: SpecVersion, model: UarchModel) -> TriCheck<'static> {
     TriCheck::new(riscv_mapping(isa, version), model)
 }
 
@@ -23,7 +19,10 @@ fn abstract_claim_a_riscv_compliant_uarch_shows_c11_violations() {
         riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr),
         &UarchModel::a9like(SpecVersion::Curr),
     );
-    let bugs = results.iter().filter(|r| r.classification() == Classification::Bug).count();
+    let bugs = results
+        .iter()
+        .filter(|r| r.classification() == Classification::Bug)
+        .count();
     assert_eq!(bugs, 144);
 }
 
@@ -39,10 +38,11 @@ fn conclusion_claim_issues_not_present_on_all_compliant_designs() {
         UarchModel::rwm(SpecVersion::Curr),
     ] {
         for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
-            let results =
-                sweep.run_stack(&suite, riscv_mapping(isa, SpecVersion::Curr), &model);
-            let bugs =
-                results.iter().filter(|r| r.classification() == Classification::Bug).count();
+            let results = sweep.run_stack(&suite, riscv_mapping(isa, SpecVersion::Curr), &model);
+            let bugs = results
+                .iter()
+                .filter(|r| r.classification() == Classification::Bug)
+                .count();
             assert_eq!(bugs, 0, "{} under {isa} must be bug-free", model.name());
         }
     }
@@ -55,11 +55,17 @@ fn refinement_eliminates_every_bug_for_every_model_and_isa() {
     let sweep = Sweep::new();
     for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
         for model in UarchModel::all_riscv(SpecVersion::Ours) {
-            let results =
-                sweep.run_stack(&suite, riscv_mapping(isa, SpecVersion::Ours), &model);
-            let bugs =
-                results.iter().filter(|r| r.classification() == Classification::Bug).count();
-            assert_eq!(bugs, 0, "{} under {isa} riscv-ours must be bug-free", model.name());
+            let results = sweep.run_stack(&suite, riscv_mapping(isa, SpecVersion::Ours), &model);
+            let bugs = results
+                .iter()
+                .filter(|r| r.classification() == Classification::Bug)
+                .count();
+            assert_eq!(
+                bugs,
+                0,
+                "{} under {isa} riscv-ours must be bug-free",
+                model.name()
+            );
         }
     }
 }
@@ -67,55 +73,139 @@ fn refinement_eliminates_every_bug_for_every_model_and_isa() {
 #[test]
 fn section_5_1_1_wrc_needs_cumulative_lightweight_fences() {
     let t = suite::fig3_wrc();
-    let buggy = stack(RiscvIsa::Base, SpecVersion::Curr, UarchModel::nwr(SpecVersion::Curr));
-    assert_eq!(buggy.verify(&t).unwrap().classification(), Classification::Bug);
-    let fixed = stack(RiscvIsa::Base, SpecVersion::Ours, UarchModel::nwr(SpecVersion::Ours));
-    assert_eq!(fixed.verify(&t).unwrap().classification(), Classification::Equivalent);
+    let buggy = stack(
+        RiscvIsa::Base,
+        SpecVersion::Curr,
+        UarchModel::nwr(SpecVersion::Curr),
+    );
+    assert_eq!(
+        buggy.verify(&t).unwrap().classification(),
+        Classification::Bug
+    );
+    let fixed = stack(
+        RiscvIsa::Base,
+        SpecVersion::Ours,
+        UarchModel::nwr(SpecVersion::Ours),
+    );
+    assert_eq!(
+        fixed.verify(&t).unwrap().classification(),
+        Classification::Equivalent
+    );
 }
 
 #[test]
 fn section_5_1_2_iriw_needs_cumulative_heavyweight_fences() {
     let t = suite::fig4_iriw_sc();
-    let buggy = stack(RiscvIsa::Base, SpecVersion::Curr, UarchModel::a9like(SpecVersion::Curr));
-    assert_eq!(buggy.verify(&t).unwrap().classification(), Classification::Bug);
-    let fixed = stack(RiscvIsa::Base, SpecVersion::Ours, UarchModel::a9like(SpecVersion::Ours));
-    assert_eq!(fixed.verify(&t).unwrap().classification(), Classification::Equivalent);
+    let buggy = stack(
+        RiscvIsa::Base,
+        SpecVersion::Curr,
+        UarchModel::a9like(SpecVersion::Curr),
+    );
+    assert_eq!(
+        buggy.verify(&t).unwrap().classification(),
+        Classification::Bug
+    );
+    let fixed = stack(
+        RiscvIsa::Base,
+        SpecVersion::Ours,
+        UarchModel::a9like(SpecVersion::Ours),
+    );
+    assert_eq!(
+        fixed.verify(&t).unwrap().classification(),
+        Classification::Equivalent
+    );
 }
 
 #[test]
 fn section_5_1_3_same_address_load_ordering() {
     let t = suite::corr([MemOrder::Rlx; 4]);
-    let buggy = stack(RiscvIsa::Base, SpecVersion::Curr, UarchModel::rmm(SpecVersion::Curr));
-    assert_eq!(buggy.verify(&t).unwrap().classification(), Classification::Bug);
-    let fixed = stack(RiscvIsa::Base, SpecVersion::Ours, UarchModel::rmm(SpecVersion::Ours));
-    assert_eq!(fixed.verify(&t).unwrap().classification(), Classification::Equivalent);
+    let buggy = stack(
+        RiscvIsa::Base,
+        SpecVersion::Curr,
+        UarchModel::rmm(SpecVersion::Curr),
+    );
+    assert_eq!(
+        buggy.verify(&t).unwrap().classification(),
+        Classification::Bug
+    );
+    let fixed = stack(
+        RiscvIsa::Base,
+        SpecVersion::Ours,
+        UarchModel::rmm(SpecVersion::Ours),
+    );
+    assert_eq!(
+        fixed.verify(&t).unwrap().classification(),
+        Classification::Equivalent
+    );
 }
 
 #[test]
 fn section_5_2_1_amo_releases_must_be_cumulative() {
     let t = suite::fig3_wrc();
-    let buggy = stack(RiscvIsa::BaseA, SpecVersion::Curr, UarchModel::nmm(SpecVersion::Curr));
-    assert_eq!(buggy.verify(&t).unwrap().classification(), Classification::Bug);
-    let fixed = stack(RiscvIsa::BaseA, SpecVersion::Ours, UarchModel::nmm(SpecVersion::Ours));
-    assert_eq!(fixed.verify(&t).unwrap().classification(), Classification::Equivalent);
+    let buggy = stack(
+        RiscvIsa::BaseA,
+        SpecVersion::Curr,
+        UarchModel::nmm(SpecVersion::Curr),
+    );
+    assert_eq!(
+        buggy.verify(&t).unwrap().classification(),
+        Classification::Bug
+    );
+    let fixed = stack(
+        RiscvIsa::BaseA,
+        SpecVersion::Ours,
+        UarchModel::nmm(SpecVersion::Ours),
+    );
+    assert_eq!(
+        fixed.verify(&t).unwrap().classification(),
+        Classification::Equivalent
+    );
 }
 
 #[test]
 fn section_5_2_2_roach_motel_strictness_reduced() {
     let t = suite::fig11_mp_roach_motel();
-    let strict = stack(RiscvIsa::BaseA, SpecVersion::Curr, UarchModel::a9like(SpecVersion::Curr));
-    assert_eq!(strict.verify(&t).unwrap().classification(), Classification::OverlyStrict);
-    let freed = stack(RiscvIsa::BaseA, SpecVersion::Ours, UarchModel::a9like(SpecVersion::Ours));
-    assert_eq!(freed.verify(&t).unwrap().classification(), Classification::Equivalent);
+    let strict = stack(
+        RiscvIsa::BaseA,
+        SpecVersion::Curr,
+        UarchModel::a9like(SpecVersion::Curr),
+    );
+    assert_eq!(
+        strict.verify(&t).unwrap().classification(),
+        Classification::OverlyStrict
+    );
+    let freed = stack(
+        RiscvIsa::BaseA,
+        SpecVersion::Ours,
+        UarchModel::a9like(SpecVersion::Ours),
+    );
+    assert_eq!(
+        freed.verify(&t).unwrap().classification(),
+        Classification::Equivalent
+    );
 }
 
 #[test]
 fn section_5_2_3_lazy_cumulativity_strictness_reduced() {
     let t = suite::fig13_mp_lazy();
-    let strict = stack(RiscvIsa::BaseA, SpecVersion::Curr, UarchModel::nmm(SpecVersion::Curr));
-    assert_eq!(strict.verify(&t).unwrap().classification(), Classification::OverlyStrict);
-    let freed = stack(RiscvIsa::BaseA, SpecVersion::Ours, UarchModel::nmm(SpecVersion::Ours));
-    assert_eq!(freed.verify(&t).unwrap().classification(), Classification::Equivalent);
+    let strict = stack(
+        RiscvIsa::BaseA,
+        SpecVersion::Curr,
+        UarchModel::nmm(SpecVersion::Curr),
+    );
+    assert_eq!(
+        strict.verify(&t).unwrap().classification(),
+        Classification::OverlyStrict
+    );
+    let freed = stack(
+        RiscvIsa::BaseA,
+        SpecVersion::Ours,
+        UarchModel::nmm(SpecVersion::Ours),
+    );
+    assert_eq!(
+        freed.verify(&t).unwrap().classification(),
+        Classification::Equivalent
+    );
 }
 
 #[test]
@@ -128,7 +218,10 @@ fn section_7_trailing_sync_counterexamples_found() {
 
     let leading = sweep.run_stack(&tests, &PowerLeadingSync, &model);
     assert_eq!(
-        leading.iter().filter(|r| r.classification() == Classification::Bug).count(),
+        leading
+            .iter()
+            .filter(|r| r.classification() == Classification::Bug)
+            .count(),
         0,
         "leading-sync must survive the suite"
     );
@@ -142,7 +235,9 @@ fn section_7_trailing_sync_counterexamples_found() {
     assert!(!bugs.is_empty(), "trailing-sync must be invalidated");
     // The counterexamples live where the paper's loophole lives: SC
     // atomics mixed with weaker orders on causality tests.
-    assert!(bugs.iter().all(|name| name.starts_with("iriw") || name.starts_with("rwc")));
+    assert!(bugs
+        .iter()
+        .all(|name| name.starts_with("iriw") || name.starts_with("rwc")));
 }
 
 #[test]
@@ -154,7 +249,6 @@ fn arm_load_load_hazard_and_fix() {
     let c11 = C11Model::new();
     assert!(!c11.permits_target(&t));
     let compiled = compile(&t, &PowerLeadingSync).unwrap();
-    assert!(UarchModel::armv7_a9_ldld_hazard()
-        .observes(compiled.program(), compiled.target()));
+    assert!(UarchModel::armv7_a9_ldld_hazard().observes(compiled.program(), compiled.target()));
     assert!(!UarchModel::armv7_a9like().observes(compiled.program(), compiled.target()));
 }
