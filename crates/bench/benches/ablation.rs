@@ -62,7 +62,7 @@ fn ablation_parallelism(c: &mut Criterion) {
     let model = UarchModel::nmm(SpecVersion::Curr);
     for threads in [1usize, 4] {
         group.bench_function(format!("wrc_family/threads{threads}"), |b| {
-            let sweep = Sweep::with_options(SweepOptions { threads });
+            let sweep = Sweep::with_options(SweepOptions::with_threads(threads));
             b.iter_batched(
                 || tests.clone(),
                 |tests| sweep.run_stack(&tests, mapping, &model),

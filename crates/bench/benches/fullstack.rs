@@ -30,7 +30,7 @@ fn bench_fullstack(c: &mut Criterion) {
     // One Figure 15 cell: the 81 MP variants on one (model, ISA) stack.
     group.bench_function("fig15_cell/mp_family_nmm_curr", |b| {
         let tests: Vec<_> = suite::mp_template().instantiate_all().collect();
-        let sweep = Sweep::with_options(SweepOptions { threads: 1 });
+        let sweep = Sweep::with_options(SweepOptions::with_threads(1));
         let model = UarchModel::nmm(SpecVersion::Curr);
         b.iter_batched(
             || tests.clone(),

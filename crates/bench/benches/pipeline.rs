@@ -18,7 +18,7 @@ fn bench_pipeline(c: &mut Criterion) {
     // comparing engine changes.
     let wrc: Vec<_> = suite::wrc_template().instantiate_all().collect();
     for threads in [1, SweepOptions::default().threads] {
-        let sweep = Sweep::with_options(SweepOptions { threads });
+        let sweep = Sweep::with_options(SweepOptions::with_threads(threads));
         group.bench_function(format!("wrc_family/naive/threads{threads}"), |b| {
             b.iter(|| sweep.run_riscv_naive(black_box(&wrc)));
         });

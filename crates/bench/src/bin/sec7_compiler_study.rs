@@ -1,80 +1,77 @@
 //! Regenerates the §7 compiler-mapping study: run the full litmus suite,
 //! compiled to Power/ARMv7 with the leading-sync and the (supposedly
-//! proven-correct) trailing-sync mappings, on the A9like
-//! microarchitecture, and report the bugs each mapping exhibits.
+//! proven-correct) trailing-sync mappings, across the ARMv7
+//! microarchitectures, and report the bugs each mapping exhibits.
+//!
+//! Runs on the cached sweep engine ([`Sweep::run_power`]): each test is
+//! compiled once per mapping and each distinct Power program is
+//! enumerated once across all {mapping × model} cells — the printed
+//! cache statistics prove it. `tests/power_equivalence.rs` pins this
+//! sweep's counts to the naive per-cell recompute path.
 
-use tricheck_compiler::{Mapping, PowerLeadingSync, PowerTrailingSync};
-use tricheck_core::{Classification, Sweep, TestResult};
+use tricheck_compiler::PowerSyncStyle;
+use tricheck_core::{report, StackKey, Sweep, SweepResults};
 use tricheck_litmus::suite;
-use tricheck_uarch::UarchModel;
 
-fn study(name: &str, mapping: &dyn Mapping, results: &[TestResult]) {
-    let bugs: Vec<&TestResult> = results
-        .iter()
-        .filter(|r| r.classification() == Classification::Bug)
-        .collect();
-    let strict = results
-        .iter()
-        .filter(|r| r.classification() == Classification::OverlyStrict)
-        .count();
-    println!(
-        "{name} ({}): {} bugs, {} overly strict, {} equivalent",
-        mapping.name(),
-        bugs.len(),
-        strict,
-        results.len() - bugs.len() - strict
-    );
-    if bugs.is_empty() {
-        println!("  no counterexamples on this suite");
-    } else {
-        println!("  counterexample tests (C11-forbidden yet observable):");
-        let mut by_family: std::collections::BTreeMap<&str, usize> = Default::default();
-        for b in &bugs {
-            *by_family.entry(b.family()).or_default() += 1;
-        }
-        for (family, count) in by_family {
-            println!("    {family}: {count} variants");
-        }
-        for b in bugs.iter().take(8) {
-            println!("    e.g. {}", b.name());
-        }
-    }
-    println!();
+fn style_bugs(results: &SweepResults, style: PowerSyncStyle, model: &str) -> usize {
+    results.bugs_for(StackKey::Power { style }, model)
 }
 
 fn main() {
     let tests = suite::full_suite();
-    let model = UarchModel::armv7_a9like();
     let sweep = Sweep::new();
     println!(
-        "§7 compiler-mapping study: {} tests on the {} microarchitecture\n",
-        tests.len(),
-        model.name()
+        "§7 compiler-mapping study: {} tests × {{leading,trailing}}-sync × ARMv7 models\n",
+        tests.len()
     );
 
-    let leading = sweep.run_stack(&tests, &PowerLeadingSync, &model);
-    study("leading-sync", &PowerLeadingSync, &leading);
+    let start = std::time::Instant::now();
+    let results = sweep.run_power(&tests);
+    println!("{}", report::power_table(&results));
 
-    let trailing = sweep.run_stack(&tests, &PowerTrailingSync, &model);
-    study("trailing-sync", &PowerTrailingSync, &trailing);
-
-    let leading_bugs = leading
-        .iter()
-        .filter(|r| r.classification() == Classification::Bug)
-        .count();
-    let trailing_bugs = trailing
-        .iter()
-        .filter(|r| r.classification() == Classification::Bug)
-        .count();
-    if trailing_bugs > 0 && leading_bugs == 0 {
+    println!("counterexample families (C11-forbidden yet observable):");
+    for row in results.rows().iter().filter(|r| r.bugs > 0) {
         println!(
-            "=> trailing-sync is invalidated on A9like while leading-sync survives, \
+            "  {} on {}: {}: {} variants",
+            row.key.variant_label(),
+            row.model,
+            row.family,
+            row.bugs
+        );
+    }
+    println!();
+
+    let s = results.stats();
+    println!(
+        "cached sweep: {} compilations ({} reused), {} distinct Power programs \
+         enumerated {} times across {} cells, in {:.1?}",
+        s.compile_calls,
+        s.compile_cache_hits,
+        s.distinct_programs,
+        s.space_enumerations,
+        s.cells,
+        start.elapsed()
+    );
+    println!();
+
+    let leading = style_bugs(&results, PowerSyncStyle::Leading, "ARMv7-A9like");
+    let trailing = style_bugs(&results, PowerSyncStyle::Trailing, "ARMv7-A9like");
+    if trailing > 0 && leading == 0 {
+        println!(
+            "=> trailing-sync is invalidated on ARMv7-A9like while leading-sync survives, \
              matching the paper's §7 finding."
         );
     } else {
         println!(
-            "=> measured: leading={leading_bugs} bugs, trailing={trailing_bugs} bugs \
+            "=> measured on ARMv7-A9like: leading={leading} bugs, trailing={trailing} bugs \
              (see EXPERIMENTS.md for discussion)."
+        );
+    }
+    let hazard_leading = style_bugs(&results, PowerSyncStyle::Leading, "ARMv7-A9-ldld-hazard");
+    if hazard_leading > 0 {
+        println!(
+            "=> on the A9 load→load-hazard machine even leading-sync misbehaves \
+             ({hazard_leading} bugs) — the §1–§2 erratum."
         );
     }
 }

@@ -59,7 +59,7 @@ use std::fmt;
 
 use tricheck_litmus::{
     enumerate_executions, outcome_set, ConsistencyModel, Execution, ExecutionSpace, LitmusTest,
-    MemOrder, Outcome,
+    MemOrder, Outcome, Reg,
 };
 use tricheck_rel::{linear_extensions, EventSet, Relation};
 
@@ -182,6 +182,19 @@ impl C11Model {
     #[must_use]
     pub fn permitted_outcomes(&self, test: &LitmusTest) -> BTreeSet<Outcome> {
         outcome_set(test.program(), test.observed(), |e| self.consistent(e))
+    }
+
+    /// The full permitted-outcome set, judged over a shared
+    /// [`ExecutionSpace`] (the enumerate-once path used by full-outcome
+    /// sweeps: the space's cached outcome partition is shared by every
+    /// model judging the program).
+    #[must_use]
+    pub fn permitted_outcomes_in(
+        &self,
+        space: &ExecutionSpace<MemOrder>,
+        observed: &[(usize, Reg)],
+    ) -> BTreeSet<Outcome> {
+        self.allowed_outcomes(space, observed)
     }
 
     /// Counts the consistent executions of a test (useful for diagnosing

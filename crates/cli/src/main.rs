@@ -10,7 +10,7 @@
 //!                                             verify + witness / per-axiom analysis
 //! tricheck dot NAME [--model M] [--isa B] [--spec V]
 //!                                             emit a Graphviz graph of the witness
-//! tricheck sweep [FAMILY] [--threads N] [--cache-stats]
+//! tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
 //!                                             Figure-15-style chart for a family
 //! tricheck file PATH [--model M] [--isa B] [--spec V]
 //!                                             parse a .litmus file and verify it
@@ -22,6 +22,12 @@
 //!                               1 = deterministic serial run)
 //!          --cache-stats        print the shared-engine cache counters
 //!                               after a sweep
+//!          --outcomes           sweep in full-outcome-set mode: compare
+//!                               every C11-permitted outcome with every
+//!                               µarch-observable one, not just the target
+//!          --power              sweep the §7 compiler study instead of
+//!                               Figure 15: {leading-sync, trailing-sync}
+//!                               C11→Power mappings × the ARMv7 models
 //! ```
 
 use std::process::ExitCode;
@@ -50,12 +56,16 @@ const USAGE: &str = "usage:
   tricheck verify NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck diagnose NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck dot NAME [--model M] [--isa base|base+a] [--spec curr|ours]
-  tricheck sweep [FAMILY] [--threads N] [--cache-stats]
+  tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
   tricheck file PATH [--model M] [--isa base|base+a] [--spec curr|ours]
 
 models: WR rWR rWM rMM nWR nMM A9like (default nMM)
 sweeps: --threads 1 gives a deterministic serial run; --cache-stats prints
-        the shared execution-space engine's cache counters";
+        the shared execution-space engine's cache counters; --outcomes
+        compares full outcome sets instead of the target outcome (the
+        stronger verify_full equivalence, at witness-mode cost); --power
+        runs the §7 compiler study ({leading,trailing}-sync C11→Power
+        mappings on the ARMv7 models) instead of the RISC-V Figure 15";
 
 struct Options {
     isa: RiscvIsa,
@@ -63,6 +73,8 @@ struct Options {
     model: String,
     threads: Option<usize>,
     cache_stats: bool,
+    outcomes: bool,
+    power: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
@@ -72,6 +84,8 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
         model: "nMM".to_string(),
         threads: None,
         cache_stats: false,
+        outcomes: false,
+        power: false,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -86,6 +100,8 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
                 opts.threads = Some(n);
             }
             "--cache-stats" => opts.cache_stats = true,
+            "--outcomes" => opts.outcomes = true,
+            "--power" => opts.power = true,
             "--isa" => {
                 let v = it.next().ok_or("--isa needs a value")?;
                 opts.isa = match v.to_lowercase().as_str() {
@@ -269,12 +285,23 @@ fn run(args: &[String]) -> Result<(), String> {
             if tests.is_empty() {
                 return Err(format!("unknown family '{family}'"));
             }
-            let sweep = match opts.threads {
-                Some(threads) => Sweep::with_options(SweepOptions { threads }),
-                None => Sweep::new(),
+            let mut sweep_opts = SweepOptions::default();
+            if let Some(threads) = opts.threads {
+                sweep_opts.threads = threads;
+            }
+            if opts.outcomes {
+                sweep_opts.outcome_mode = OutcomeMode::FullOutcomes;
+            }
+            let sweep = Sweep::with_options(sweep_opts);
+            let results = if opts.power {
+                let results = sweep.run_power(&tests);
+                print!("{}", report::power_table(&results));
+                results
+            } else {
+                let results = sweep.run_riscv(&tests);
+                print!("{}", report::family_chart(&results, &family));
+                results
             };
-            let results = sweep.run_riscv(&tests);
-            print!("{}", report::family_chart(&results, &family));
             if opts.cache_stats {
                 let s = results.stats();
                 println!();
@@ -336,9 +363,28 @@ mod tests {
         assert_eq!(pos.len(), 2);
         assert_eq!(opts.threads, Some(4));
         assert!(opts.cache_stats);
+        assert!(!opts.outcomes);
+        assert!(!opts.power);
         assert!(parse_options(&strings(&["sweep", "--threads", "0"])).is_err());
         assert!(parse_options(&strings(&["sweep", "--threads", "many"])).is_err());
         assert!(parse_options(&strings(&["sweep", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn outcome_and_power_sweep_flags_parse() {
+        let args = strings(&["sweep", "wrc", "--power", "--outcomes"]);
+        let (pos, opts) = parse_options(&args).unwrap();
+        assert_eq!(pos.len(), 2);
+        assert!(opts.outcomes);
+        assert!(opts.power);
+    }
+
+    #[test]
+    fn power_sweep_runs_end_to_end() {
+        // The CI smoke invocation, in-process: a small family through the
+        // §7 engine sweep with explicit threads.
+        let args = strings(&["sweep", "sb", "--power", "--threads", "2", "--cache-stats"]);
+        assert_eq!(run(&args), Ok(()));
     }
 
     #[test]

@@ -589,6 +589,45 @@ pub fn riscv_mapping(isa: RiscvIsa, version: SpecVersion) -> &'static dyn Mappin
     }
 }
 
+/// Where the §7 C11 → Power mappings place the heavyweight `sync` of an
+/// SC access — the axis the compiler study sweeps over.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PowerSyncStyle {
+    /// McKenney–Silvera leading-sync ([`PowerLeadingSync`], Table 1).
+    Leading,
+    /// Batty et al. trailing-sync ([`PowerTrailingSync`]).
+    Trailing,
+}
+
+impl PowerSyncStyle {
+    /// Both styles, in the paper's presentation order.
+    pub const ALL: [PowerSyncStyle; 2] = [PowerSyncStyle::Leading, PowerSyncStyle::Trailing];
+
+    /// The short label used in reports and row keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerSyncStyle::Leading => "leading-sync",
+            PowerSyncStyle::Trailing => "trailing-sync",
+        }
+    }
+}
+
+impl fmt::Display for PowerSyncStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The §7 compiler-study mapping for one sync placement style.
+#[must_use]
+pub fn power_mapping(style: PowerSyncStyle) -> &'static dyn Mapping {
+    match style {
+        PowerSyncStyle::Leading => &PowerLeadingSync,
+        PowerSyncStyle::Trailing => &PowerTrailingSync,
+    }
+}
+
 /// A compiled litmus test: the ISA-level program plus the original test's
 /// target outcome (observable registers are preserved by compilation).
 #[derive(Clone, Debug)]

@@ -15,8 +15,8 @@
 //!    [`Classification::Equivalent`].
 //!
 //! [`TriCheck`] runs the flow for one stack configuration;
-//! [`runner::Sweep`] fans a litmus suite across every µarch model and ISA
-//! variant and aggregates Figure-15-style counts; [`report`] renders them.
+//! [`runner::Sweep`] fans a litmus suite across a matrix of full-stack
+//! cells and aggregates Figure-15-style counts; [`report`] renders them.
 //!
 //! Sweeps run on the shared execution-space engine (see [`runner`] for
 //! the architecture): C11 verdicts are computed once per test,
@@ -24,6 +24,13 @@
 //! enumeration once per distinct compiled program, with a work-stealing
 //! scheduler fanning (test × stack) items over the shared caches.
 //! [`SweepResults::stats`] exposes the counters that prove it.
+//! [`Sweep::run_matrix`](runner::Sweep::run_matrix) is the generic
+//! engine — it takes any list of [`MatrixStack`]s keyed by [`StackKey`];
+//! [`Sweep::run_riscv`](runner::Sweep::run_riscv) (Figure 15) and
+//! [`Sweep::run_power`](runner::Sweep::run_power) (the §7 compiler
+//! study) are thin instantiations. [`OutcomeMode::FullOutcomes`]
+//! upgrades any sweep to the stronger full-outcome-set equivalence at
+//! witness-mode cost.
 //!
 //! # Examples
 //!
@@ -59,14 +66,16 @@ pub mod runner;
 pub mod verdict;
 
 pub use explain::{diagnose, Diagnosis};
-pub use runner::{Sweep, SweepOptions, SweepResults, SweepRow, SweepStats};
+pub use runner::{
+    MatrixStack, OutcomeMode, StackKey, Sweep, SweepOptions, SweepResults, SweepRow, SweepStats,
+};
 pub use verdict::{Classification, FullComparison, TestResult};
 
 use std::collections::BTreeSet;
 
 use tricheck_c11::C11Model;
 use tricheck_compiler::{compile, CompileError, Mapping};
-use tricheck_litmus::{LitmusTest, Outcome};
+use tricheck_litmus::{ExecutionSpace, LitmusTest, Outcome};
 use tricheck_uarch::UarchModel;
 
 /// One full-stack configuration: a C11 front end, a compiler mapping, and
@@ -124,15 +133,23 @@ impl<'m> TriCheck<'m> {
     /// validating refinements ("no forbidden outcomes are allowed as a
     /// result of this relaxation", §5.2.2).
     ///
+    /// Both outcome sets are computed through the shared
+    /// [`ExecutionSpace::outcome_set`] engine — the same path a
+    /// full-outcome sweep ([`OutcomeMode::FullOutcomes`]) amortizes
+    /// across model cells, pinned to the one-shot streaming enumeration
+    /// by the differential tests in `tests/power_equivalence.rs`.
+    ///
     /// # Errors
     ///
     /// Returns a [`CompileError`] if the mapping cannot express the test.
     pub fn verify_full(&self, test: &LitmusTest) -> Result<FullComparison, CompileError> {
-        let permitted = self.hll.permitted_outcomes(test);
+        let hll_space = ExecutionSpace::new(test.program().clone());
+        let permitted = self.hll.permitted_outcomes_in(&hll_space, test.observed());
         let compiled = compile(test, self.mapping)?;
+        let hw_space = ExecutionSpace::new(compiled.program().clone());
         let observable: BTreeSet<Outcome> = self
             .uarch
-            .observable_outcomes(compiled.program(), compiled.observed());
+            .observable_outcomes_in(&hw_space, compiled.observed());
         Ok(FullComparison::new(test.name(), permitted, observable))
     }
 }

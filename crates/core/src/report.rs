@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use tricheck_isa::{RiscvIsa, SpecVersion};
 
-use crate::runner::{SweepResults, SweepRow};
+use crate::runner::{StackKey, SweepResults, SweepRow};
 
 /// Renders one Figure-15-style chart: for a single litmus family, the
 /// Bug / Overly Strict / Equivalent counts for every µarch model under
@@ -23,8 +23,8 @@ pub fn family_chart(results: &SweepResults, family: &str) -> String {
         let _ = writeln!(
             out,
             "{:<8} {:<12} {:<8} {:>6} {:>14} {:>11} {:>7}",
-            row.isa.to_string(),
-            row.version.to_string(),
+            row.key.isa_label(),
+            row.key.variant_label(),
             row.model.split('/').next().unwrap_or(&row.model),
             row.bugs,
             row.overly_strict,
@@ -52,10 +52,11 @@ pub fn aggregate_chart(results: &SweepResults, families: &[&str]) -> String {
     for &family in families {
         for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
             for version in [SpecVersion::Curr, SpecVersion::Ours] {
+                let key = StackKey::Riscv { isa, version };
                 let rows: Vec<&SweepRow> = results
                     .rows()
                     .iter()
-                    .filter(|r| r.family == family && r.isa == isa && r.version == version)
+                    .filter(|r| r.family == family && r.key == key)
                     .collect();
                 if rows.is_empty() {
                     continue;
@@ -110,9 +111,10 @@ pub fn headline_table(results: &SweepResults) -> String {
     );
     for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
         for version in [SpecVersion::Curr, SpecVersion::Ours] {
+            let key = StackKey::Riscv { isa, version };
             let counts: Vec<String> = models
                 .iter()
-                .map(|m| format!("{:>7}", results.total_bugs(isa, version, m)))
+                .map(|m| format!("{:>7}", results.bugs_for(key, m)))
                 .collect();
             let _ = writeln!(
                 out,
@@ -126,6 +128,55 @@ pub fn headline_table(results: &SweepResults) -> String {
     out
 }
 
+/// Renders the §7 compiler-study table: per (sync style, ARMv7 model)
+/// cell, the total Bug / Overly Strict / Equivalent counts across the
+/// whole suite, in matrix order.
+#[must_use]
+pub fn power_table(results: &SweepResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== §7 compiler study: C11 → Power mappings on ARMv7 =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<15} {:<22} {:>6} {:>14} {:>11} {:>7}",
+        "mapping", "model", "Bugs", "OverlyStrict", "Equivalent", "Total"
+    );
+    // Aggregate each (key, model) pair over families, preserving the
+    // rows' matrix order.
+    let mut order: Vec<(StackKey, &str)> = Vec::new();
+    for row in results.rows() {
+        let cell = (row.key, row.model.as_str());
+        if !order.contains(&cell) {
+            order.push(cell);
+        }
+    }
+    for (key, model) in order {
+        let (mut bugs, mut strict, mut equiv) = (0, 0, 0);
+        for row in results
+            .rows()
+            .iter()
+            .filter(|r| r.key == key && r.model == model)
+        {
+            bugs += row.bugs;
+            strict += row.overly_strict;
+            equiv += row.equivalent;
+        }
+        let _ = writeln!(
+            out,
+            "{:<15} {:<22} {:>6} {:>14} {:>11} {:>7}",
+            key.variant_label(),
+            model,
+            bugs,
+            strict,
+            equiv,
+            bugs + strict + equiv
+        );
+    }
+    out
+}
+
 /// Serializes sweep results as CSV (`isa,version,model,family,bugs,
 /// overly_strict,equivalent,total`), for external plotting of Figure 15.
 #[must_use]
@@ -135,8 +186,8 @@ pub fn to_csv(results: &SweepResults) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{},{},{},{},{}",
-            row.isa,
-            row.version,
+            row.key.isa_label(),
+            row.key.variant_label(),
             row.model.split('/').next().unwrap_or(&row.model),
             row.family,
             row.bugs,
@@ -195,6 +246,21 @@ mod tests {
         assert_eq!(table.lines().count(), 2 + 4);
         assert!(table.contains("Base"));
         assert!(table.contains("Base+A"));
+    }
+
+    #[test]
+    fn power_table_lists_every_study_cell() {
+        let tests = vec![
+            suite::mp([tricheck_litmus::MemOrder::Rlx; 4]),
+            suite::sb([tricheck_litmus::MemOrder::Sc; 4]),
+        ];
+        let table = power_table(&Sweep::new().run_power(&tests));
+        // 2 sync styles × 2 ARMv7 models + 2 header lines.
+        assert_eq!(table.lines().count(), 2 + 4);
+        assert!(table.contains("leading-sync"));
+        assert!(table.contains("trailing-sync"));
+        assert!(table.contains("ARMv7-A9like"));
+        assert!(table.contains("ARMv7-A9-ldld-hazard"));
     }
 
     #[test]

@@ -4,51 +4,81 @@
 //!
 //! # Architecture
 //!
-//! The paper's Figure 15 sweep evaluates every litmus test against 28
-//! model cells (2 ISAs × 2 spec versions × 7 µarch models). Three phases
-//! of that work depend on strictly less than the full (test, cell) pair,
-//! so [`Sweep::run_riscv`] shares them through a [`SweepCache`]-style
-//! set of concurrent caches instead of recomputing per cell:
+//! A sweep evaluates every litmus test against a *matrix* of full-stack
+//! model cells. [`Sweep::run_matrix`] is the generic engine: it takes an
+//! arbitrary list of [`MatrixStack`]s — each a row key, a compiler
+//! mapping, and a µarch model — and schedules the (test × stack) items
+//! over shared caches. The paper's two studies are thin instantiations:
+//!
+//! - [`Sweep::run_riscv`] — Figure 15's 28 cells (2 RISC-V ISAs × 2 spec
+//!   versions × 7 µarch models, with the matching Table 2/3 mapping);
+//! - [`Sweep::run_power`] — the §7 compiler study's cells
+//!   ({leading-sync, trailing-sync} × the ARMv7 models).
+//!
+//! Three phases of the work depend on strictly less than the full
+//! (test, cell) pair, so they are shared through a [`SweepCache`]-style
+//! set of concurrent caches instead of recomputed per cell:
 //!
 //! 1. **C11 verdicts** depend only on the test — computed once per test
-//!    (a `OnceLock` per test).
-//! 2. **Compilation** depends on (test, mapping) — four mappings cover
-//!    all 28 cells, so each test compiles exactly four times (a
-//!    `OnceLock` per pair).
+//!    (a `OnceLock` per test; in [`OutcomeMode::FullOutcomes`] the cached
+//!    value is the full permitted-outcome set).
+//! 2. **Compilation** depends on (test, mapping) — mappings are
+//!    deduplicated across cells, so each test compiles exactly once per
+//!    distinct mapping (a `OnceLock` per pair).
 //! 3. **Candidate enumeration** depends only on the *compiled program* —
 //!    spaces are cached by the program's structural
-//!    [`Fingerprint`](tricheck_litmus::Fingerprint), so all seven models
-//!    of a (ISA, version) column share one enumeration, and any two
-//!    mappings that emit identical code (e.g. all-relaxed variants under
-//!    the intuitive and refined Base mappings) share one too.
+//!    [`Fingerprint`](tricheck_litmus::Fingerprint), so every model cell
+//!    sharing a mapping shares one enumeration, and any two mappings that
+//!    emit identical code (e.g. all-relaxed variants) share one too. In
+//!    full-outcome mode the space's cached outcome partition is shared
+//!    the same way.
 //!
 //! Work is scheduled as (test × stack) items over a work-stealing pool:
 //! each worker owns a contiguous chunk of items and, when drained, steals
 //! from the fullest remaining chunk. Items are laid out test-major so one
-//! test's 28 cells are processed close together while its compiled
-//! programs and spaces are hot. `SweepOptions::threads == 1` bypasses the
-//! pool entirely for a fully deterministic serial run; the parallel path
+//! test's cells are processed close together while its compiled programs
+//! and spaces are hot. `SweepOptions::threads == 1` bypasses the pool
+//! entirely for a fully deterministic serial run; the parallel path
 //! produces bit-identical [`SweepResults`] regardless (results are
 //! written by item index and aggregated in a fixed order).
 //!
 //! [`SweepResults::stats`] exposes the cache counters; the engine
 //! equivalence tests assert `compile_calls == tests × mappings` and
 //! `space_enumerations == distinct_programs` — i.e. nothing is ever
-//! compiled or enumerated twice. [`Sweep::run_riscv_naive`] keeps the
-//! pre-engine per-cell recompute path alive as the differential oracle
-//! (and the baseline of `benches/pipeline.rs`).
+//! compiled or enumerated twice. [`Sweep::run_riscv_naive`] and
+//! [`Sweep::run_power_naive`] keep the pre-engine per-cell recompute path
+//! alive as the differential oracle (and the baselines of
+//! `benches/pipeline.rs` and `benches/power_sweep.rs`).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use tricheck_c11::C11Model;
-use tricheck_compiler::{compile, riscv_mapping, CompileError, CompiledTest, Mapping};
+use tricheck_compiler::{
+    compile, power_mapping, riscv_mapping, CompileError, CompiledTest, Mapping, PowerSyncStyle,
+};
 use tricheck_isa::{HwAnnot, RiscvIsa, SpecVersion};
-use tricheck_litmus::{ExecutionSpace, LitmusTest};
+use tricheck_litmus::{ExecutionSpace, LitmusTest, Outcome};
 use tricheck_uarch::UarchModel;
 
 use crate::verdict::{Classification, TestResult};
+
+/// Which equivalence a sweep checks per (test, cell).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OutcomeMode {
+    /// Judge the test's designated target outcome only (the paper's
+    /// Figure 15 mode; short-circuiting witness searches).
+    #[default]
+    Target,
+    /// Compare the *full* outcome sets — every outcome C11 permits
+    /// against every outcome the µarch exhibits (the stronger
+    /// [`TriCheck::verify_full`](crate::TriCheck::verify_full)
+    /// equivalence). On the engine this runs at witness-mode cost: the
+    /// enumeration and outcome partition are computed once per distinct
+    /// compiled program and shared by every model cell.
+    FullOutcomes,
+}
 
 /// Options controlling a sweep.
 #[derive(Clone, Debug)]
@@ -58,23 +88,108 @@ pub struct SweepOptions {
     /// spawned at all, which is the configuration to use under a
     /// debugger or when bisecting.
     pub threads: usize,
+    /// The equivalence checked per cell (target-outcome by default).
+    pub outcome_mode: OutcomeMode,
+}
+
+impl SweepOptions {
+    /// Default options with an explicit thread count.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        SweepOptions {
+            threads,
+            ..SweepOptions::default()
+        }
+    }
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        SweepOptions { threads }
+        SweepOptions {
+            threads,
+            outcome_mode: OutcomeMode::Target,
+        }
     }
 }
 
-/// Classification counts for one (ISA, version, µarch model, litmus
-/// family) cell — one bar of the paper's Figure 15.
+/// The ISA-level identity of one column of a sweep matrix — what
+/// distinguishes two stacks besides their µarch model.
+///
+/// RISC-V stacks are keyed by (ISA, spec version) — the pair picks the
+/// Table 2/3 mapping; Power stacks are keyed by the §7 sync placement
+/// style. This is the generalized row key that lets
+/// [`SweepResults`] hold Figure 15 and compiler-study rows without
+/// tagging Power cells with a fake RISC-V ISA.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StackKey {
+    /// A RISC-V stack of the Figure 15 sweep.
+    Riscv {
+        /// RISC-V ISA (Base or Base+A).
+        isa: RiscvIsa,
+        /// Specification version (`riscv-curr` or `riscv-ours`).
+        version: SpecVersion,
+    },
+    /// A Power/ARMv7 stack of the §7 compiler study.
+    Power {
+        /// The C11 → Power sync placement style.
+        style: PowerSyncStyle,
+    },
+}
+
+impl StackKey {
+    /// The ISA column label (`"Base"`, `"Base+A"`, `"Power"`).
+    #[must_use]
+    pub fn isa_label(&self) -> &'static str {
+        match self {
+            StackKey::Riscv {
+                isa: RiscvIsa::Base,
+                ..
+            } => "Base",
+            StackKey::Riscv {
+                isa: RiscvIsa::BaseA,
+                ..
+            } => "Base+A",
+            StackKey::Power { .. } => "Power",
+        }
+    }
+
+    /// The variant column label (`"riscv-curr"`, `"riscv-ours"`,
+    /// `"leading-sync"`, `"trailing-sync"`).
+    #[must_use]
+    pub fn variant_label(&self) -> &'static str {
+        match self {
+            StackKey::Riscv {
+                version: SpecVersion::Curr,
+                ..
+            } => "riscv-curr",
+            StackKey::Riscv {
+                version: SpecVersion::Ours,
+                ..
+            } => "riscv-ours",
+            StackKey::Power { style } => style.label(),
+        }
+    }
+}
+
+/// One full-stack column of a sweep matrix: a row key, the compiler
+/// mapping producing the hardware programs, and the µarch model judging
+/// them. [`Sweep::run_matrix`] takes a list of these.
+pub struct MatrixStack<'m> {
+    /// The row key under which this cell's results are aggregated.
+    pub key: StackKey,
+    /// The C11 → ISA mapping (deduplicated across stacks by identity).
+    pub mapping: &'m dyn Mapping,
+    /// The microarchitecture model.
+    pub model: UarchModel,
+}
+
+/// Classification counts for one (stack key, µarch model, litmus family)
+/// cell — one bar of the paper's Figure 15 or one §7 study cell.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SweepRow {
-    /// RISC-V ISA (Base or Base+A).
-    pub isa: RiscvIsa,
-    /// Specification version (`riscv-curr` or `riscv-ours`).
-    pub version: SpecVersion,
+    /// The stack's ISA-level row key.
+    pub key: StackKey,
     /// µarch model name (e.g. `"nMM"`).
     pub model: String,
     /// Litmus template family (e.g. `"wrc"`).
@@ -101,10 +216,10 @@ impl SweepRow {
 pub struct SweepStats {
     /// Litmus tests swept.
     pub tests: usize,
-    /// Full-stack model cells ((ISA, version, model) triples).
+    /// Full-stack model cells.
     pub cells: usize,
-    /// C11 target verdicts computed (== `tests`: one per test, shared by
-    /// every cell).
+    /// C11 verdicts computed (== `tests`: one per test, shared by every
+    /// cell; in full-outcome mode each is a permitted-outcome set).
     pub c11_evaluations: usize,
     /// Compilations performed — exactly one per (test, mapping) pair.
     pub compile_calls: usize,
@@ -128,21 +243,40 @@ pub struct SweepResults {
 }
 
 impl SweepResults {
-    /// All rows, ordered by (ISA, version, model, family).
+    /// All rows, ordered by (stack, model, family) in matrix order.
     #[must_use]
     pub fn rows(&self) -> &[SweepRow] {
         &self.rows
     }
 
     /// The sweep's cache counters ([`SweepStats::default`] for the naive
-    /// path, which caches nothing).
+    /// paths, which cache nothing).
     #[must_use]
     pub fn stats(&self) -> &SweepStats {
         &self.stats
     }
 
     /// The row for an exact cell, if present. `model` matches the bare
-    /// model name (`"nMM"`), ignoring the version suffix.
+    /// model name (`"nMM"`), ignoring any version suffix.
+    #[must_use]
+    pub fn row(&self, key: StackKey, model: &str, family: &str) -> Option<&SweepRow> {
+        self.rows
+            .iter()
+            .find(|r| r.key == key && bare_model_name(&r.model) == model && r.family == family)
+    }
+
+    /// Total bugs across all families for one (stack key, model).
+    #[must_use]
+    pub fn bugs_for(&self, key: StackKey, model: &str) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.key == key && bare_model_name(&r.model) == model)
+            .map(|r| r.bugs)
+            .sum()
+    }
+
+    /// The row for an exact RISC-V cell, if present.
+    #[deprecated(note = "use `row` with a `StackKey` — Power rows carry no RISC-V ISA tag")]
     #[must_use]
     pub fn cell(
         &self,
@@ -151,22 +285,15 @@ impl SweepResults {
         model: &str,
         family: &str,
     ) -> Option<&SweepRow> {
-        self.rows.iter().find(|r| {
-            r.isa == isa
-                && r.version == version
-                && bare_model_name(&r.model) == model
-                && r.family == family
-        })
+        self.row(StackKey::Riscv { isa, version }, model, family)
     }
 
-    /// Total bugs across all families for one (ISA, version, model).
+    /// Total bugs across all families for one RISC-V (ISA, version,
+    /// model).
+    #[deprecated(note = "use `bugs_for` with a `StackKey` — Power rows carry no RISC-V ISA tag")]
     #[must_use]
     pub fn total_bugs(&self, isa: RiscvIsa, version: SpecVersion, model: &str) -> usize {
-        self.rows
-            .iter()
-            .filter(|r| r.isa == isa && r.version == version && bare_model_name(&r.model) == model)
-            .map(|r| r.bugs)
-            .sum()
+        self.bugs_for(StackKey::Riscv { isa, version }, model)
     }
 
     /// Total bugs in the entire sweep.
@@ -180,23 +307,29 @@ fn bare_model_name(full: &str) -> &str {
     full.split('/').next().unwrap_or(full)
 }
 
-/// One full-stack model cell of a sweep.
-struct Stack<'m> {
-    isa: RiscvIsa,
-    version: SpecVersion,
-    /// Index into the sweep's deduplicated mapping list.
+/// One scheduled cell of a sweep: a matrix stack plus its index into the
+/// deduplicated mapping list.
+struct Cell<'a, 'm> {
     mapping_idx: usize,
     mapping: &'m dyn Mapping,
-    model: UarchModel,
+    model: &'a UarchModel,
 }
 
-/// The concurrent caches shared by every (test × stack) work item.
+/// The C11 verdict cache entry: the target verdict, or the full
+/// permitted-outcome set, depending on [`OutcomeMode`].
+enum C11Entry {
+    Target(bool),
+    Full(BTreeSet<Outcome>),
+}
+
+/// The concurrent caches shared by every (test × cell) work item.
 struct SweepCache<'t> {
     tests: &'t [LitmusTest],
     n_mappings: usize,
+    mode: OutcomeMode,
     c11: C11Model,
     /// One verdict per test, computed on first demand.
-    c11_verdicts: Vec<OnceLock<bool>>,
+    c11_verdicts: Vec<OnceLock<C11Entry>>,
     /// One compilation per (test, mapping): index `t * n_mappings + m`.
     compiled: Vec<OnceLock<Result<Arc<CompiledTest>, CompileError>>>,
     /// Execution spaces keyed by program fingerprint. Buckets hold every
@@ -210,10 +343,11 @@ struct SweepCache<'t> {
 }
 
 impl<'t> SweepCache<'t> {
-    fn new(tests: &'t [LitmusTest], n_mappings: usize) -> Self {
+    fn new(tests: &'t [LitmusTest], n_mappings: usize, mode: OutcomeMode) -> Self {
         SweepCache {
             tests,
             n_mappings,
+            mode,
             c11: C11Model::new(),
             c11_verdicts: (0..tests.len()).map(|_| OnceLock::new()).collect(),
             compiled: (0..tests.len() * n_mappings)
@@ -227,11 +361,17 @@ impl<'t> SweepCache<'t> {
         }
     }
 
-    /// Step 1 verdict for one test, computed at most once sweep-wide.
-    fn c11_verdict(&self, t: usize) -> bool {
-        *self.c11_verdicts[t].get_or_init(|| {
+    /// Step 1 verdict for one test, computed at most once sweep-wide
+    /// (the designated-target verdict, or the full permitted set).
+    fn c11_entry(&self, t: usize) -> &C11Entry {
+        self.c11_verdicts[t].get_or_init(|| {
             self.c11_evaluations.fetch_add(1, Ordering::Relaxed);
-            self.c11.permits_target(&self.tests[t])
+            match self.mode {
+                OutcomeMode::Target => C11Entry::Target(self.c11.permits_target(&self.tests[t])),
+                OutcomeMode::FullOutcomes => {
+                    C11Entry::Full(self.c11.permitted_outcomes(&self.tests[t]))
+                }
+            }
         })
     }
 
@@ -270,26 +410,49 @@ impl<'t> SweepCache<'t> {
         space
     }
 
-    /// Runs one (test, stack) work item through Steps 1–4.
+    /// Runs one (test, cell) work item through Steps 1–4.
     ///
     /// `share_spaces` selects the enumeration mode: a multi-cell sweep
-    /// materializes each program's matching set once in a shared space
-    /// (amortized across every model judging it), while a single-cell
-    /// run has nothing to amortize and keeps the short-circuiting
-    /// witness search that stops at the first consistent execution.
-    fn process(&self, t: usize, stack: &Stack<'_>, share_spaces: bool) -> Option<TestResult> {
-        let permitted = self.c11_verdict(t);
-        let compiled = match self.compiled(t, stack.mapping_idx, stack.mapping) {
+    /// materializes each program's matching set (or outcome partition)
+    /// once in a shared space, amortized across every model judging it,
+    /// while a single-cell run has nothing to amortize and keeps the
+    /// one-shot paths (short-circuiting witness search / streaming
+    /// outcome enumeration).
+    fn process(&self, t: usize, cell: &Cell<'_, '_>, share_spaces: bool) -> Option<TestResult> {
+        // Step 1 before Step 2, so `c11_evaluations == tests` holds even
+        // for a test no mapping can compile (the naive path evaluates
+        // every test's C11 verdict too).
+        let entry = self.c11_entry(t);
+        let compiled = match self.compiled(t, cell.mapping_idx, cell.mapping) {
             Ok(compiled) => compiled,
             Err(_) => return None, // the paper's suite always compiles
         };
-        let observable = if share_spaces {
-            let space = self.space_for(&compiled);
-            stack.model.observes_in(&space, compiled.target())
-        } else {
-            stack.model.observes(compiled.program(), compiled.target())
-        };
-        Some(TestResult::new(&self.tests[t], permitted, observable))
+        match entry {
+            C11Entry::Target(permitted) => {
+                let observable = if share_spaces {
+                    let space = self.space_for(&compiled);
+                    cell.model.observes_in(&space, compiled.target())
+                } else {
+                    cell.model.observes(compiled.program(), compiled.target())
+                };
+                Some(TestResult::new(&self.tests[t], *permitted, observable))
+            }
+            C11Entry::Full(permitted) => {
+                let observable = if share_spaces {
+                    let space = self.space_for(&compiled);
+                    cell.model
+                        .observable_outcomes_in(&space, compiled.observed())
+                } else {
+                    cell.model
+                        .observable_outcomes(compiled.program(), compiled.observed())
+                };
+                let classification = classify_sets(permitted, &observable);
+                Some(TestResult::from_classification(
+                    &self.tests[t],
+                    classification,
+                ))
+            }
+        }
     }
 
     /// Drains the cache into sweep-level statistics.
@@ -317,6 +480,19 @@ impl<'t> SweepCache<'t> {
     }
 }
 
+/// The set-level Step 4 classification: any observable-but-forbidden
+/// outcome is a bug witness; otherwise any permitted-but-unobservable
+/// outcome makes the cell overly strict.
+fn classify_sets(permitted: &BTreeSet<Outcome>, observable: &BTreeSet<Outcome>) -> Classification {
+    if observable.difference(permitted).next().is_some() {
+        Classification::Bug
+    } else if permitted.difference(observable).next().is_some() {
+        Classification::OverlyStrict
+    } else {
+        Classification::Equivalent
+    }
+}
+
 /// Runs litmus suites through full-stack configurations.
 #[derive(Clone, Debug, Default)]
 pub struct Sweep {
@@ -339,6 +515,10 @@ impl Sweep {
     /// Evaluates one stack (mapping + µarch model) over a set of tests,
     /// returning per-test results. Tests the mapping cannot compile are
     /// skipped (the paper's suite always compiles).
+    ///
+    /// In [`OutcomeMode::FullOutcomes`] each result's classification is
+    /// the set-level verdict of
+    /// [`TriCheck::verify_full`](crate::TriCheck::verify_full).
     #[must_use]
     pub fn run_stack(
         &self,
@@ -346,61 +526,52 @@ impl Sweep {
         mapping: &dyn Mapping,
         model: &UarchModel,
     ) -> Vec<TestResult> {
-        let stacks = vec![Stack {
-            isa: RiscvIsa::Base, // unused by per-test results
-            version: SpecVersion::Curr,
+        let cells = vec![Cell {
             mapping_idx: 0,
             mapping,
-            model: model.clone(),
+            model,
         }];
-        let (results, _) = self.run_cells(tests, &stacks, 1);
+        let (results, _) = self.run_cells(tests, &cells, 1);
         results.into_iter().flatten().collect()
     }
 
-    /// The paper's full Figure 15 sweep: every Table 7 model × {Base,
-    /// Base+A} × {riscv-curr, riscv-ours}, with the matching compiler
-    /// mapping, aggregated per litmus family.
-    ///
-    /// Runs on the shared execution-space engine: each (test, mapping)
-    /// pair is compiled exactly once and each distinct compiled program
-    /// is enumerated exactly once across all 28 model cells — see
+    /// Runs the generic sweep matrix: every test × every stack, on the
+    /// shared execution-space engine. Each (test, mapping) pair is
+    /// compiled exactly once and each distinct compiled program is
+    /// enumerated exactly once across all cells — see
     /// [`SweepResults::stats`].
+    ///
+    /// Mappings are deduplicated across stacks by fat-pointer identity
+    /// (address AND vtable): the paper's mappings are zero-sized statics,
+    /// so bare addresses all coincide, and dedup by name would let a name
+    /// collision reuse the wrong compiled programs. A duplicated vtable
+    /// across codegen units only costs a redundant cache column, never a
+    /// wrong reuse.
     #[must_use]
-    pub fn run_riscv(&self, tests: &[LitmusTest]) -> SweepResults {
-        let mut stacks = Vec::new();
-        let mut mappings: Vec<&'static dyn Mapping> = Vec::new();
-        for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
-            for version in [SpecVersion::Curr, SpecVersion::Ours] {
-                let mapping = riscv_mapping(isa, version);
-                // Dedup by fat-pointer identity (address AND vtable): the
-                // mappings are zero-sized statics, so bare addresses all
-                // coincide, and dedup by name would let a name collision
-                // reuse the wrong compiled programs. A duplicated vtable
-                // across codegen units only costs a redundant cache column,
-                // never a wrong reuse.
+    pub fn run_matrix(&self, tests: &[LitmusTest], stacks: &[MatrixStack<'_>]) -> SweepResults {
+        let mut mappings: Vec<&dyn Mapping> = Vec::new();
+        let cells: Vec<Cell<'_, '_>> = stacks
+            .iter()
+            .map(|stack| {
                 #[allow(ambiguous_wide_pointer_comparisons)]
                 let mapping_idx = match mappings
                     .iter()
-                    .position(|m| std::ptr::eq(*m as *const dyn Mapping, mapping))
+                    .position(|m| std::ptr::eq(*m as *const dyn Mapping, stack.mapping))
                 {
                     Some(i) => i,
                     None => {
-                        mappings.push(mapping);
+                        mappings.push(stack.mapping);
                         mappings.len() - 1
                     }
                 };
-                for model in UarchModel::all_riscv(version) {
-                    stacks.push(Stack {
-                        isa,
-                        version,
-                        mapping_idx,
-                        mapping,
-                        model,
-                    });
+                Cell {
+                    mapping_idx,
+                    mapping: stack.mapping,
+                    model: &stack.model,
                 }
-            }
-        }
-        let (results, stats) = self.run_cells(tests, &stacks, mappings.len());
+            })
+            .collect();
+        let (results, stats) = self.run_cells(tests, &cells, mappings.len());
 
         // Aggregate in deterministic (stack, test) order, independent of
         // the parallel schedule that produced the results.
@@ -410,34 +581,30 @@ impl Sweep {
             let cell_results: Vec<TestResult> = (0..tests.len())
                 .filter_map(|t| results[t * n_stacks + s].clone())
                 .collect();
-            rows.extend(aggregate(
-                stack.isa,
-                stack.version,
-                stack.model.name(),
-                &cell_results,
-            ));
+            rows.extend(aggregate(stack.key, stack.model.name(), &cell_results));
         }
         SweepResults { rows, stats }
     }
 
-    /// The pre-engine sweep: identical cells to [`Sweep::run_riscv`], but
-    /// every cell recompiles and re-enumerates from scratch.
+    /// The naive counterpart of [`Sweep::run_matrix`]: identical cells,
+    /// but every cell recompiles and re-enumerates from scratch (the C11
+    /// verdicts are still computed once — the pre-engine pipeline always
+    /// shared those).
     ///
     /// Kept as the differential oracle for the engine (the equivalence
-    /// tests assert its rows match `run_riscv`'s exactly) and as the
-    /// baseline of the pipeline benchmark. `stats()` is all zeros.
+    /// tests assert its rows match `run_matrix`'s exactly) and as the
+    /// baseline of the pipeline benchmarks. `stats()` is all zeros.
     #[must_use]
-    pub fn run_riscv_naive(&self, tests: &[LitmusTest]) -> SweepResults {
-        let c11 = self.c11_verdicts_naive(tests);
+    pub fn run_matrix_naive(
+        &self,
+        tests: &[LitmusTest],
+        stacks: &[MatrixStack<'_>],
+    ) -> SweepResults {
+        let c11 = self.c11_entries_naive(tests);
         let mut rows = Vec::new();
-        for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
-            for version in [SpecVersion::Curr, SpecVersion::Ours] {
-                let mapping = riscv_mapping(isa, version);
-                for model in UarchModel::all_riscv(version) {
-                    let results = self.hw_results_naive(tests, &c11, mapping, &model);
-                    rows.extend(aggregate(isa, version, model.name(), &results));
-                }
-            }
+        for stack in stacks {
+            let results = self.cell_results_naive(tests, &c11, stack.mapping, &stack.model);
+            rows.extend(aggregate(stack.key, stack.model.name(), &results));
         }
         SweepResults {
             rows,
@@ -445,34 +612,66 @@ impl Sweep {
         }
     }
 
-    /// Processes every (test × stack) item over the shared caches and the
+    /// The paper's full Figure 15 sweep: every Table 7 model × {Base,
+    /// Base+A} × {riscv-curr, riscv-ours}, with the matching compiler
+    /// mapping, via [`Sweep::run_matrix`].
+    #[must_use]
+    pub fn run_riscv(&self, tests: &[LitmusTest]) -> SweepResults {
+        self.run_matrix(tests, &riscv_stacks())
+    }
+
+    /// The pre-engine Figure 15 sweep: identical cells to
+    /// [`Sweep::run_riscv`] on the per-cell recompute path.
+    #[must_use]
+    pub fn run_riscv_naive(&self, tests: &[LitmusTest]) -> SweepResults {
+        self.run_matrix_naive(tests, &riscv_stacks())
+    }
+
+    /// The §7 compiler study as a cached sweep: {leading-sync,
+    /// trailing-sync} C11 → Power mappings × the ARMv7 models, via
+    /// [`Sweep::run_matrix`] — with the same exactly-once guarantees as
+    /// the RISC-V sweep (each distinct Power program is enumerated once
+    /// across all mapping × model cells).
+    #[must_use]
+    pub fn run_power(&self, tests: &[LitmusTest]) -> SweepResults {
+        self.run_matrix(tests, &power_stacks())
+    }
+
+    /// The §7 compiler study on the per-cell recompute path — the
+    /// differential oracle for [`Sweep::run_power`].
+    #[must_use]
+    pub fn run_power_naive(&self, tests: &[LitmusTest]) -> SweepResults {
+        self.run_matrix_naive(tests, &power_stacks())
+    }
+
+    /// Processes every (test × cell) item over the shared caches and the
     /// work-stealing pool, returning per-item results (test-major) plus
     /// cache statistics.
     fn run_cells(
         &self,
         tests: &[LitmusTest],
-        stacks: &[Stack<'_>],
+        cells: &[Cell<'_, '_>],
         n_mappings: usize,
     ) -> (Vec<Option<TestResult>>, SweepStats) {
-        let cache = SweepCache::new(tests, n_mappings);
-        let n_stacks = stacks.len();
-        let n_items = tests.len() * n_stacks;
+        let cache = SweepCache::new(tests, n_mappings, self.options.outcome_mode);
+        let n_cells = cells.len();
+        let n_items = tests.len() * n_cells;
         let results: Vec<OnceLock<Option<TestResult>>> =
             (0..n_items).map(|_| OnceLock::new()).collect();
 
         // With a single cell there is no cross-model sharing to pay for:
-        // keep the short-circuiting witness search per test.
-        let share_spaces = n_stacks > 1;
+        // keep the one-shot per-test paths.
+        let share_spaces = n_cells > 1;
         let process = |i: usize| {
-            let (t, s) = (i / n_stacks, i % n_stacks);
-            let result = cache.process(t, &stacks[s], share_spaces);
+            let (t, s) = (i / n_cells, i % n_cells);
+            let result = cache.process(t, &cells[s], share_spaces);
             results[i]
                 .set(result)
                 .expect("each work item is processed exactly once");
         };
         run_work_stealing(n_items, self.options.threads, &process);
 
-        let stats = cache.stats(n_stacks);
+        let stats = cache.stats(n_cells);
         let results = results
             .into_iter()
             .map(|slot| slot.into_inner().expect("all work items processed"))
@@ -481,30 +680,79 @@ impl Sweep {
     }
 
     /// Step 1 verdicts for all tests, computed in parallel (naive path).
-    fn c11_verdicts_naive(&self, tests: &[LitmusTest]) -> Vec<bool> {
+    fn c11_entries_naive(&self, tests: &[LitmusTest]) -> Vec<C11Entry> {
         let hll = C11Model::new();
-        parallel_map(tests, self.options.threads, |t| hll.permits_target(t))
+        let mode = self.options.outcome_mode;
+        parallel_map(tests, self.options.threads, |t| match mode {
+            OutcomeMode::Target => C11Entry::Target(hll.permits_target(t)),
+            OutcomeMode::FullOutcomes => C11Entry::Full(hll.permitted_outcomes(t)),
+        })
     }
 
-    fn hw_results_naive(
+    fn cell_results_naive(
         &self,
         tests: &[LitmusTest],
-        c11: &[bool],
+        c11: &[C11Entry],
         mapping: &dyn Mapping,
         model: &UarchModel,
     ) -> Vec<TestResult> {
         let indexed: Vec<(usize, &LitmusTest)> = tests.iter().enumerate().collect();
         parallel_map(&indexed, self.options.threads, |&(i, test)| {
-            let observable = match compile(test, mapping) {
-                Ok(compiled) => model.observes(compiled.program(), compiled.target()),
+            let compiled = match compile(test, mapping) {
+                Ok(compiled) => compiled,
                 Err(_) => return None,
             };
-            Some(TestResult::new(test, c11[i], observable))
+            Some(match &c11[i] {
+                C11Entry::Target(permitted) => {
+                    let observable = model.observes(compiled.program(), compiled.target());
+                    TestResult::new(test, *permitted, observable)
+                }
+                C11Entry::Full(permitted) => {
+                    let observable =
+                        model.observable_outcomes(compiled.program(), compiled.observed());
+                    TestResult::from_classification(test, classify_sets(permitted, &observable))
+                }
+            })
         })
         .into_iter()
         .flatten()
         .collect()
     }
+}
+
+/// The 28 Figure 15 stacks in presentation order.
+fn riscv_stacks() -> Vec<MatrixStack<'static>> {
+    let mut stacks = Vec::new();
+    for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
+        for version in [SpecVersion::Curr, SpecVersion::Ours] {
+            let mapping = riscv_mapping(isa, version);
+            for model in UarchModel::all_riscv(version) {
+                stacks.push(MatrixStack {
+                    key: StackKey::Riscv { isa, version },
+                    mapping,
+                    model,
+                });
+            }
+        }
+    }
+    stacks
+}
+
+/// The §7 compiler-study stacks: both sync placement styles × the ARMv7
+/// models, in presentation order.
+fn power_stacks() -> Vec<MatrixStack<'static>> {
+    let mut stacks = Vec::new();
+    for style in PowerSyncStyle::ALL {
+        let mapping = power_mapping(style);
+        for model in UarchModel::all_armv7() {
+            stacks.push(MatrixStack {
+                key: StackKey::Power { style },
+                mapping,
+                model,
+            });
+        }
+    }
+    stacks
 }
 
 /// One worker's slice of the item range, drained from the front by its
@@ -572,12 +820,7 @@ fn run_work_stealing(n_items: usize, threads: usize, process: &(impl Fn(usize) +
     });
 }
 
-fn aggregate(
-    isa: RiscvIsa,
-    version: SpecVersion,
-    model: &str,
-    results: &[TestResult],
-) -> Vec<SweepRow> {
+fn aggregate(key: StackKey, model: &str, results: &[TestResult]) -> Vec<SweepRow> {
     let mut by_family: BTreeMap<&'static str, (usize, usize, usize)> = BTreeMap::new();
     // Preserve suite presentation order by first appearance.
     let mut order: Vec<&'static str> = Vec::new();
@@ -597,8 +840,7 @@ fn aggregate(
         .map(|family| {
             let (bugs, overly_strict, equivalent) = by_family[family];
             SweepRow {
-                isa,
-                version,
+                key,
                 model: model.to_string(),
                 family,
                 bugs,
@@ -717,7 +959,11 @@ mod tests {
             riscv_mapping(RiscvIsa::Base, SpecVersion::Curr),
             &UarchModel::wr(SpecVersion::Curr),
         );
-        let rows = aggregate(RiscvIsa::Base, SpecVersion::Curr, "WR", &results);
+        let key = StackKey::Riscv {
+            isa: RiscvIsa::Base,
+            version: SpecVersion::Curr,
+        };
+        let rows = aggregate(key, "WR", &results);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].family, "mp");
         assert_eq!(rows[0].total(), 2);
@@ -760,11 +1006,41 @@ mod tests {
     }
 
     #[test]
+    fn power_sweep_compiles_and_enumerates_exactly_once() {
+        // The §7 analogue of the acceptance contract: one compile per
+        // (test, mapping) and one enumeration per distinct Power program
+        // across all {mapping × model} cells.
+        let tests: Vec<_> = suite::wrc_template().instantiate_all().collect();
+        let results = Sweep::new().run_power(&tests);
+        let stats = results.stats();
+        assert_eq!(stats.tests, tests.len());
+        assert_eq!(stats.cells, 4);
+        assert_eq!(stats.c11_evaluations, tests.len());
+        assert_eq!(
+            stats.compile_calls,
+            tests.len() * 2,
+            "one compile per (test, sync style)"
+        );
+        assert_eq!(
+            stats.compile_cache_hits,
+            tests.len() * 4 - stats.compile_calls
+        );
+        assert_eq!(
+            stats.space_enumerations, stats.distinct_programs,
+            "each distinct Power program is enumerated exactly once"
+        );
+        // Leading- and trailing-sync agree on relaxed-only code, so
+        // deduplication must find strictly fewer programs than pairs.
+        assert!(stats.distinct_programs < stats.compile_calls);
+    }
+
+    #[test]
     fn riscv_sweep_is_deterministic_across_thread_counts() {
         let tests: Vec<_> = suite::sb_template().instantiate_all().collect();
-        let serial = Sweep::with_options(SweepOptions { threads: 1 }).run_riscv(&tests);
+        let serial = Sweep::with_options(SweepOptions::with_threads(1)).run_riscv(&tests);
         for threads in [2, 5] {
-            let parallel = Sweep::with_options(SweepOptions { threads }).run_riscv(&tests);
+            let parallel =
+                Sweep::with_options(SweepOptions::with_threads(threads)).run_riscv(&tests);
             assert_eq!(serial.rows(), parallel.rows(), "threads={threads}");
             assert_eq!(serial.stats(), parallel.stats(), "threads={threads}");
         }
@@ -778,5 +1054,71 @@ mod tests {
             sweep.run_riscv(&tests).rows(),
             sweep.run_riscv_naive(&tests).rows()
         );
+        assert_eq!(
+            sweep.run_power(&tests).rows(),
+            sweep.run_power_naive(&tests).rows()
+        );
+    }
+
+    #[test]
+    fn outcome_mode_agrees_with_target_mode_on_mp() {
+        // For MP variants the target outcome is the only disputed one, so
+        // the set-level check classifies every cell identically.
+        let tests: Vec<_> = suite::mp_template().instantiate_all().collect();
+        let target = Sweep::new().run_riscv(&tests);
+        let full = Sweep::with_options(SweepOptions {
+            outcome_mode: OutcomeMode::FullOutcomes,
+            ..SweepOptions::default()
+        })
+        .run_riscv(&tests);
+        assert_eq!(target.rows(), full.rows());
+        // And the exactly-once contract holds in outcome mode too.
+        assert_eq!(
+            full.stats().space_enumerations,
+            full.stats().distinct_programs
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_riscv_shims_forward_to_generalized_row_key() {
+        let tests: Vec<_> = suite::mp_template().instantiate_all().collect();
+        let results = Sweep::new().run_riscv(&tests);
+        let key = StackKey::Riscv {
+            isa: RiscvIsa::Base,
+            version: SpecVersion::Curr,
+        };
+        assert_eq!(
+            results.cell(RiscvIsa::Base, SpecVersion::Curr, "nMM", "mp"),
+            results.row(key, "nMM", "mp")
+        );
+        assert_eq!(
+            results.total_bugs(RiscvIsa::Base, SpecVersion::Curr, "nMM"),
+            results.bugs_for(key, "nMM")
+        );
+    }
+
+    #[test]
+    fn power_rows_carry_power_keys() {
+        let tests = vec![suite::sb([MemOrder::Sc; 4])];
+        let results = Sweep::new().run_power(&tests);
+        assert!(results
+            .rows()
+            .iter()
+            .all(|r| matches!(r.key, StackKey::Power { .. })));
+        // 2 styles × 2 models × 1 family.
+        assert_eq!(results.rows().len(), 4);
+        assert_eq!(
+            results.rows()[0].key.isa_label(),
+            "Power",
+            "Power rows must not masquerade as RISC-V"
+        );
+        let labels: Vec<&str> = results
+            .rows()
+            .iter()
+            .map(|r| r.key.variant_label())
+            .collect();
+        assert!(labels.contains(&"leading-sync"));
+        assert!(labels.contains(&"trailing-sync"));
     }
 }

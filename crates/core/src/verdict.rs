@@ -50,6 +50,19 @@ impl TestResult {
         }
     }
 
+    /// A result carrying a set-level verdict (full-outcome sweep mode).
+    /// The synthesized `permitted`/`observable` bits reproduce the
+    /// classification's quadrant; they are set-level facts, not verdicts
+    /// about the designated target outcome.
+    pub(crate) fn from_classification(test: &LitmusTest, c: Classification) -> Self {
+        let (permitted, observable) = match c {
+            Classification::Bug => (false, true),
+            Classification::OverlyStrict => (true, false),
+            Classification::Equivalent => (true, true),
+        };
+        TestResult::new(test, permitted, observable)
+    }
+
     /// The litmus test's name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -63,12 +76,21 @@ impl TestResult {
     }
 
     /// Step 1 verdict: does C11 permit the target outcome?
+    ///
+    /// For results produced in full-outcome sweep mode
+    /// (`OutcomeMode::FullOutcomes`), this bit is the synthesized
+    /// set-level quadrant — `false` only when the cell has a bug
+    /// witness — not a verdict about the designated target outcome.
     #[must_use]
     pub fn permitted(&self) -> bool {
         self.permitted
     }
 
     /// Step 3 verdict: does the microarchitecture exhibit it?
+    ///
+    /// Carries the same full-outcome-mode caveat as
+    /// [`TestResult::permitted`]: in that mode it is a set-level fact,
+    /// not a target-outcome verdict.
     #[must_use]
     pub fn observable(&self) -> bool {
         self.observable

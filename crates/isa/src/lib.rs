@@ -312,7 +312,7 @@ pub enum Asm {
 }
 
 /// The two RISC-V ISAs of the case study (§4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum RiscvIsa {
     /// Baseline ISA: fences only.
     Base,
@@ -332,7 +332,7 @@ impl fmt::Display for RiscvIsa {
 /// Which version of the RISC-V memory model a component targets:
 /// the 2016 specification (`Curr`) or the paper's refined proposal
 /// (`Ours`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum SpecVersion {
     /// `riscv-curr`: the ISA as specified in 2016.
     Curr,

@@ -59,5 +59,5 @@ pub use exec::{Event, EventKind, Execution};
 pub use mir::{Expr, Instr, Loc, Program, ProgramError, Reg, RmwKind, Val};
 pub use order::MemOrder;
 pub use outcome::Outcome;
-pub use space::{ConsistencyModel, ExecutionSpace, Fingerprint, SpaceStats};
+pub use space::{ConsistencyModel, ExecutionSpace, Fingerprint, OutcomeGroups, SpaceStats};
 pub use template::{LitmusTest, SlotKind, Template};

@@ -133,9 +133,20 @@ pub struct ExecutionSpace<A> {
     fingerprint: Fingerprint,
     full: OnceLock<Arc<Vec<Execution<A>>>>,
     matching: Mutex<BTreeMap<Outcome, Arc<Vec<Execution<A>>>>>,
+    /// Outcome partition of the full space, keyed by the observed-register
+    /// list it projects onto (see [`ExecutionSpace::outcome_groups`]).
+    groups: Mutex<GroupCache>,
     enumerations: AtomicUsize,
     cache_hits: AtomicUsize,
 }
+
+/// The full candidate space partitioned by outcome: each entry pairs one
+/// outcome with the indices (into [`ExecutionSpace::executions`]) of the
+/// executions that produce it.
+pub type OutcomeGroups = Vec<(Outcome, Vec<usize>)>;
+
+/// One cached partition per distinct observed-register list.
+type GroupCache = BTreeMap<Vec<(usize, Reg)>, Arc<OutcomeGroups>>;
 
 impl<A: Clone + Hash> ExecutionSpace<A> {
     /// Wraps a program; no enumeration happens until a query needs it.
@@ -147,6 +158,7 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
             fingerprint,
             full: OnceLock::new(),
             matching: Mutex::new(BTreeMap::new()),
+            groups: Mutex::new(BTreeMap::new()),
             enumerations: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
         }
@@ -240,22 +252,56 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
         self.matching(target).iter().any(&mut consistent)
     }
 
+    /// The full candidate space partitioned by outcome over `observed`
+    /// registers, computed once per distinct register list and shared by
+    /// every model that asks (the projection of each execution onto its
+    /// outcome is model-independent, so it belongs to the space, not the
+    /// judge).
+    ///
+    /// This is what lets a full-outcome-set sweep run at witness-mode
+    /// cost: the enumeration *and* the outcome projection are amortized
+    /// across all models, leaving each model only the consistency scans —
+    /// and those short-circuit per outcome group.
+    #[must_use]
+    pub fn outcome_groups(&self, observed: &[(usize, Reg)]) -> Arc<OutcomeGroups> {
+        // As with `matching`, the lock is held across the partition so
+        // each (space, observed) pair is computed exactly once.
+        let mut map = self.groups.lock().expect("space lock");
+        if let Some(cached) = map.get(observed) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        let execs = self.executions();
+        let mut by_outcome: BTreeMap<Outcome, Vec<usize>> = BTreeMap::new();
+        for (i, exec) in execs.iter().enumerate() {
+            by_outcome
+                .entry(exec.outcome(observed))
+                .or_default()
+                .push(i);
+        }
+        let groups: Arc<OutcomeGroups> = Arc::new(by_outcome.into_iter().collect());
+        map.insert(observed.to_vec(), Arc::clone(&groups));
+        groups
+    }
+
     /// The outcomes over `observed` registers across all candidate
     /// executions satisfying `consistent` (full-outcome-set mode).
+    ///
+    /// Runs over the cached [`ExecutionSpace::outcome_groups`] partition:
+    /// each outcome's scan stops at the first consistent witness, and the
+    /// outcome projection itself is never recomputed per model.
     #[must_use]
     pub fn outcome_set(
         &self,
         observed: &[(usize, Reg)],
         mut consistent: impl FnMut(&Execution<A>) -> bool,
     ) -> BTreeSet<Outcome> {
-        let mut out = BTreeSet::new();
-        for exec in self.executions().iter() {
-            let outcome = exec.outcome(observed);
-            if !out.contains(&outcome) && consistent(exec) {
-                out.insert(outcome);
-            }
-        }
-        out
+        let execs = self.executions();
+        self.outcome_groups(observed)
+            .iter()
+            .filter(|(_, members)| members.iter().any(|&i| consistent(&execs[i])))
+            .map(|(outcome, _)| outcome.clone())
+            .collect()
     }
 
     /// One-shot witness search that short-circuits the *enumeration*
@@ -409,6 +455,44 @@ mod tests {
         let via_space = space.outcome_set(t.observed(), |_| true);
         let direct = outcome_set(t.program(), t.observed(), |_| true);
         assert_eq!(via_space, direct);
+    }
+
+    #[test]
+    fn outcome_groups_partition_the_full_space() {
+        let t = suite::mp([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let groups = space.outcome_groups(t.observed());
+        let total: usize = groups.iter().map(|(_, members)| members.len()).sum();
+        assert_eq!(total, space.executions().len());
+        // Every member really produces its group's outcome, and groups
+        // are disjoint by construction (BTreeMap keys).
+        let execs = space.executions();
+        for (outcome, members) in groups.iter() {
+            for &i in members {
+                assert_eq!(&execs[i].outcome(t.observed()), outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_groups_are_computed_once_per_register_list() {
+        let t = suite::sb([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let a = space.outcome_groups(t.observed());
+        let b = space.outcome_groups(t.observed());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            space.stats().enumerations,
+            1,
+            "partitioning must reuse the one full enumeration"
+        );
+        // Repeated outcome-set queries (distinct models) share the
+        // partition: no further enumerations.
+        let all = space.outcome_set(t.observed(), |_| true);
+        let none = space.outcome_set(t.observed(), |_| false);
+        assert!(none.is_empty());
+        assert!(!all.is_empty());
+        assert_eq!(space.stats().enumerations, 1);
     }
 
     #[test]

@@ -216,7 +216,9 @@ pub mod collection {
 
 /// The common imports, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body, failing the case with a
@@ -243,6 +245,24 @@ macro_rules! prop_assert_eq {
             "assertion failed: {} == {} ({a:?} vs {b:?})",
             stringify!($a),
             stringify!($b)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        $crate::prop_assert_ne!($a, $b, "");
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {} (both {a:?}) {}",
+            stringify!($a),
+            stringify!($b),
+            format!($($fmt)*)
         );
     }};
 }

@@ -87,11 +87,12 @@ pub use tricheck_uarch as uarch;
 pub mod prelude {
     pub use tricheck_c11::{C11Model, C11Verdict};
     pub use tricheck_compiler::{
-        compile, riscv_mapping, BaseAIntuitive, BaseARefined, BaseIntuitive, BaseRefined, Mapping,
-        PowerLeadingSync, PowerTrailingSync,
+        compile, power_mapping, riscv_mapping, BaseAIntuitive, BaseARefined, BaseIntuitive,
+        BaseRefined, Mapping, PowerLeadingSync, PowerSyncStyle, PowerTrailingSync,
     };
     pub use tricheck_core::{
-        report, Classification, Sweep, SweepOptions, SweepResults, TestResult, TriCheck,
+        report, Classification, MatrixStack, OutcomeMode, StackKey, Sweep, SweepOptions,
+        SweepResults, TestResult, TriCheck,
     };
     pub use tricheck_isa::{format_program, AmoBits, Asm, HwAnnot, RiscvIsa, SpecVersion};
     pub use tricheck_litmus::{suite, LitmusTest, MemOrder, Outcome, Program};

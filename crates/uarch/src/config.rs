@@ -186,6 +186,14 @@ impl UarchConfig {
         c
     }
 
+    /// The ARMv7 microarchitectures of the §7 compiler study: the
+    /// ISA-compliant A9-like machine first, then the load→load-hazard
+    /// variant that reproduces the Cortex-A9 erratum.
+    #[must_use]
+    pub fn all_armv7() -> Vec<Self> {
+        vec![Self::armv7_a9like(), Self::armv7_a9_ldld_hazard()]
+    }
+
     /// All seven Table 7 models for one specification version, in the
     /// paper's presentation order.
     #[must_use]

@@ -151,6 +151,17 @@ impl UarchModel {
             .collect()
     }
 
+    /// The ARMv7 models of the §7 compiler study: the compliant
+    /// Cortex-A9-like machine and its read-after-read-hazard variant
+    /// (the §1–§2 erratum).
+    #[must_use]
+    pub fn all_armv7() -> Vec<Self> {
+        UarchConfig::all_armv7()
+            .into_iter()
+            .map(Self::from_config)
+            .collect()
+    }
+
     /// The model's configuration.
     #[must_use]
     pub fn config(&self) -> &UarchConfig {
@@ -246,6 +257,19 @@ impl UarchModel {
         observed: &[(usize, Reg)],
     ) -> BTreeSet<Outcome> {
         outcome_set(prog, observed, |e| self.consistent(e))
+    }
+
+    /// The full observable-outcome set, judged over a shared
+    /// [`ExecutionSpace`] (the enumerate-once path used by full-outcome
+    /// sweeps: the space's cached outcome partition is shared by every
+    /// model judging the program).
+    #[must_use]
+    pub fn observable_outcomes_in(
+        &self,
+        space: &ExecutionSpace<HwAnnot>,
+        observed: &[(usize, Reg)],
+    ) -> BTreeSet<Outcome> {
+        self.allowed_outcomes(space, observed)
     }
 }
 

@@ -33,9 +33,9 @@ proptest! {
     /// identically, for any subset of the suite and any thread count.
     #[test]
     fn shared_engine_sweep_matches_naive_recompute(tests in arb_subset()) {
-        let naive = Sweep::with_options(SweepOptions { threads: 1 }).run_riscv_naive(&tests);
+        let naive = Sweep::with_options(SweepOptions::with_threads(1)).run_riscv_naive(&tests);
         for threads in [1, 4] {
-            let engine = Sweep::with_options(SweepOptions { threads }).run_riscv(&tests);
+            let engine = Sweep::with_options(SweepOptions::with_threads(threads)).run_riscv(&tests);
             prop_assert!(
                 engine.rows() == naive.rows(),
                 "engine (threads={threads}) diverged from naive recompute"
@@ -119,6 +119,10 @@ fn full_suite_sweep_upholds_cache_contract() {
     assert!(stats.distinct_programs < stats.compile_calls);
     // And the headline number still falls out of the cached pipeline:
     // 144 forbidden-yet-observable outcomes on A9like / Base+A / curr.
-    let a9_bugs = results.total_bugs(RiscvIsa::BaseA, SpecVersion::Curr, "A9like");
+    let key = StackKey::Riscv {
+        isa: RiscvIsa::BaseA,
+        version: SpecVersion::Curr,
+    };
+    let a9_bugs = results.bugs_for(key, "A9like");
     assert_eq!(a9_bugs, 144);
 }

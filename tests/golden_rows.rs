@@ -1,0 +1,75 @@
+//! Golden-row regression tests: the full Figure 15 sweep table and the
+//! §7 compiler-study counts are committed as fixtures, so any engine
+//! refactor that changes a single classification fails tier-1 loudly
+//! (rather than silently shifting paper numbers).
+//!
+//! To regenerate after an *intentional* model change, run
+//! `TRICHECK_UPDATE_FIXTURES=1 cargo test --test golden_rows` and commit
+//! the diff.
+
+use std::path::PathBuf;
+
+use tricheck::prelude::*;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn assert_matches_fixture(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("TRICHECK_UPDATE_FIXTURES").is_some() {
+        std::fs::write(&path, actual).expect("write fixture");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}) — regenerate with TRICHECK_UPDATE_FIXTURES=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let first_diff = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or_else(
+                || "line counts differ".to_string(),
+                |i| {
+                    format!(
+                        "first differing line {}:\n  fixture: {}\n  actual:  {}",
+                        i + 1,
+                        expected.lines().nth(i).unwrap_or(""),
+                        actual.lines().nth(i).unwrap_or("")
+                    )
+                },
+            );
+        panic!(
+            "sweep classification drift against {name} — {first_diff}\n\
+             If the change is intentional, regenerate fixtures with \
+             TRICHECK_UPDATE_FIXTURES=1 and commit the diff."
+        );
+    }
+}
+
+/// Every cell of the full Figure 15 sweep (1,701 tests × 28 model cells,
+/// per-family counts) matches the committed table.
+#[test]
+fn figure15_rows_match_committed_fixture() {
+    let results = Sweep::new().run_riscv(&suite::full_suite());
+    assert_matches_fixture("figure15_rows.csv", &report::to_csv(&results));
+}
+
+/// The §7 compiler-study counts ({leading,trailing}-sync × ARMv7 models
+/// over the full suite) match the committed table, in both row and
+/// aggregate form.
+#[test]
+fn sec7_counterexample_counts_match_committed_fixture() {
+    let results = Sweep::new().run_power(&suite::full_suite());
+    let mut out = report::power_table(&results);
+    out.push('\n');
+    out.push_str(&report::to_csv(&results));
+    assert_matches_fixture("sec7_power_rows.txt", &out);
+}
