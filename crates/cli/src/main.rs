@@ -11,6 +11,7 @@
 //! tricheck dot NAME [--model M] [--isa B] [--spec V]
 //!                                             emit a Graphviz graph of the witness
 //! tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
+//!                [--shards N] [--cache-dir PATH]
 //!                                             Figure-15-style chart for a family
 //! tricheck file PATH [--model M] [--isa B] [--spec V]
 //!                                             parse a .litmus file and verify it
@@ -19,16 +20,30 @@
 //!          --spec curr|ours     (default curr)
 //!          --model WR|rWR|rWM|rMM|nWR|nMM|A9like   (default nMM)
 //!          --threads N          sweep worker threads (default: all cores;
-//!                               1 = deterministic serial run)
+//!                               1 = deterministic serial run; with
+//!                               --shards, threads *per shard*, default
+//!                               cores / shards)
 //!          --cache-stats        print the shared-engine cache counters
-//!                               after a sweep
+//!                               after a sweep (plus persistent-store
+//!                               counters when --cache-dir is set)
 //!          --outcomes           sweep in full-outcome-set mode: compare
 //!                               every C11-permitted outcome with every
 //!                               µarch-observable one, not just the target
 //!          --power              sweep the §7 compiler study instead of
 //!                               Figure 15: {leading-sync, trailing-sync}
 //!                               C11→Power mappings × the ARMv7 models
+//!          --shards N           deal the sweep across N worker processes
+//!                               by program fingerprint range (1 = run
+//!                               in-process, no spawning)
+//!          --cache-dir PATH     persist execution spaces and C11 verdicts
+//!                               in PATH (created if missing) so repeated
+//!                               sweeps skip enumeration; shared by all
+//!                               shards
 //! ```
+//!
+//! There is also a hidden `shard-worker` subcommand — the child half of
+//! the `--shards` protocol (job on stdin, result on stdout). It is an
+//! implementation detail of `tricheck-dist`, not a user command.
 
 use std::process::ExitCode;
 
@@ -57,6 +72,7 @@ const USAGE: &str = "usage:
   tricheck diagnose NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck dot NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
+                 [--shards N] [--cache-dir PATH]
   tricheck file PATH [--model M] [--isa base|base+a] [--spec curr|ours]
 
 models: WR rWR rWM rMM nWR nMM A9like (default nMM)
@@ -65,7 +81,10 @@ sweeps: --threads 1 gives a deterministic serial run; --cache-stats prints
         compares full outcome sets instead of the target outcome (the
         stronger verify_full equivalence, at witness-mode cost); --power
         runs the §7 compiler study ({leading,trailing}-sync C11→Power
-        mappings on the ARMv7 models) instead of the RISC-V Figure 15";
+        mappings on the ARMv7 models) instead of the RISC-V Figure 15;
+        --shards N deals the sweep across N worker processes (1 = in
+        process); --cache-dir PATH persists execution spaces and C11
+        verdicts across runs (and across shards)";
 
 struct Options {
     isa: RiscvIsa,
@@ -75,6 +94,8 @@ struct Options {
     cache_stats: bool,
     outcomes: bool,
     power: bool,
+    shards: Option<usize>,
+    cache_dir: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
@@ -86,6 +107,8 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
         cache_stats: false,
         outcomes: false,
         power: false,
+        shards: None,
+        cache_dir: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -98,6 +121,18 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
                     return Err("--threads must be at least 1".to_string());
                 }
                 opts.threads = Some(n);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad shard count '{v}'"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                opts.shards = Some(n);
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                opts.cache_dir = Some(v.clone());
             }
             "--cache-stats" => opts.cache_stats = true,
             "--outcomes" => opts.outcomes = true,
@@ -285,6 +320,9 @@ fn run(args: &[String]) -> Result<(), String> {
             if tests.is_empty() {
                 return Err(format!("unknown family '{family}'"));
             }
+            if opts.shards.is_some() || opts.cache_dir.is_some() {
+                return run_dist_sweep(&family, &tests, &opts);
+            }
             let mut sweep_opts = SweepOptions::default();
             if let Some(threads) = opts.threads {
                 sweep_opts.threads = threads;
@@ -303,28 +341,104 @@ fn run(args: &[String]) -> Result<(), String> {
                 results
             };
             if opts.cache_stats {
-                let s = results.stats();
-                println!();
-                println!("shared-engine cache statistics:");
-                println!("  tests × cells        {} × {}", s.tests, s.cells);
-                println!(
-                    "  C11 evaluations      {} ({} shared cell visits)",
-                    s.c11_evaluations,
-                    s.tests * s.cells - s.c11_evaluations
-                );
-                println!(
-                    "  compilations         {} ({} cache hits)",
-                    s.compile_calls, s.compile_cache_hits
-                );
-                println!(
-                    "  execution spaces     {} distinct programs, {} enumerations, {} cache hits",
-                    s.distinct_programs, s.space_enumerations, s.space_cache_hits
-                );
+                print_engine_stats(results.stats());
             }
             Ok(())
         }
+        // The child half of the --shards protocol: job on stdin, result
+        // on stdout. Spawned by the planner, not typed by users (hence
+        // absent from the usage text).
+        "shard-worker" => tricheck::dist::shard_worker_stdio(),
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// The sharded / persistent sweep path (`--shards` or `--cache-dir`).
+fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<(), String> {
+    let cache_dir = opts
+        .cache_dir
+        .as_deref()
+        .map(validate_cache_dir)
+        .transpose()?;
+    let dist_opts = DistOptions {
+        shards: opts.shards.unwrap_or(1),
+        threads: opts.threads,
+        outcome_mode: if opts.outcomes {
+            OutcomeMode::FullOutcomes
+        } else {
+            OutcomeMode::Target
+        },
+        cache_dir,
+        ..DistOptions::default()
+    };
+    let spec = if opts.power {
+        MatrixSpec::Power
+    } else {
+        MatrixSpec::Riscv
+    };
+    let dist = run_sharded(spec, tests, &dist_opts).map_err(|e| e.to_string())?;
+    if opts.power {
+        print!("{}", report::power_table(&dist.results));
+    } else {
+        print!("{}", report::family_chart(&dist.results, family));
+    }
+    if opts.cache_stats {
+        print_engine_stats(dist.results.stats());
+        if opts.cache_dir.is_some() {
+            println!("  persistent store     {}", dist.store_stats());
+        }
+        if dist.shards.len() > 1 {
+            for shard in &dist.shards {
+                println!(
+                    "  shard {}              {} tests, {} enumerations, {} space hits",
+                    shard.shard,
+                    shard.tests,
+                    shard.stats.space_enumerations,
+                    shard.store.space_hits
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates `--cache-dir`: an existing path must be a directory; a
+/// missing one is created (with parents).
+///
+/// `DiskStore::open` performs the same checks, but in a multi-shard run
+/// the store is opened inside the *worker* processes — pre-flighting
+/// here turns a bad flag value into one clear error instead of N
+/// spawned children all failing with a worker-protocol error.
+fn validate_cache_dir(path: &str) -> Result<std::path::PathBuf, String> {
+    let path = std::path::PathBuf::from(path);
+    if path.exists() && !path.is_dir() {
+        return Err(format!(
+            "--cache-dir '{}' exists but is not a directory",
+            path.display()
+        ));
+    }
+    std::fs::create_dir_all(&path).map_err(|e| format!("--cache-dir '{}': {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Prints the shared-engine cache counters (`--cache-stats`).
+fn print_engine_stats(s: &tricheck::core::SweepStats) {
+    println!();
+    println!("shared-engine cache statistics:");
+    println!("  tests × cells        {} × {}", s.tests, s.cells);
+    println!(
+        "  C11 evaluations      {} ({} shared cell visits)",
+        s.c11_evaluations,
+        s.tests * s.cells - s.c11_evaluations
+    );
+    println!(
+        "  compilations         {} ({} cache hits)",
+        s.compile_calls, s.compile_cache_hits
+    );
+    println!(
+        "  execution spaces     {} distinct programs, {} enumerations, {} cache hits",
+        s.distinct_programs, s.space_enumerations, s.space_cache_hits
+    );
 }
 
 #[cfg(test)]
@@ -385,6 +499,61 @@ mod tests {
         // §7 engine sweep with explicit threads.
         let args = strings(&["sweep", "sb", "--power", "--threads", "2", "--cache-stats"]);
         assert_eq!(run(&args), Ok(()));
+    }
+
+    #[test]
+    fn shard_and_cache_dir_flags_parse() {
+        let args = strings(&["sweep", "mp", "--shards", "4", "--cache-dir", "/tmp/tc"]);
+        let (pos, opts) = parse_options(&args).unwrap();
+        assert_eq!(pos.len(), 2);
+        assert_eq!(opts.shards, Some(4));
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/tc"));
+        assert!(parse_options(&strings(&["sweep", "--shards", "0"])).is_err());
+        assert!(parse_options(&strings(&["sweep", "--shards", "lots"])).is_err());
+        assert!(parse_options(&strings(&["sweep", "--shards"])).is_err());
+        assert!(parse_options(&strings(&["sweep", "--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn cache_dir_validation_rejects_non_directories() {
+        let file = std::env::temp_dir().join(format!("tricheck-cli-test-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let err = validate_cache_dir(file.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("not a directory"), "{err}");
+        std::fs::remove_file(&file).unwrap();
+
+        // A missing directory is created.
+        let dir = std::env::temp_dir().join(format!(
+            "tricheck-cli-test-dir-{}/nested",
+            std::process::id()
+        ));
+        let validated = validate_cache_dir(dir.to_str().unwrap()).unwrap();
+        assert!(validated.is_dir());
+        std::fs::remove_dir_all(dir.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn single_shard_cached_sweep_runs_in_process_end_to_end() {
+        // --shards 1 must bypass process spawning entirely: this test
+        // binary has no `shard-worker` subcommand to spawn, so reaching
+        // the chart at all proves the bypass. Run twice to exercise the
+        // warm-store path through the CLI too.
+        let dir = std::env::temp_dir().join(format!("tricheck-cli-sweep-{}", std::process::id()));
+        let args = strings(&[
+            "sweep",
+            "sb",
+            "--power",
+            "--shards",
+            "1",
+            "--threads",
+            "2",
+            "--cache-dir",
+            dir.to_str().unwrap(),
+            "--cache-stats",
+        ]);
+        assert_eq!(run(&args), Ok(()));
+        assert_eq!(run(&args), Ok(()));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -63,12 +63,16 @@
 pub mod explain;
 pub mod report;
 pub mod runner;
+pub mod store;
 pub mod verdict;
 
 pub use explain::{diagnose, Diagnosis};
 pub use runner::{
-    MatrixStack, OutcomeMode, StackKey, Sweep, SweepOptions, SweepResults, SweepRow, SweepStats,
+    power_stacks, results_from_items, riscv_stacks, MatrixItems, MatrixStack, OutcomeMode,
+    SpaceSharing, StackKey, Sweep, SweepOptions, SweepResults, SweepRow, SweepStats,
+    SHARING_BREAK_EVEN,
 };
+pub use store::{C11Cached, SpaceStore, StoreStats};
 pub use verdict::{Classification, FullComparison, TestResult};
 
 use std::collections::BTreeSet;

@@ -49,6 +49,24 @@
 //! [`Sweep::run_power_naive`] keep the pre-engine per-cell recompute path
 //! alive as the differential oracle (and the baselines of
 //! `benches/pipeline.rs` and `benches/power_sweep.rs`).
+//!
+//! Two extensions widen the engine beyond one process lifetime:
+//!
+//! - **Space-sharing policy** ([`SpaceSharing`]): materializing shared
+//!   spaces only pays off when enough models judge each program.
+//!   [`SpaceSharing::Auto`] materializes at or above
+//!   [`SHARING_BREAK_EVEN`] models per mapping (the Figure 15 matrix)
+//!   and takes the one-shot streaming paths below it (the 4-cell Power
+//!   matrix) — bit-identical rows either way, pinned by
+//!   `tests/power_equivalence.rs`.
+//! - **Persistence** ([`SpaceStore`], implemented on disk by
+//!   `tricheck-dist`): with a store attached, C11 verdicts and
+//!   materialized spaces are loaded instead of recomputed and written
+//!   back at the end of the run, so repeated sweeps — and shard
+//!   processes sharing one cache directory — amortize enumeration
+//!   across process lifetimes. [`Sweep::run_matrix_items`] /
+//!   [`results_from_items`] expose the per-item layer the cross-process
+//!   shard planner merges through.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,6 +80,7 @@ use tricheck_isa::{HwAnnot, RiscvIsa, SpecVersion};
 use tricheck_litmus::{ExecutionSpace, LitmusTest, Outcome};
 use tricheck_uarch::UarchModel;
 
+use crate::store::{C11Cached, SpaceStore};
 use crate::verdict::{Classification, TestResult};
 
 /// Which equivalence a sweep checks per (test, cell).
@@ -80,8 +99,44 @@ pub enum OutcomeMode {
     FullOutcomes,
 }
 
+/// Whether a sweep materializes shared execution spaces or streams
+/// per-query enumerations.
+///
+/// Materializing a program's matching set (or outcome partition) in a
+/// shared [`ExecutionSpace`] pays off when several model cells judge the
+/// same program — the Figure 15 matrix amortizes each materialization
+/// over 7 models per mapping. A small matrix like the §7 Power study
+/// (2 models per mapping) has nothing to amortize, and the one-shot
+/// streaming paths (short-circuiting witness search / streaming outcome
+/// enumeration) are strictly cheaper. Both paths produce bit-identical
+/// rows; only the cost profile and [`SweepStats`] space counters differ.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SpaceSharing {
+    /// Materialize shared spaces when a [`SpaceStore`] is attached
+    /// (persisted views must exist to be saved, and warm loads make
+    /// sharing free) or when the matrix averages at least
+    /// [`SHARING_BREAK_EVEN`] models per mapping; stream otherwise.
+    #[default]
+    Auto,
+    /// Always materialize shared spaces (the pre-break-even behaviour;
+    /// what the exactly-once contract tests pin).
+    Always,
+    /// Always stream. With a store attached this disables space
+    /// persistence (there is nothing materialized to save), so it is
+    /// mainly a benchmarking/debugging mode.
+    Never,
+}
+
+/// The minimum average number of model cells per mapping at which
+/// [`SpaceSharing::Auto`] materializes shared execution spaces: below
+/// this, per-query streaming wins (the ROADMAP's "matching-mode
+/// short-circuit for small matrices"). The Figure 15 matrix averages 7
+/// models per mapping (shared); the 4-cell Power matrix averages 2
+/// (streamed).
+pub const SHARING_BREAK_EVEN: usize = 3;
+
 /// Options controlling a sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SweepOptions {
     /// Worker threads (defaults to the machine's available parallelism).
     /// `1` runs serially and fully deterministically — no pool is
@@ -90,6 +145,12 @@ pub struct SweepOptions {
     pub threads: usize,
     /// The equivalence checked per cell (target-outcome by default).
     pub outcome_mode: OutcomeMode,
+    /// Shared-space materialization policy (see [`SpaceSharing`]).
+    pub space_sharing: SpaceSharing,
+    /// A persistent memoization of execution spaces and C11 verdicts,
+    /// consulted before computing and updated at the end of the run.
+    /// `None` (the default) keeps all caches run-scoped.
+    pub store: Option<Arc<dyn SpaceStore>>,
 }
 
 impl SweepOptions {
@@ -109,7 +170,20 @@ impl Default for SweepOptions {
         SweepOptions {
             threads,
             outcome_mode: OutcomeMode::Target,
+            space_sharing: SpaceSharing::Auto,
+            store: None,
         }
+    }
+}
+
+impl std::fmt::Debug for SweepOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("threads", &self.threads)
+            .field("outcome_mode", &self.outcome_mode)
+            .field("space_sharing", &self.space_sharing)
+            .field("store", &self.store.as_ref().map(|_| "<store>"))
+            .finish()
     }
 }
 
@@ -307,6 +381,52 @@ fn bare_model_name(full: &str) -> &str {
     full.split('/').next().unwrap_or(full)
 }
 
+/// Per-item sweep output: one classification per (test × stack) pair in
+/// test-major order, plus the run's cache statistics. Produced by
+/// [`Sweep::run_matrix_items`]; aggregated by [`results_from_items`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MatrixItems {
+    /// `items[t * n_stacks + s]` is the classification of test `t` on
+    /// stack `s`, or `None` if the stack's mapping cannot compile it.
+    pub items: Vec<Option<Classification>>,
+    /// The run's cache counters.
+    pub stats: SweepStats,
+}
+
+/// Aggregates per-item classifications into [`SweepResults`] rows, in
+/// deterministic (stack, test) order. This is the single aggregation
+/// path: [`Sweep::run_matrix`] routes through it, and the shard planner
+/// reuses it on merged item vectors so sharded results are bit-identical
+/// to single-process ones.
+///
+/// # Panics
+///
+/// Panics if `items.len() != tests.len() * stacks.len()`.
+#[must_use]
+pub fn results_from_items(
+    tests: &[LitmusTest],
+    stacks: &[MatrixStack<'_>],
+    items: &[Option<Classification>],
+    stats: SweepStats,
+) -> SweepResults {
+    assert_eq!(
+        items.len(),
+        tests.len() * stacks.len(),
+        "one item per (test, stack) pair"
+    );
+    let n_stacks = stacks.len();
+    let mut rows = Vec::new();
+    for (s, stack) in stacks.iter().enumerate() {
+        let cell_results: Vec<TestResult> = (0..tests.len())
+            .filter_map(|t| {
+                items[t * n_stacks + s].map(|c| TestResult::from_classification(&tests[t], c))
+            })
+            .collect();
+        rows.extend(aggregate(stack.key, stack.model.name(), &cell_results));
+    }
+    SweepResults { rows, stats }
+}
+
 /// One scheduled cell of a sweep: a matrix stack plus its index into the
 /// deduplicated mapping list.
 struct Cell<'a, 'm> {
@@ -315,11 +435,20 @@ struct Cell<'a, 'm> {
     model: &'a UarchModel,
 }
 
-/// The C11 verdict cache entry: the target verdict, or the full
-/// permitted-outcome set, depending on [`OutcomeMode`].
-enum C11Entry {
-    Target(bool),
-    Full(BTreeSet<Outcome>),
+/// One entry of the sweep's space cache: the shared space plus, when it
+/// was restored from the persistent store, a digest of the snapshot it
+/// was restored from — so [`SweepCache::persist`] can detect views
+/// derived *without* enumerating (e.g. a matching set filtered out of a
+/// restored full view) and write them back too.
+struct CachedSpace {
+    space: Arc<ExecutionSpace<HwAnnot>>,
+    loaded_digest: Option<u64>,
+}
+
+impl CachedSpace {
+    fn snapshot_digest(space: &ExecutionSpace<HwAnnot>) -> u64 {
+        tricheck_litmus::codec::fnv1a(&space.snapshot())
+    }
 }
 
 /// The concurrent caches shared by every (test × cell) work item.
@@ -328,14 +457,16 @@ struct SweepCache<'t> {
     n_mappings: usize,
     mode: OutcomeMode,
     c11: C11Model,
+    /// The persistent store, consulted on C11 and space cache misses.
+    store: Option<&'t dyn SpaceStore>,
     /// One verdict per test, computed on first demand.
-    c11_verdicts: Vec<OnceLock<C11Entry>>,
+    c11_verdicts: Vec<OnceLock<C11Cached>>,
     /// One compilation per (test, mapping): index `t * n_mappings + m`.
     compiled: Vec<OnceLock<Result<Arc<CompiledTest>, CompileError>>>,
     /// Execution spaces keyed by program fingerprint. Buckets hold every
     /// structurally-distinct program sharing a fingerprint, so a hash
     /// collision degrades to a linear probe instead of a wrong verdict.
-    spaces: Mutex<HashMap<u64, Vec<Arc<ExecutionSpace<HwAnnot>>>>>,
+    spaces: Mutex<HashMap<u64, Vec<CachedSpace>>>,
     c11_evaluations: AtomicUsize,
     compile_calls: AtomicUsize,
     compile_cache_hits: AtomicUsize,
@@ -343,12 +474,18 @@ struct SweepCache<'t> {
 }
 
 impl<'t> SweepCache<'t> {
-    fn new(tests: &'t [LitmusTest], n_mappings: usize, mode: OutcomeMode) -> Self {
+    fn new(
+        tests: &'t [LitmusTest],
+        n_mappings: usize,
+        mode: OutcomeMode,
+        store: Option<&'t dyn SpaceStore>,
+    ) -> Self {
         SweepCache {
             tests,
             n_mappings,
             mode,
             c11: C11Model::new(),
+            store,
             c11_verdicts: (0..tests.len()).map(|_| OnceLock::new()).collect(),
             compiled: (0..tests.len() * n_mappings)
                 .map(|_| OnceLock::new())
@@ -362,14 +499,23 @@ impl<'t> SweepCache<'t> {
     }
 
     /// Step 1 verdict for one test, computed at most once sweep-wide
-    /// (the designated-target verdict, or the full permitted set).
-    fn c11_entry(&self, t: usize) -> &C11Entry {
+    /// (the designated-target verdict, or the full permitted set). With
+    /// a store attached, a persisted verdict is loaded instead of
+    /// evaluated — `c11_evaluations` counts only actual evaluations, so
+    /// a fully warm run reports zero.
+    fn c11_entry(&self, t: usize) -> &C11Cached {
         self.c11_verdicts[t].get_or_init(|| {
+            if let Some(cached) = self
+                .store
+                .and_then(|s| s.load_c11(&self.tests[t], self.mode))
+            {
+                return cached;
+            }
             self.c11_evaluations.fetch_add(1, Ordering::Relaxed);
             match self.mode {
-                OutcomeMode::Target => C11Entry::Target(self.c11.permits_target(&self.tests[t])),
+                OutcomeMode::Target => C11Cached::Target(self.c11.permits_target(&self.tests[t])),
                 OutcomeMode::FullOutcomes => {
-                    C11Entry::Full(self.c11.permitted_outcomes(&self.tests[t]))
+                    C11Cached::Full(self.c11.permitted_outcomes(&self.tests[t]))
                 }
             }
         })
@@ -396,18 +542,75 @@ impl<'t> SweepCache<'t> {
     }
 
     /// The shared execution space for a compiled program, created at most
-    /// once per structurally-distinct program.
+    /// once per structurally-distinct program. On a run-local miss the
+    /// persistent store is consulted (outside the cache lock — disk reads
+    /// must not serialize the worker pool); a loaded space arrives with
+    /// its persisted views pre-materialized, so queries against it hit
+    /// caches instead of enumerating.
     fn space_for(&self, compiled: &CompiledTest) -> Arc<ExecutionSpace<HwAnnot>> {
         let fingerprint = tricheck_litmus::Fingerprint::of(compiled.program());
+        {
+            let mut spaces = self.spaces.lock().expect("space cache lock");
+            let bucket = spaces.entry(fingerprint.as_u64()).or_default();
+            if let Some(entry) = bucket
+                .iter()
+                .find(|e| e.space.program() == compiled.program())
+            {
+                self.space_lookup_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.space);
+            }
+        }
+        let loaded = self
+            .store
+            .and_then(|s| s.load_space(compiled.program()))
+            .map(|space| CachedSpace {
+                loaded_digest: Some(CachedSpace::snapshot_digest(&space)),
+                space: Arc::new(space),
+            });
         let mut spaces = self.spaces.lock().expect("space cache lock");
         let bucket = spaces.entry(fingerprint.as_u64()).or_default();
-        if let Some(space) = bucket.iter().find(|s| s.program() == compiled.program()) {
+        // Re-check: another worker may have installed the space while we
+        // were reading the store.
+        if let Some(entry) = bucket
+            .iter()
+            .find(|e| e.space.program() == compiled.program())
+        {
             self.space_lookup_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(space);
+            return Arc::clone(&entry.space);
         }
-        let space = Arc::new(ExecutionSpace::new(compiled.program().clone()));
-        bucket.push(Arc::clone(&space));
+        let entry = loaded.unwrap_or_else(|| CachedSpace {
+            space: Arc::new(ExecutionSpace::new(compiled.program().clone())),
+            loaded_digest: None,
+        });
+        let space = Arc::clone(&entry.space);
+        bucket.push(entry);
         space
+    }
+
+    /// Writes newly-computed work back to the persistent store: every
+    /// space whose materialized views grew this sweep — by enumerating,
+    /// or by deriving a new view from a restored one (e.g. filtering a
+    /// cached full list down to a target's matching set), detected by
+    /// comparing the snapshot digest against what was loaded — and
+    /// every C11 verdict that was materialized (the store skips values
+    /// it already holds).
+    fn persist(&self, store: &dyn SpaceStore) {
+        let spaces = self.spaces.lock().expect("space cache lock");
+        for entry in spaces.values().flatten() {
+            let grown = match entry.loaded_digest {
+                None => entry.space.stats().enumerations > 0,
+                Some(digest) => CachedSpace::snapshot_digest(&entry.space) != digest,
+            };
+            if grown {
+                store.save_space(&entry.space);
+            }
+        }
+        drop(spaces);
+        for (t, slot) in self.c11_verdicts.iter().enumerate() {
+            if let Some(entry) = slot.get() {
+                store.save_c11(&self.tests[t], entry);
+            }
+        }
     }
 
     /// Runs one (test, cell) work item through Steps 1–4.
@@ -428,7 +631,7 @@ impl<'t> SweepCache<'t> {
             Err(_) => return None, // the paper's suite always compiles
         };
         match entry {
-            C11Entry::Target(permitted) => {
+            C11Cached::Target(permitted) => {
                 let observable = if share_spaces {
                     let space = self.space_for(&compiled);
                     cell.model.observes_in(&space, compiled.target())
@@ -437,7 +640,7 @@ impl<'t> SweepCache<'t> {
                 };
                 Some(TestResult::new(&self.tests[t], *permitted, observable))
             }
-            C11Entry::Full(permitted) => {
+            C11Cached::Full(permitted) => {
                 let observable = if share_spaces {
                     let space = self.space_for(&compiled);
                     cell.model
@@ -461,9 +664,9 @@ impl<'t> SweepCache<'t> {
         let mut distinct_programs = 0;
         let mut space_enumerations = 0;
         let mut space_cache_hits = self.space_lookup_hits.load(Ordering::Relaxed);
-        for space in spaces.values().flatten() {
+        for entry in spaces.values().flatten() {
             distinct_programs += 1;
-            let s = space.stats();
+            let s = entry.space.stats();
             space_enumerations += s.enumerations;
             space_cache_hits += s.cache_hits;
         }
@@ -549,6 +752,27 @@ impl Sweep {
     /// wrong reuse.
     #[must_use]
     pub fn run_matrix(&self, tests: &[LitmusTest], stacks: &[MatrixStack<'_>]) -> SweepResults {
+        let items = self.run_matrix_items(tests, stacks);
+        results_from_items(tests, stacks, &items.items, items.stats)
+    }
+
+    /// The engine sweep at per-item granularity: every (test × stack)
+    /// classification in test-major order (`t * stacks.len() + s`),
+    /// without row aggregation. `None` marks a (test, stack) pair whose
+    /// mapping could not compile the test.
+    ///
+    /// This is the layer the cross-process shard planner
+    /// (`tricheck-dist`) speaks: shard workers return their items, the
+    /// parent reassembles the full item vector and aggregates it through
+    /// [`results_from_items`] — the same function [`Sweep::run_matrix`]
+    /// uses, which is what makes merged sharded results bit-identical to
+    /// a single-process run by construction.
+    #[must_use]
+    pub fn run_matrix_items(
+        &self,
+        tests: &[LitmusTest],
+        stacks: &[MatrixStack<'_>],
+    ) -> MatrixItems {
         let mut mappings: Vec<&dyn Mapping> = Vec::new();
         let cells: Vec<Cell<'_, '_>> = stacks
             .iter()
@@ -572,18 +796,13 @@ impl Sweep {
             })
             .collect();
         let (results, stats) = self.run_cells(tests, &cells, mappings.len());
-
-        // Aggregate in deterministic (stack, test) order, independent of
-        // the parallel schedule that produced the results.
-        let n_stacks = stacks.len();
-        let mut rows = Vec::new();
-        for (s, stack) in stacks.iter().enumerate() {
-            let cell_results: Vec<TestResult> = (0..tests.len())
-                .filter_map(|t| results[t * n_stacks + s].clone())
-                .collect();
-            rows.extend(aggregate(stack.key, stack.model.name(), &cell_results));
+        MatrixItems {
+            items: results
+                .into_iter()
+                .map(|r| r.map(|r| r.classification()))
+                .collect(),
+            stats,
         }
-        SweepResults { rows, stats }
     }
 
     /// The naive counterpart of [`Sweep::run_matrix`]: identical cells,
@@ -653,15 +872,24 @@ impl Sweep {
         cells: &[Cell<'_, '_>],
         n_mappings: usize,
     ) -> (Vec<Option<TestResult>>, SweepStats) {
-        let cache = SweepCache::new(tests, n_mappings, self.options.outcome_mode);
+        let store = self.options.store.as_deref();
+        let cache = SweepCache::new(tests, n_mappings, self.options.outcome_mode, store);
         let n_cells = cells.len();
         let n_items = tests.len() * n_cells;
         let results: Vec<OnceLock<Option<TestResult>>> =
             (0..n_items).map(|_| OnceLock::new()).collect();
 
-        // With a single cell there is no cross-model sharing to pay for:
-        // keep the one-shot per-test paths.
-        let share_spaces = n_cells > 1;
+        // Shared-space materialization amortizes over the models judging
+        // each program; below the break-even (and with no store to feed
+        // or exploit) the one-shot streaming paths are cheaper. A single
+        // cell never shares — there is no cross-model reuse at all.
+        let share_spaces = match self.options.space_sharing {
+            SpaceSharing::Always => true,
+            SpaceSharing::Never => false,
+            SpaceSharing::Auto => {
+                store.is_some() || (n_cells > 1 && n_cells / n_mappings >= SHARING_BREAK_EVEN)
+            }
+        };
         let process = |i: usize| {
             let (t, s) = (i / n_cells, i % n_cells);
             let result = cache.process(t, &cells[s], share_spaces);
@@ -671,6 +899,10 @@ impl Sweep {
         };
         run_work_stealing(n_items, self.options.threads, &process);
 
+        if let Some(store) = store {
+            cache.persist(store);
+            store.flush();
+        }
         let stats = cache.stats(n_cells);
         let results = results
             .into_iter()
@@ -680,19 +912,19 @@ impl Sweep {
     }
 
     /// Step 1 verdicts for all tests, computed in parallel (naive path).
-    fn c11_entries_naive(&self, tests: &[LitmusTest]) -> Vec<C11Entry> {
+    fn c11_entries_naive(&self, tests: &[LitmusTest]) -> Vec<C11Cached> {
         let hll = C11Model::new();
         let mode = self.options.outcome_mode;
         parallel_map(tests, self.options.threads, |t| match mode {
-            OutcomeMode::Target => C11Entry::Target(hll.permits_target(t)),
-            OutcomeMode::FullOutcomes => C11Entry::Full(hll.permitted_outcomes(t)),
+            OutcomeMode::Target => C11Cached::Target(hll.permits_target(t)),
+            OutcomeMode::FullOutcomes => C11Cached::Full(hll.permitted_outcomes(t)),
         })
     }
 
     fn cell_results_naive(
         &self,
         tests: &[LitmusTest],
-        c11: &[C11Entry],
+        c11: &[C11Cached],
         mapping: &dyn Mapping,
         model: &UarchModel,
     ) -> Vec<TestResult> {
@@ -703,11 +935,11 @@ impl Sweep {
                 Err(_) => return None,
             };
             Some(match &c11[i] {
-                C11Entry::Target(permitted) => {
+                C11Cached::Target(permitted) => {
                     let observable = model.observes(compiled.program(), compiled.target());
                     TestResult::new(test, *permitted, observable)
                 }
-                C11Entry::Full(permitted) => {
+                C11Cached::Full(permitted) => {
                     let observable =
                         model.observable_outcomes(compiled.program(), compiled.observed());
                     TestResult::from_classification(test, classify_sets(permitted, &observable))
@@ -720,8 +952,12 @@ impl Sweep {
     }
 }
 
-/// The 28 Figure 15 stacks in presentation order.
-fn riscv_stacks() -> Vec<MatrixStack<'static>> {
+/// The 28 Figure 15 stacks in presentation order: every Table 7 model ×
+/// {Base, Base+A} × {riscv-curr, riscv-ours} with the matching Table 2/3
+/// mapping. Public so out-of-process drivers (the `tricheck-dist` shard
+/// workers) can reconstruct the exact matrix [`Sweep::run_riscv`] runs.
+#[must_use]
+pub fn riscv_stacks() -> Vec<MatrixStack<'static>> {
     let mut stacks = Vec::new();
     for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
         for version in [SpecVersion::Curr, SpecVersion::Ours] {
@@ -739,8 +975,10 @@ fn riscv_stacks() -> Vec<MatrixStack<'static>> {
 }
 
 /// The §7 compiler-study stacks: both sync placement styles × the ARMv7
-/// models, in presentation order.
-fn power_stacks() -> Vec<MatrixStack<'static>> {
+/// models, in presentation order. Public for the same reason as
+/// [`riscv_stacks`].
+#[must_use]
+pub fn power_stacks() -> Vec<MatrixStack<'static>> {
     let mut stacks = Vec::new();
     for style in PowerSyncStyle::ALL {
         let mapping = power_mapping(style);
@@ -1006,12 +1244,16 @@ mod tests {
     }
 
     #[test]
-    fn power_sweep_compiles_and_enumerates_exactly_once() {
-        // The §7 analogue of the acceptance contract: one compile per
-        // (test, mapping) and one enumeration per distinct Power program
-        // across all {mapping × model} cells.
+    fn power_sweep_compiles_and_enumerates_exactly_once_when_sharing() {
+        // The §7 analogue of the acceptance contract under forced
+        // sharing: one compile per (test, mapping) and one enumeration
+        // per distinct Power program across all {mapping × model} cells.
         let tests: Vec<_> = suite::wrc_template().instantiate_all().collect();
-        let results = Sweep::new().run_power(&tests);
+        let opts = SweepOptions {
+            space_sharing: SpaceSharing::Always,
+            ..SweepOptions::default()
+        };
+        let results = Sweep::with_options(opts).run_power(&tests);
         let stats = results.stats();
         assert_eq!(stats.tests, tests.len());
         assert_eq!(stats.cells, 4);
@@ -1032,6 +1274,46 @@ mod tests {
         // Leading- and trailing-sync agree on relaxed-only code, so
         // deduplication must find strictly fewer programs than pairs.
         assert!(stats.distinct_programs < stats.compile_calls);
+    }
+
+    #[test]
+    fn power_sweep_streams_below_the_sharing_break_even() {
+        // The 4-cell Power matrix averages 2 models per mapping — below
+        // SHARING_BREAK_EVEN — so the default sweep takes the streaming
+        // witness path: no spaces are materialized at all, and the rows
+        // still match the shared-space run exactly.
+        let tests: Vec<_> = suite::sb_template().instantiate_all().collect();
+        let streamed = Sweep::new().run_power(&tests);
+        assert_eq!(
+            streamed.stats().distinct_programs,
+            0,
+            "nothing materialized"
+        );
+        assert_eq!(streamed.stats().space_enumerations, 0);
+        assert_eq!(streamed.stats().space_cache_hits, 0);
+        // Compile and C11 sharing still hold on the streaming path.
+        assert_eq!(streamed.stats().compile_calls, tests.len() * 2);
+        assert_eq!(streamed.stats().c11_evaluations, tests.len());
+
+        let shared = Sweep::with_options(SweepOptions {
+            space_sharing: SpaceSharing::Always,
+            ..SweepOptions::default()
+        })
+        .run_power(&tests);
+        assert_eq!(streamed.rows(), shared.rows());
+    }
+
+    #[test]
+    fn sharing_break_even_selects_by_models_per_mapping() {
+        // RISC-V: 28 cells / 4 mappings = 7 models per mapping → shared
+        // by default (the exactly-once test above relies on it); Power:
+        // 4 / 2 = 2 → streamed. Pin the constant to the real matrices.
+        let riscv = riscv_stacks();
+        let power = power_stacks();
+        assert_eq!(riscv.len(), 28);
+        assert_eq!(power.len(), 4);
+        assert!(riscv.len() / 4 >= SHARING_BREAK_EVEN, "Figure 15 shares");
+        assert!(power.len() / 2 < SHARING_BREAK_EVEN, "§7 matrix streams");
     }
 
     #[test]

@@ -1,0 +1,796 @@
+//! The shard planner: deal (test × stack) work across N worker
+//! processes by fingerprint range, run each shard in a spawned child,
+//! and merge the per-shard items into a result bit-identical to the
+//! single-process engine.
+//!
+//! # Protocol
+//!
+//! The parent spawns `current_exe()` with caller-supplied arguments
+//! (the CLI passes its hidden `shard-worker` subcommand; the test
+//! harness passes a probe test filter) and speaks a line-oriented hex
+//! protocol over stdio:
+//!
+//! - parent → child (stdin): one line of hex — a [`ShardJob`]: protocol
+//!   version, matrix spec, outcome mode, per-shard threads, optional
+//!   cache directory, and the shard's tests (fully serialized, with
+//!   their global indices).
+//! - child → parent (stdout): one line `TCSHARD-RESULT <hex>` — the
+//!   per-item classifications in local-test-major order plus the
+//!   shard's [`SweepStats`] and [`StoreStats`]; or `TCSHARD-ERROR
+//!   <message>`. Marker prefixes let the payload coexist with test
+//!   harness chatter on the same stream.
+//!
+//! Dealing is by the *C11 program fingerprint* of each test: the u64
+//! fingerprint space is split into `shards` equal ranges and a test
+//! goes to the range its fingerprint falls in. All of a test's matrix
+//! cells stay in one shard, so per-shard compiled-program and space
+//! caches keep their locality; which shard a test lands on is stable
+//! across runs of one build (the property `tests/fingerprint_stability.rs`
+//! pins), so warm-store runs re-deal identically.
+//!
+//! # Merge
+//!
+//! The parent places each shard's items back at their global (test ×
+//! stack) indices and aggregates through
+//! [`tricheck_core::results_from_items`] — the very function
+//! [`Sweep::run_matrix`] uses — so the merged rows are bit-identical to
+//! a single-process run by construction (and differentially tested in
+//! `crates/dist/tests/sharded.rs`). [`SweepStats`] are summed field-wise
+//! (cells excepted); on a warm store the summed
+//! `space_enumerations == 0` is the cross-process exactly-once proof.
+
+use std::io::{BufRead, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tricheck_core::{
+    power_stacks, results_from_items, riscv_stacks, Classification, MatrixStack, OutcomeMode,
+    SpaceStore, StoreStats, Sweep, SweepOptions, SweepResults, SweepStats,
+};
+use tricheck_litmus::codec::{self, ByteReader, CodecError};
+use tricheck_litmus::{Fingerprint, LitmusTest, MemOrder};
+
+use crate::store::DiskStore;
+
+/// Bumped whenever the job or result wire layout changes; a version
+/// mismatch is a hard error (parent and child are expected to be the
+/// same binary, so a mismatch means a build-system bug, not skew to
+/// paper over).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Stdout marker preceding a worker's hex-encoded result payload.
+pub const RESULT_MARKER: &str = "TCSHARD-RESULT ";
+/// Stdout marker preceding a worker's error message.
+pub const ERROR_MARKER: &str = "TCSHARD-ERROR ";
+
+/// Which predefined sweep matrix a sharded run evaluates. Worker
+/// processes reconstruct the stacks from this tag — trait-object
+/// mappings cannot cross a process boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatrixSpec {
+    /// The Figure 15 RISC-V matrix ([`tricheck_core::riscv_stacks`]).
+    Riscv,
+    /// The §7 Power compiler-study matrix
+    /// ([`tricheck_core::power_stacks`]).
+    Power,
+}
+
+impl MatrixSpec {
+    /// The matrix's stacks, in the same order the single-process
+    /// entry points use.
+    #[must_use]
+    pub fn stacks(self) -> Vec<MatrixStack<'static>> {
+        match self {
+            MatrixSpec::Riscv => riscv_stacks(),
+            MatrixSpec::Power => power_stacks(),
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            MatrixSpec::Riscv => 0,
+            MatrixSpec::Power => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            0 => Ok(MatrixSpec::Riscv),
+            1 => Ok(MatrixSpec::Power),
+            _ => Err(CodecError::Invalid("matrix spec tag")),
+        }
+    }
+}
+
+/// Options of a sharded run.
+#[derive(Clone, Debug)]
+pub struct DistOptions {
+    /// Number of worker processes. `1` runs the sweep in-process — no
+    /// child is spawned at all (the `--shards 1` fast path).
+    pub shards: usize,
+    /// Worker threads *per shard*. Defaults to the machine's available
+    /// parallelism divided by the shard count (at least 1), so a
+    /// default-configured sharded run does not oversubscribe the host.
+    pub threads: Option<usize>,
+    /// The equivalence checked per cell.
+    pub outcome_mode: OutcomeMode,
+    /// Cache directory for the persistent [`DiskStore`], shared by all
+    /// shards. `None` runs without persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Arguments the worker binary (`std::env::current_exe()`) is
+    /// spawned with, ahead of the stdin job: the CLI passes
+    /// `["shard-worker"]`; tests pass a harness filter for their probe
+    /// test.
+    pub worker_args: Vec<String>,
+    /// Extra environment variables for worker processes (tests use one
+    /// to arm their probe).
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            shards: 1,
+            threads: None,
+            outcome_mode: OutcomeMode::Target,
+            cache_dir: None,
+            worker_args: vec!["shard-worker".to_string()],
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+/// What one shard reported back.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index (also its position in the fingerprint-range deal).
+    pub shard: usize,
+    /// Number of tests dealt to this shard.
+    pub tests: usize,
+    /// The shard's engine cache counters.
+    pub stats: SweepStats,
+    /// The shard's persistent-store counters (zero without a store).
+    pub store: StoreStats,
+}
+
+/// The merged output of a sharded run.
+#[derive(Clone, Debug)]
+pub struct DistResults {
+    /// Rows bit-identical to a single-process `run_matrix` over the
+    /// same tests and stacks; stats are the field-wise sum of the
+    /// per-shard stats (`cells` is the matrix width, not a sum).
+    pub results: SweepResults,
+    /// Per-shard reports, in shard order (shards dealt zero tests are
+    /// omitted — they are never spawned).
+    pub shards: Vec<ShardReport>,
+}
+
+impl DistResults {
+    /// The summed persistent-store counters across all shards.
+    #[must_use]
+    pub fn store_stats(&self) -> StoreStats {
+        self.shards
+            .iter()
+            .fold(StoreStats::default(), |acc, s| acc.merged(&s.store))
+    }
+}
+
+/// A sharded-run failure: spawn, protocol, or store trouble. The
+/// engine itself cannot fail, so every variant is environmental.
+#[derive(Debug)]
+pub enum DistError {
+    /// `shards` was zero.
+    NoShards,
+    /// The cache directory could not be opened.
+    Store(crate::store::StoreError),
+    /// A worker process could not be spawned or waited on.
+    Spawn(std::io::Error),
+    /// A worker exited without producing a usable result line.
+    Worker {
+        /// Shard index of the failing worker.
+        shard: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::NoShards => f.write_str("shard count must be at least 1"),
+            DistError::Store(e) => write!(f, "{e}"),
+            DistError::Spawn(e) => write!(f, "spawning shard worker: {e}"),
+            DistError::Worker { shard, message } => write!(f, "shard {shard}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<crate::store::StoreError> for DistError {
+    fn from(e: crate::store::StoreError) -> Self {
+        DistError::Store(e)
+    }
+}
+
+/// Default per-shard thread count: the host's parallelism divided
+/// across shards.
+fn threads_per_shard(opts: &DistOptions) -> usize {
+    opts.threads.unwrap_or_else(|| {
+        let total = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (total / opts.shards.max(1)).max(1)
+    })
+}
+
+/// The shard a test is dealt to: its C11 program fingerprint's position
+/// in the u64 space split into `shards` equal ranges.
+#[must_use]
+pub fn shard_of(test: &LitmusTest, shards: usize) -> usize {
+    let fp = Fingerprint::of(test.program()).as_u64();
+    ((u128::from(fp) * shards as u128) >> 64) as usize
+}
+
+/// Runs `spec`'s matrix over `tests`, dealt across `opts.shards` worker
+/// processes by fingerprint range, and merges the shards into a result
+/// bit-identical to single-process
+/// [`Sweep::run_matrix`] on the same inputs.
+///
+/// With `shards == 1` the sweep runs in-process (no spawn); with a
+/// cache directory every shard shares one persistent [`DiskStore`], so
+/// a warm rerun loads every execution space and C11 verdict instead of
+/// recomputing them — across processes.
+///
+/// # Errors
+///
+/// [`DistError`] on spawn/protocol/store failures; never on engine
+/// behaviour.
+pub fn run_sharded(
+    spec: MatrixSpec,
+    tests: &[LitmusTest],
+    opts: &DistOptions,
+) -> Result<DistResults, DistError> {
+    if opts.shards == 0 {
+        return Err(DistError::NoShards);
+    }
+    let stacks = spec.stacks();
+    if opts.shards == 1 {
+        return run_in_process(tests, &stacks, opts);
+    }
+
+    // Deal by fingerprint range.
+    let mut dealt: Vec<Vec<u32>> = vec![Vec::new(); opts.shards];
+    for (i, test) in tests.iter().enumerate() {
+        dealt[shard_of(test, opts.shards)].push(i as u32);
+    }
+
+    let exe = std::env::current_exe().map_err(DistError::Spawn)?;
+    let threads = threads_per_shard(opts);
+    let mut children: Vec<(usize, Child)> = Vec::new();
+    for (shard, indices) in dealt.iter().enumerate() {
+        if indices.is_empty() {
+            continue;
+        }
+        let job = encode_job(spec, tests, indices, threads, opts);
+        let mut child = Command::new(&exe)
+            .args(&opts.worker_args)
+            .envs(opts.worker_env.iter().map(|(k, v)| (k, v)))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(DistError::Spawn)?;
+        {
+            let mut stdin = child.stdin.take().expect("piped stdin");
+            let mut line = hex_encode(&job);
+            line.push('\n');
+            // A write failure (e.g. EPIPE from a worker that died before
+            // reading its job) is not fatal here: the collection loop
+            // below reports the worker's own output/exit as the error,
+            // which is strictly more informative.
+            let _ = stdin.write_all(line.as_bytes());
+            // Dropping stdin closes the pipe, letting read_line return.
+        }
+        children.push((shard, child));
+    }
+
+    // Collect every worker's result. Workers run concurrently; reading
+    // them in order cannot deadlock because each child's stdin is
+    // already written and closed.
+    let n_stacks = stacks.len();
+    let mut items: Vec<Option<Classification>> = vec![None; tests.len() * n_stacks];
+    let mut stats = SweepStats::default();
+    let mut reports = Vec::new();
+    for (shard, mut child) in children {
+        let mut stdout = String::new();
+        child
+            .stdout
+            .take()
+            .expect("piped stdout")
+            .read_to_string(&mut stdout)
+            .map_err(DistError::Spawn)?;
+        let status = child.wait().map_err(DistError::Spawn)?;
+        let (shard_items, shard_stats, shard_store) =
+            parse_worker_output(&stdout, status.success())
+                .map_err(|message| DistError::Worker { shard, message })?;
+        let indices = &dealt[shard];
+        if shard_items.len() != indices.len() * n_stacks {
+            return Err(DistError::Worker {
+                shard,
+                message: format!(
+                    "result has {} items, expected {}",
+                    shard_items.len(),
+                    indices.len() * n_stacks
+                ),
+            });
+        }
+        for (local, &global) in indices.iter().enumerate() {
+            let global = global as usize;
+            items[global * n_stacks..(global + 1) * n_stacks]
+                .copy_from_slice(&shard_items[local * n_stacks..(local + 1) * n_stacks]);
+        }
+        stats = merge_stats(stats, shard_stats);
+        reports.push(ShardReport {
+            shard,
+            tests: indices.len(),
+            stats: shard_stats,
+            store: shard_store,
+        });
+    }
+    stats.tests = tests.len();
+    stats.cells = n_stacks;
+    Ok(DistResults {
+        results: results_from_items(tests, &stacks, &items, stats),
+        shards: reports,
+    })
+}
+
+/// The `--shards 1` fast path: no process spawning, one in-process
+/// sweep (with the persistent store when configured).
+fn run_in_process(
+    tests: &[LitmusTest],
+    stacks: &[MatrixStack<'_>],
+    opts: &DistOptions,
+) -> Result<DistResults, DistError> {
+    let store: Option<Arc<DiskStore>> = match &opts.cache_dir {
+        Some(dir) => Some(Arc::new(DiskStore::open(dir)?)),
+        None => None,
+    };
+    let sweep_opts = SweepOptions {
+        threads: threads_per_shard(opts),
+        outcome_mode: opts.outcome_mode,
+        store: store.clone().map(|s| s as Arc<dyn SpaceStore>),
+        ..SweepOptions::default()
+    };
+    let items = Sweep::with_options(sweep_opts).run_matrix_items(tests, stacks);
+    let store_stats = store.map(|s| s.stats()).unwrap_or_default();
+    let report = ShardReport {
+        shard: 0,
+        tests: tests.len(),
+        stats: items.stats,
+        store: store_stats,
+    };
+    Ok(DistResults {
+        results: results_from_items(tests, stacks, &items.items, items.stats),
+        shards: vec![report],
+    })
+}
+
+/// Field-wise sum of two shards' stats (`tests`/`cells` are fixed up by
+/// the caller).
+fn merge_stats(a: SweepStats, b: SweepStats) -> SweepStats {
+    SweepStats {
+        tests: a.tests + b.tests,
+        cells: a.cells.max(b.cells),
+        c11_evaluations: a.c11_evaluations + b.c11_evaluations,
+        compile_calls: a.compile_calls + b.compile_calls,
+        compile_cache_hits: a.compile_cache_hits + b.compile_cache_hits,
+        distinct_programs: a.distinct_programs + b.distinct_programs,
+        space_cache_hits: a.space_cache_hits + b.space_cache_hits,
+        space_enumerations: a.space_enumerations + b.space_enumerations,
+    }
+}
+
+/// Extracts a worker's result from its stdout, tolerating harness
+/// chatter around the marker lines.
+fn parse_worker_output(
+    stdout: &str,
+    exited_ok: bool,
+) -> Result<(Vec<Option<Classification>>, SweepStats, StoreStats), String> {
+    for line in stdout.lines() {
+        if let Some(at) = line.find(ERROR_MARKER) {
+            return Err(line[at + ERROR_MARKER.len()..].trim().to_string());
+        }
+        if let Some(at) = line.find(RESULT_MARKER) {
+            let hex = line[at + RESULT_MARKER.len()..].trim();
+            let bytes = hex_decode(hex).ok_or("result line is not valid hex")?;
+            return decode_result(&bytes).map_err(|e| format!("malformed result payload: {e}"));
+        }
+    }
+    if exited_ok {
+        Err("worker produced no result line".to_string())
+    } else {
+        Err("worker exited with failure before producing a result".to_string())
+    }
+}
+
+/// Serializes a shard's job line payload.
+fn encode_job(
+    spec: MatrixSpec,
+    tests: &[LitmusTest],
+    indices: &[u32],
+    threads: usize,
+    opts: &DistOptions,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"TCSJ");
+    codec::put_u16(&mut out, PROTOCOL_VERSION);
+    out.push(spec.tag());
+    out.push(match opts.outcome_mode {
+        OutcomeMode::Target => 0,
+        OutcomeMode::FullOutcomes => 1,
+    });
+    codec::put_u16(&mut out, threads as u16);
+    match &opts.cache_dir {
+        Some(dir) => {
+            out.push(1);
+            codec::put_str(&mut out, &dir.to_string_lossy());
+        }
+        None => out.push(0),
+    }
+    codec::put_u32(&mut out, indices.len() as u32);
+    for &i in indices {
+        let test = &tests[i as usize];
+        codec::put_u32(&mut out, i);
+        codec::put_str(&mut out, test.name());
+        codec::put_str(&mut out, test.family());
+        codec::put_bytes(&mut out, &codec::encode_program(test.program()));
+        codec::put_bytes(&mut out, &codec::encode_outcome(test.target()));
+    }
+    out
+}
+
+/// A decoded job, as seen by the worker.
+struct Job {
+    spec: MatrixSpec,
+    outcome_mode: OutcomeMode,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    tests: Vec<LitmusTest>,
+}
+
+fn decode_job(bytes: &[u8]) -> Result<Job, String> {
+    let mut r = ByteReader::new(bytes);
+    let mut inner = || -> Result<Job, CodecError> {
+        if r.take(4)? != b"TCSJ" {
+            return Err(CodecError::Invalid("job magic"));
+        }
+        if r.u16()? != PROTOCOL_VERSION {
+            return Err(CodecError::Invalid("protocol version"));
+        }
+        let spec = MatrixSpec::from_tag(r.u8()?)?;
+        let outcome_mode = match r.u8()? {
+            0 => OutcomeMode::Target,
+            1 => OutcomeMode::FullOutcomes,
+            _ => return Err(CodecError::Invalid("outcome mode")),
+        };
+        let threads = (r.u16()? as usize).max(1);
+        let cache_dir = match r.u8()? {
+            0 => None,
+            1 => Some(PathBuf::from(r.string()?)),
+            _ => return Err(CodecError::Invalid("cache dir flag")),
+        };
+        let n = r.u32()? as usize;
+        let mut tests = Vec::with_capacity(n);
+        for _ in 0..n {
+            let _global = r.u32()?; // the parent tracks the mapping
+            let name = r.string()?;
+            let family = intern_family(&r.string()?);
+            let program_frame = r.bytes()?;
+            let mut pr = ByteReader::new(program_frame);
+            let program = codec::decode_program::<MemOrder>(&mut pr)?;
+            if pr.remaining() != 0 {
+                return Err(CodecError::Invalid("trailing bytes in program frame"));
+            }
+            let target_frame = r.bytes()?;
+            let mut tr = ByteReader::new(target_frame);
+            let target = codec::decode_outcome(&mut tr)?;
+            if tr.remaining() != 0 {
+                return Err(CodecError::Invalid("trailing bytes in target frame"));
+            }
+            tests.push(LitmusTest::new(name, family, program, target));
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::Invalid("trailing bytes in job"));
+        }
+        Ok(Job {
+            spec,
+            outcome_mode,
+            threads,
+            cache_dir,
+            tests,
+        })
+    };
+    inner().map_err(|e| format!("malformed job: {e}"))
+}
+
+fn encode_result(
+    items: &[Option<Classification>],
+    stats: &SweepStats,
+    store: &StoreStats,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"TCSR");
+    codec::put_u16(&mut out, PROTOCOL_VERSION);
+    codec::put_u32(&mut out, items.len() as u32);
+    for item in items {
+        out.push(match item {
+            None => 0,
+            Some(Classification::Bug) => 1,
+            Some(Classification::OverlyStrict) => 2,
+            Some(Classification::Equivalent) => 3,
+        });
+    }
+    for v in [
+        stats.tests,
+        stats.cells,
+        stats.c11_evaluations,
+        stats.compile_calls,
+        stats.compile_cache_hits,
+        stats.distinct_programs,
+        stats.space_cache_hits,
+        stats.space_enumerations,
+    ] {
+        codec::put_u64(&mut out, v as u64);
+    }
+    for v in [
+        store.space_hits,
+        store.space_misses,
+        store.c11_hits,
+        store.c11_misses,
+        store.evictions,
+        store.writes,
+    ] {
+        codec::put_u64(&mut out, v as u64);
+    }
+    out
+}
+
+fn decode_result(
+    bytes: &[u8],
+) -> Result<(Vec<Option<Classification>>, SweepStats, StoreStats), CodecError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(4)? != b"TCSR" {
+        return Err(CodecError::Invalid("result magic"));
+    }
+    if r.u16()? != PROTOCOL_VERSION {
+        return Err(CodecError::Invalid("protocol version"));
+    }
+    let n = r.u32()? as usize;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(match r.u8()? {
+            0 => None,
+            1 => Some(Classification::Bug),
+            2 => Some(Classification::OverlyStrict),
+            3 => Some(Classification::Equivalent),
+            _ => return Err(CodecError::Invalid("classification tag")),
+        });
+    }
+    let mut take = || -> Result<usize, CodecError> { Ok(r.u64()? as usize) };
+    let stats = SweepStats {
+        tests: take()?,
+        cells: take()?,
+        c11_evaluations: take()?,
+        compile_calls: take()?,
+        compile_cache_hits: take()?,
+        distinct_programs: take()?,
+        space_cache_hits: take()?,
+        space_enumerations: take()?,
+    };
+    let store = StoreStats {
+        space_hits: take()?,
+        space_misses: take()?,
+        c11_hits: take()?,
+        c11_misses: take()?,
+        evictions: take()?,
+        writes: take()?,
+    };
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in result"));
+    }
+    Ok((items, stats, store))
+}
+
+/// Runs the worker half of the protocol over this process's stdio:
+/// reads one job line from stdin, runs the shard's sweep, and prints
+/// the marker-prefixed result line to stdout.
+///
+/// The CLI's hidden `shard-worker` subcommand is a direct call to this;
+/// test binaries call it from an environment-gated probe test so the
+/// planner can spawn *them* as workers.
+///
+/// # Errors
+///
+/// Returns (and prints, marker-prefixed, for the parent) a description
+/// of any stdin/decode failure.
+pub fn shard_worker_stdio() -> Result<(), String> {
+    let mut line = String::new();
+    let outcome = std::io::stdin()
+        .lock()
+        .read_line(&mut line)
+        .map_err(|e| format!("reading job from stdin: {e}"))
+        .and_then(|_| {
+            let hex = line.trim();
+            let bytes = hex_decode(hex).ok_or("job line is not valid hex".to_string())?;
+            let job = decode_job(&bytes)?;
+            let store: Option<Arc<DiskStore>> = match &job.cache_dir {
+                Some(dir) => Some(Arc::new(DiskStore::open(dir).map_err(|e| e.to_string())?)),
+                None => None,
+            };
+            let sweep_opts = SweepOptions {
+                threads: job.threads,
+                outcome_mode: job.outcome_mode,
+                store: store.clone().map(|s| s as Arc<dyn SpaceStore>),
+                ..SweepOptions::default()
+            };
+            let stacks = job.spec.stacks();
+            let items = Sweep::with_options(sweep_opts).run_matrix_items(&job.tests, &stacks);
+            let store_stats = store.map(|s| s.stats()).unwrap_or_default();
+            Ok(encode_result(&items.items, &items.stats, &store_stats))
+        });
+    match outcome {
+        Ok(payload) => {
+            println!("{RESULT_MARKER}{}", hex_encode(&payload));
+            Ok(())
+        }
+        Err(message) => {
+            println!("{ERROR_MARKER}{message}");
+            Err(message)
+        }
+    }
+}
+
+/// Interns a family name so deserialized tests can satisfy
+/// [`LitmusTest`]'s `&'static str` family. Each distinct name leaks
+/// once per process; the suite has a handful of families, so the leak
+/// is bounded and tiny.
+fn intern_family(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let table = INTERNED.get_or_init(|| Mutex::new(Vec::new()));
+    let mut table = table.lock().expect("intern table");
+    if let Some(existing) = table.iter().find(|s| **s == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0xF)] as char);
+    }
+    out
+}
+
+fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricheck_litmus::suite;
+
+    #[test]
+    fn hex_roundtrips() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        assert_eq!(hex_decode(&hex_encode(&data)), Some(data.to_vec()));
+        assert_eq!(hex_decode("zz"), None);
+        assert_eq!(hex_decode("abc"), None);
+    }
+
+    #[test]
+    fn job_roundtrips_with_tests_intact() {
+        use std::path::Path;
+        let tests: Vec<LitmusTest> = suite::mp_template().instantiate_all().take(5).collect();
+        let indices: Vec<u32> = (0..tests.len() as u32).collect();
+        let opts = DistOptions {
+            cache_dir: Some(PathBuf::from("/tmp/x")),
+            outcome_mode: OutcomeMode::FullOutcomes,
+            ..DistOptions::default()
+        };
+        let job = encode_job(MatrixSpec::Power, &tests, &indices, 3, &opts);
+        let decoded = decode_job(&job).expect("roundtrip");
+        assert_eq!(decoded.spec, MatrixSpec::Power);
+        assert_eq!(decoded.outcome_mode, OutcomeMode::FullOutcomes);
+        assert_eq!(decoded.threads, 3);
+        assert_eq!(decoded.cache_dir.as_deref(), Some(Path::new("/tmp/x")));
+        assert_eq!(decoded.tests.len(), tests.len());
+        for (a, b) in decoded.tests.iter().zip(&tests) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.family(), b.family());
+            assert_eq!(a.program(), b.program());
+            assert_eq!(a.target(), b.target());
+            assert_eq!(a.observed(), b.observed());
+        }
+    }
+
+    #[test]
+    fn result_roundtrips() {
+        let items = vec![
+            None,
+            Some(Classification::Bug),
+            Some(Classification::OverlyStrict),
+            Some(Classification::Equivalent),
+        ];
+        let stats = SweepStats {
+            tests: 1,
+            cells: 4,
+            c11_evaluations: 1,
+            compile_calls: 2,
+            compile_cache_hits: 2,
+            distinct_programs: 2,
+            space_cache_hits: 5,
+            space_enumerations: 2,
+        };
+        let store = StoreStats {
+            space_hits: 1,
+            space_misses: 2,
+            c11_hits: 3,
+            c11_misses: 4,
+            evictions: 5,
+            writes: 6,
+        };
+        let bytes = encode_result(&items, &stats, &store);
+        let (di, ds, dst) = decode_result(&bytes).expect("roundtrip");
+        assert_eq!(di, items);
+        assert_eq!(ds, stats);
+        assert_eq!(dst, store);
+    }
+
+    #[test]
+    fn fingerprint_dealing_is_total_and_stable() {
+        let tests: Vec<LitmusTest> = suite::sb_template().instantiate_all().collect();
+        for shards in [1, 2, 4, 7] {
+            for t in &tests {
+                let s = shard_of(t, shards);
+                assert!(s < shards, "{} dealt out of range", t.name());
+                assert_eq!(s, shard_of(t, shards), "dealing must be deterministic");
+            }
+        }
+        // With one shard everything lands in shard 0.
+        assert!(tests.iter().all(|t| shard_of(t, 1) == 0));
+    }
+
+    #[test]
+    fn worker_output_parsing_tolerates_harness_chatter() {
+        let payload = encode_result(&[], &SweepStats::default(), &StoreStats::default());
+        let stdout = format!(
+            "running 1 test\n{RESULT_MARKER}{}\ntest probe ... ok\n",
+            hex_encode(&payload)
+        );
+        let (items, _, _) = parse_worker_output(&stdout, true).expect("parse");
+        assert!(items.is_empty());
+        assert!(parse_worker_output("no markers here\n", true).is_err());
+        let err = format!("{ERROR_MARKER}boom\n");
+        assert_eq!(parse_worker_output(&err, true).unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn family_interning_is_stable() {
+        let a = intern_family("wrc");
+        let b = intern_family("wrc");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(intern_family("brand-new-family"), "brand-new-family");
+    }
+}

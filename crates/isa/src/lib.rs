@@ -34,7 +34,7 @@
 
 use std::fmt;
 
-use tricheck_litmus::{Expr, Instr, Loc, Program, RmwKind};
+use tricheck_litmus::{CodecError, Expr, Instr, Loc, Program, RmwKind};
 
 /// Which access kinds a fence's predecessor or successor set contains.
 ///
@@ -299,6 +299,63 @@ impl fmt::Display for HwAnnot {
             HwAnnot::Amo(bits) => write!(f, "amo{}", bits.suffix()),
             HwAnnot::Fence(k) => write!(f, "{k}"),
         }
+    }
+}
+
+impl tricheck_litmus::AnnCodec for HwAnnot {
+    /// Distinguishes hardware-level payloads from C11-level ones
+    /// (`MemOrder::TAG == 1`) in persistent-store file headers.
+    const TAG: u8 = 2;
+
+    fn encode_ann(&self, out: &mut Vec<u8>) {
+        match self {
+            HwAnnot::Plain => out.push(0),
+            HwAnnot::Amo(bits) => {
+                out.push(1);
+                out.push(u8::from(bits.aq) | u8::from(bits.rl) << 1 | u8::from(bits.sc) << 2);
+            }
+            HwAnnot::Fence(FenceKind::Normal { pred, succ }) => {
+                out.push(2);
+                let access = |a: &AccessTypes| u8::from(a.reads) | u8::from(a.writes) << 1;
+                out.push(access(pred));
+                out.push(access(succ));
+            }
+            HwAnnot::Fence(FenceKind::CumulativeLight) => out.push(3),
+            HwAnnot::Fence(FenceKind::CumulativeHeavy) => out.push(4),
+        }
+    }
+
+    fn decode_ann(r: &mut tricheck_litmus::ByteReader<'_>) -> Result<Self, CodecError> {
+        let access = |b: u8| -> Result<AccessTypes, CodecError> {
+            if b > 0b11 {
+                return Err(CodecError::Invalid("fence access types"));
+            }
+            Ok(AccessTypes {
+                reads: b & 1 != 0,
+                writes: b & 2 != 0,
+            })
+        };
+        Ok(match r.u8()? {
+            0 => HwAnnot::Plain,
+            1 => {
+                let bits = r.u8()?;
+                if bits > 0b111 {
+                    return Err(CodecError::Invalid("amo bits"));
+                }
+                HwAnnot::Amo(AmoBits {
+                    aq: bits & 1 != 0,
+                    rl: bits & 2 != 0,
+                    sc: bits & 4 != 0,
+                })
+            }
+            2 => HwAnnot::Fence(FenceKind::Normal {
+                pred: access(r.u8()?)?,
+                succ: access(r.u8()?)?,
+            }),
+            3 => HwAnnot::Fence(FenceKind::CumulativeLight),
+            4 => HwAnnot::Fence(FenceKind::CumulativeHeavy),
+            _ => return Err(CodecError::Invalid("hardware annotation tag")),
+        })
     }
 }
 
@@ -604,6 +661,64 @@ mod tests {
             "fence rw, w"
         );
         assert_eq!(format_instr(&lw(Reg(0), x), Asm::Power), "ld r0, (x)");
+    }
+
+    #[test]
+    fn hw_annotations_roundtrip_through_the_codec() {
+        use tricheck_litmus::{AnnCodec, ByteReader};
+        let annots = [
+            HwAnnot::Plain,
+            HwAnnot::Amo(AmoBits::NONE),
+            HwAnnot::Amo(AmoBits::AQ),
+            HwAnnot::Amo(AmoBits::RL),
+            HwAnnot::Amo(AmoBits::AQ_RL),
+            HwAnnot::Amo(AmoBits::AQ_SC),
+            HwAnnot::Amo(AmoBits::RL_SC),
+            HwAnnot::Fence(FenceKind::Normal {
+                pred: AccessTypes::R,
+                succ: AccessTypes::RW,
+            }),
+            HwAnnot::Fence(FenceKind::Normal {
+                pred: AccessTypes::W,
+                succ: AccessTypes::W,
+            }),
+            HwAnnot::Fence(FenceKind::CumulativeLight),
+            HwAnnot::Fence(FenceKind::CumulativeHeavy),
+        ];
+        for ann in annots {
+            let mut bytes = Vec::new();
+            ann.encode_ann(&mut bytes);
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(HwAnnot::decode_ann(&mut r), Ok(ann));
+            assert_eq!(r.remaining(), 0);
+        }
+        // Unknown tags are rejected, not misread.
+        assert!(HwAnnot::decode_ann(&mut ByteReader::new(&[9])).is_err());
+    }
+
+    #[test]
+    fn compiled_programs_roundtrip_through_the_codec() {
+        use tricheck_litmus::codec::{decode_program, encode_program};
+        use tricheck_litmus::{ByteReader, Reg};
+        let prog = Program::new(
+            vec![
+                vec![
+                    build::sw(Loc(1), 1),
+                    build::fence(AccessTypes::RW, AccessTypes::W),
+                    build::amo_store(Reg(9), Loc(2), 1, AmoBits::RL_SC),
+                ],
+                vec![
+                    build::amo_load(Reg(0), Loc(2), AmoBits::AQ),
+                    build::lwf(),
+                    build::lw(Reg(1), Loc(1)),
+                ],
+            ],
+            [],
+        )
+        .expect("valid program");
+        let bytes = encode_program(&prog);
+        let decoded = decode_program::<HwAnnot>(&mut ByteReader::new(&bytes)).expect("roundtrip");
+        assert_eq!(decoded, prog);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod enumerate;
 pub mod exec;
 pub mod extra;
@@ -52,6 +53,7 @@ pub mod space;
 pub mod suite;
 pub mod template;
 
+pub use codec::{AnnCodec, ByteReader, CodecError};
 pub use enumerate::{
     count_executions, enumerate_executions, enumerate_matching, outcome_set, target_realizable,
 };

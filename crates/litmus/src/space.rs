@@ -51,6 +51,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::codec::{self, AnnCodec, ByteReader, CodecError};
 use crate::enumerate::{enumerate_executions, enumerate_matching, target_realizable};
 use crate::exec::Execution;
 use crate::mir::{Program, Reg};
@@ -332,6 +333,152 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
     }
 }
 
+impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
+    /// Serializes every *materialized* view of the space — the full
+    /// candidate list (if enumerated), each cached target-restricted
+    /// list, and each cached outcome partition — into the pinned binary
+    /// encoding of [`crate::codec`]. Nothing is enumerated to produce
+    /// the snapshot: an untouched space snapshots to "no views", and a
+    /// target-mode space snapshots exactly its matching sets.
+    ///
+    /// Together with [`ExecutionSpace::from_snapshot`] this is what lets
+    /// an on-disk store persist enumeration work across processes: a
+    /// later process restores the views and its queries hit the caches
+    /// instead of re-enumerating (its [`SpaceStats::enumerations`] stays
+    /// zero for restored views).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self.full.get() {
+            Some(full) => {
+                out.push(1);
+                codec::put_u32(&mut out, full.len() as u32);
+                for e in full.iter() {
+                    codec::put_bytes(&mut out, &codec::encode_execution(e));
+                }
+            }
+            None => out.push(0),
+        }
+        let matching = self.matching.lock().expect("space lock");
+        codec::put_u32(&mut out, matching.len() as u32);
+        for (target, execs) in matching.iter() {
+            codec::put_bytes(&mut out, &codec::encode_outcome(target));
+            codec::put_u32(&mut out, execs.len() as u32);
+            for e in execs.iter() {
+                codec::put_bytes(&mut out, &codec::encode_execution(e));
+            }
+        }
+        drop(matching);
+        let groups = self.groups.lock().expect("space lock");
+        codec::put_u32(&mut out, groups.len() as u32);
+        for (observed, partition) in groups.iter() {
+            codec::put_observed(&mut out, observed);
+            codec::put_u32(&mut out, partition.len() as u32);
+            for (outcome, members) in partition.iter() {
+                codec::put_bytes(&mut out, &codec::encode_outcome(outcome));
+                codec::put_u32(&mut out, members.len() as u32);
+                for &i in members {
+                    codec::put_u32(&mut out, i as u32);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a space around `program` with the snapshot's views
+    /// pre-materialized. Counters start at zero: restored views count as
+    /// neither enumerations nor cache hits until queried.
+    ///
+    /// The snapshot does not embed the program; callers (the disk store)
+    /// are responsible for pairing a snapshot with the program it was
+    /// taken from — which they must do anyway to guard against
+    /// fingerprint collisions.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the payload is truncated, carries unknown tags,
+    /// or references out-of-range execution indices. Callers treat any
+    /// error as a cache miss and re-enumerate.
+    pub fn from_snapshot(program: Program<A>, bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let space = ExecutionSpace::new(program);
+        let n_full = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.u32()? as usize;
+                let mut execs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    execs.push(decode_framed_execution(&mut r)?);
+                }
+                let n = execs.len();
+                space
+                    .full
+                    .set(Arc::new(execs))
+                    .unwrap_or_else(|_| unreachable!("fresh space has no full view"));
+                Some(n)
+            }
+            _ => return Err(CodecError::Invalid("full-view flag")),
+        };
+        let n_matching = r.u32()? as usize;
+        {
+            let mut matching = space.matching.lock().expect("space lock");
+            for _ in 0..n_matching {
+                let target_bytes = r.bytes()?;
+                let target = codec::decode_outcome(&mut ByteReader::new(target_bytes))?;
+                let n = r.u32()? as usize;
+                let mut execs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    execs.push(decode_framed_execution(&mut r)?);
+                }
+                matching.insert(target, Arc::new(execs));
+            }
+        }
+        let n_groups = r.u32()? as usize;
+        {
+            let mut groups = space.groups.lock().expect("space lock");
+            for _ in 0..n_groups {
+                let observed = codec::read_observed(&mut r)?;
+                let n_parts = r.u32()? as usize;
+                let mut partition: OutcomeGroups = Vec::with_capacity(n_parts);
+                for _ in 0..n_parts {
+                    let outcome_bytes = r.bytes()?;
+                    let outcome = codec::decode_outcome(&mut ByteReader::new(outcome_bytes))?;
+                    let n_members = r.u32()? as usize;
+                    let mut members = Vec::with_capacity(n_members);
+                    for _ in 0..n_members {
+                        let i = r.u32()? as usize;
+                        if n_full.is_none_or(|n| i >= n) {
+                            return Err(CodecError::Invalid("outcome group index"));
+                        }
+                        members.push(i);
+                    }
+                    partition.push((outcome, members));
+                }
+                groups.insert(observed, Arc::new(partition));
+            }
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::Invalid("trailing bytes after snapshot"));
+        }
+        Ok(space)
+    }
+}
+
+/// Decodes one `u32`-length-framed execution. The frame lets a reader
+/// reject a payload whose execution encoding is shorter or longer than
+/// its frame claims.
+fn decode_framed_execution<A: AnnCodec>(
+    r: &mut ByteReader<'_>,
+) -> Result<Execution<A>, CodecError> {
+    let frame = r.bytes()?;
+    let mut er = ByteReader::new(frame);
+    let exec = codec::decode_execution(&mut er)?;
+    if er.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in execution frame"));
+    }
+    Ok(exec)
+}
+
 /// A memory model reduced to its consistency predicate over candidate
 /// executions — the judge half of the enumerate-once/judge-everywhere
 /// engine.
@@ -493,6 +640,79 @@ mod tests {
         assert!(none.is_empty());
         assert!(!all.is_empty());
         assert_eq!(space.stats().enumerations, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_every_materialized_view() {
+        let t = suite::mp([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let _ = space.matching(t.target());
+        let _ = space.outcome_groups(t.observed());
+        let bytes = space.snapshot();
+        let restored =
+            ExecutionSpace::from_snapshot(t.program().clone(), &bytes).expect("roundtrip");
+        assert_eq!(
+            restored.executions().as_slice(),
+            space.executions().as_slice()
+        );
+        assert_eq!(
+            restored.matching(t.target()).as_slice(),
+            space.matching(t.target()).as_slice()
+        );
+        assert_eq!(
+            restored.outcome_groups(t.observed()),
+            space.outcome_groups(t.observed())
+        );
+    }
+
+    #[test]
+    fn restored_views_answer_without_enumerating() {
+        let t = suite::sb([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let direct = space.matching(t.target()).len();
+        assert_eq!(space.stats().enumerations, 1);
+
+        let restored =
+            ExecutionSpace::from_snapshot(t.program().clone(), &space.snapshot()).expect("decode");
+        assert_eq!(restored.stats().enumerations, 0);
+        assert_eq!(restored.matching(t.target()).len(), direct);
+        // The restored matching view is a cache hit, not an enumeration.
+        assert_eq!(restored.stats().enumerations, 0);
+        assert_eq!(restored.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_restores_an_unmaterialized_space() {
+        let t = suite::mp([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let bytes = space.snapshot();
+        let restored = ExecutionSpace::from_snapshot(t.program().clone(), &bytes).expect("decode");
+        // Nothing was materialized, so the restored space enumerates on
+        // first use like a fresh one.
+        assert_eq!(
+            restored.matching(t.target()).len(),
+            space.matching(t.target()).len()
+        );
+        assert_eq!(restored.stats().enumerations, 1);
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_rejected() {
+        let t = suite::mp([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let _ = space.executions();
+        let bytes = space.snapshot();
+        // Truncations of every length fail cleanly.
+        for cut in 0..bytes.len() {
+            assert!(
+                ExecutionSpace::from_snapshot(t.program().clone(), &bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(ExecutionSpace::from_snapshot(t.program().clone(), &padded).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`compiler`] | `tricheck-compiler` | Tables 1–3 mappings (Step 2) |
 //! | [`uarch`] | `tricheck-uarch` | the seven µSpec models (Step 3) |
 //! | [`core`] | `tricheck-core` | classification & sweeps (Step 4) |
+//! | [`dist`] | `tricheck-dist` | sharded multi-process sweeps + on-disk store |
 //! | [`opsim`] | `tricheck-opsim` | operational store-buffer machines |
 //! | [`sieve`] | `tricheck-sieve` | the Figure 2 workload |
 //!
@@ -76,6 +77,7 @@
 pub use tricheck_c11 as c11;
 pub use tricheck_compiler as compiler;
 pub use tricheck_core as core;
+pub use tricheck_dist as dist;
 pub use tricheck_isa as isa;
 pub use tricheck_litmus as litmus;
 pub use tricheck_opsim as opsim;
@@ -91,9 +93,10 @@ pub mod prelude {
         BaseRefined, Mapping, PowerLeadingSync, PowerSyncStyle, PowerTrailingSync,
     };
     pub use tricheck_core::{
-        report, Classification, MatrixStack, OutcomeMode, StackKey, Sweep, SweepOptions,
-        SweepResults, TestResult, TriCheck,
+        report, Classification, MatrixStack, OutcomeMode, SpaceSharing, SpaceStore, StackKey,
+        Sweep, SweepOptions, SweepResults, TestResult, TriCheck,
     };
+    pub use tricheck_dist::{run_sharded, DiskStore, DistOptions, DistResults, MatrixSpec};
     pub use tricheck_isa::{format_program, AmoBits, Asm, HwAnnot, RiscvIsa, SpecVersion};
     pub use tricheck_litmus::{suite, LitmusTest, MemOrder, Outcome, Program};
     pub use tricheck_uarch::{UarchConfig, UarchModel};
