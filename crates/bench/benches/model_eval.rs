@@ -1,0 +1,126 @@
+//! Model-evaluation bench: the declarative IR against the imperative
+//! oracles, and axiom-pruned against unpruned enumeration, on the
+//! wrc/iriw families (the shapes the paper's §5 bugs live in).
+//!
+//! Two questions this answers after every model-layer change:
+//!
+//! 1. What does the IR's interpretation overhead cost per candidate,
+//!    against the hand-written checkers it replaced in production?
+//! 2. What does axiom-driven pruning save (or cost) end to end, where
+//!    the partial-core acyclicity checks buy fewer materialized
+//!    candidates?
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tricheck_compiler::{compile, riscv_mapping};
+use tricheck_core::{Sweep, SweepOptions};
+use tricheck_isa::{HwAnnot, RiscvIsa, SpecVersion};
+use tricheck_litmus::{
+    enumerate_executions, enumerate_executions_pruned, suite, Execution, LitmusTest,
+};
+use tricheck_uarch::UarchModel;
+
+fn family(name: &str) -> Vec<LitmusTest> {
+    suite::full_suite()
+        .into_iter()
+        .filter(|t| t.family() == name)
+        .collect()
+}
+
+/// Every candidate execution of one representative compiled variant.
+fn candidates(test: &LitmusTest) -> Vec<Execution<HwAnnot>> {
+    let mapping = riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr);
+    let compiled = compile(test, mapping).expect("compiles");
+    let mut all = Vec::new();
+    enumerate_executions(compiled.program(), &mut |e| {
+        all.push(e.clone());
+        true
+    });
+    all
+}
+
+fn bench_model_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_eval");
+
+    // --- IR vs imperative consistency evaluation ---
+    for fam in ["wrc", "iriw"] {
+        let test = &family(fam)[0];
+        let execs = candidates(test);
+        let models = [
+            UarchModel::nmm(SpecVersion::Curr),
+            UarchModel::a9like(SpecVersion::Ours),
+        ];
+        for model in &models {
+            let _ = model.ir(); // build outside the timed region
+            group.bench_function(format!("{fam}/{}/imperative", model.name()), |b| {
+                b.iter(|| {
+                    execs
+                        .iter()
+                        .filter(|e| model.check(black_box(e)).is_ok())
+                        .count()
+                });
+            });
+            group.bench_function(format!("{fam}/{}/ir", model.name()), |b| {
+                b.iter(|| {
+                    execs
+                        .iter()
+                        .filter(|e| model.consistent(black_box(e)))
+                        .count()
+                });
+            });
+        }
+    }
+
+    // --- Pruned vs unpruned enumeration over the compiled families ---
+    for fam in ["wrc", "iriw"] {
+        let tests = family(fam);
+        let mapping = riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr);
+        let programs: Vec<_> = tests
+            .iter()
+            .map(|t| compile(t, mapping).expect("compiles").program().clone())
+            .collect();
+        group.bench_function(format!("{fam}/enumerate/unpruned"), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for p in &programs {
+                    enumerate_executions(black_box(p), &mut |_| {
+                        n += 1;
+                        true
+                    });
+                }
+                n
+            });
+        });
+        group.bench_function(format!("{fam}/enumerate/pruned"), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for p in &programs {
+                    let _ = enumerate_executions_pruned(black_box(p), &mut |_| {
+                        n += 1;
+                        true
+                    });
+                }
+                n
+            });
+        });
+        // End to end: the family through the Figure 15 engine sweep.
+        group.bench_function(format!("{fam}/sweep/pruned"), |b| {
+            b.iter(|| Sweep::new().run_riscv(black_box(&tests)).grand_total_bugs());
+        });
+        group.bench_function(format!("{fam}/sweep/unpruned"), |b| {
+            let opts = SweepOptions {
+                pruning: false,
+                ..SweepOptions::default()
+            };
+            b.iter(|| {
+                Sweep::with_options(opts.clone())
+                    .run_riscv(black_box(&tests))
+                    .grand_total_bugs()
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_eval);
+criterion_main!(benches);

@@ -56,11 +56,13 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 use tricheck_litmus::{
     enumerate_executions, outcome_set, ConsistencyModel, Execution, ExecutionSpace, LitmusTest,
     MemOrder, Outcome, Reg,
 };
+use tricheck_rel::ir::{AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
 use tricheck_rel::{linear_extensions, EventSet, Relation};
 
 /// Why an execution is inconsistent under C11.
@@ -113,8 +115,59 @@ impl C11Model {
         C11Model::default()
     }
 
-    /// Checks consistency of one candidate execution, reporting the first
-    /// violated axiom on failure.
+    /// The C11 model as declarative IR, shared by every instance.
+    ///
+    /// Two of its bases are irreducibly non-relational and provided by
+    /// the [`C11Binding`] directly: `sw` (release sequences are
+    /// *maximal contiguous* runs in modification order, which the
+    /// relation algebra cannot express head-relative) and `sc-bad`
+    /// (Batty's SC condition existentially quantifies over total
+    /// orders; the binding exposes it as a witness relation that is
+    /// empty exactly when a valid SC order exists).
+    #[must_use]
+    pub fn ir() -> &'static ModelIr {
+        static IR: OnceLock<ModelIr> = OnceLock::new();
+        IR.get_or_init(|| {
+            let init_hb = RelExpr::cross(
+                SetExpr::base("init"),
+                SetExpr::Universe.minus(SetExpr::base("init")),
+            );
+            ModelIr::new("C11")
+                .define(
+                    "hb",
+                    RelExpr::base("po")
+                        .union(RelExpr::base("sw"))
+                        .union(init_hb)
+                        .plus(),
+                )
+                .define(
+                    "eco",
+                    RelExpr::base("rf")
+                        .union(RelExpr::base("co"))
+                        .union(RelExpr::base("fr"))
+                        .plus(),
+                )
+                .axiom("HbCycle", AxiomKind::Irreflexive, RelExpr::reference("hb"))
+                .axiom(
+                    "Coherence",
+                    AxiomKind::Irreflexive,
+                    RelExpr::reference("hb").seq(RelExpr::reference("eco")),
+                )
+                .axiom(
+                    "Atomicity",
+                    AxiomKind::Empty,
+                    RelExpr::base("rmw").inter(RelExpr::base("fr").seq(RelExpr::base("co"))),
+                )
+                .axiom("ScOrder", AxiomKind::Empty, RelExpr::base("sc-bad"))
+        })
+    }
+
+    /// Checks consistency of one candidate execution through the
+    /// *imperative* checker, reporting the first violated axiom on
+    /// failure. Kept as the differential oracle for [`C11Model::ir`]
+    /// (the production predicate, [`C11Model::consistent`], evaluates
+    /// the IR); `tests/model_properties.rs` pins the two against each
+    /// other on every candidate execution of random suite subsets.
     ///
     /// # Errors
     ///
@@ -141,9 +194,12 @@ impl C11Model {
     }
 
     /// `true` if the execution is consistent under C11.
+    ///
+    /// Evaluates the declarative [`C11Model::ir`]; the imperative
+    /// [`C11Model::check`] remains as the differential oracle.
     #[must_use]
     pub fn consistent(&self, exec: &Execution<MemOrder>) -> bool {
-        self.check(exec).is_ok()
+        Self::ir().consistent(&C11Binding::new(exec))
     }
 
     /// Whether the test's target outcome is permitted by C11.
@@ -224,6 +280,75 @@ impl ConsistencyModel for C11Model {
     }
 }
 
+/// The binding of the C11 IR's base names to one candidate execution.
+///
+/// Bases: relations `po`, `rf`, `co`, `fr`, `rmw`, `sw`
+/// (release-sequence synchronization, see [`C11Model::ir`] for why it
+/// is a base), and `sc-bad` (a witness relation that is empty iff a
+/// total SC order satisfying Batty's conditions exists); set `init`.
+#[derive(Debug)]
+pub struct C11Binding<'e> {
+    exec: &'e Execution<MemOrder>,
+    /// `sw` is served both as a base and as an ingredient of `sc-bad`'s
+    /// derived relations; compute it once per binding.
+    sw: std::cell::OnceCell<Relation>,
+}
+
+impl<'e> C11Binding<'e> {
+    /// Binds an execution.
+    #[must_use]
+    pub fn new(exec: &'e Execution<MemOrder>) -> Self {
+        C11Binding {
+            exec,
+            sw: std::cell::OnceCell::new(),
+        }
+    }
+
+    fn sw(&self) -> &Relation {
+        self.sw.get_or_init(|| synchronizes_with(self.exec))
+    }
+}
+
+impl BaseRelations for C11Binding<'_> {
+    fn universe(&self) -> usize {
+        self.exec.len()
+    }
+
+    fn rel(&self, name: &str) -> Option<Relation> {
+        Some(match name {
+            "po" => self.exec.po().clone(),
+            "rf" => self.exec.rf().clone(),
+            "co" => self.exec.co().clone(),
+            "fr" => self.exec.fr(),
+            "rmw" => self.exec.rmw().clone(),
+            "sw" => self.sw().clone(),
+            "sc-bad" => {
+                let n = self.exec.len();
+                // An execution with no seq_cst events trivially has an
+                // SC order; skip the derived-relation work entirely.
+                let has_sc = (0..n).any(|e| self.exec.ann(e).is_some_and(|mo| mo.is_sc()));
+                if !has_sc {
+                    return Some(Relation::empty(n));
+                }
+                let derived = DerivedRelations::with_sw(self.exec, self.sw().clone());
+                if sc_order_exists(self.exec, &derived) {
+                    Relation::empty(n)
+                } else {
+                    Relation::identity(n).restrict(derived.sc_events, derived.sc_events)
+                }
+            }
+            _ => return None,
+        })
+    }
+
+    fn set(&self, name: &str) -> Option<EventSet> {
+        match name {
+            "init" => Some(self.exec.inits()),
+            _ => None,
+        }
+    }
+}
+
 /// The `sw`/`hb`/`eco` relations derived from an execution.
 struct DerivedRelations {
     hb: Relation,
@@ -234,8 +359,14 @@ struct DerivedRelations {
 
 impl DerivedRelations {
     fn new(exec: &Execution<MemOrder>) -> Self {
+        Self::with_sw(exec, synchronizes_with(exec))
+    }
+
+    /// Builds the derived relations around a precomputed `sw` (the
+    /// [`C11Binding`] shares one `sw` between the IR base and the
+    /// `sc-bad` witness instead of deriving release sequences twice).
+    fn with_sw(exec: &Execution<MemOrder>, sw: Relation) -> Self {
         let n = exec.len();
-        let sw = synchronizes_with(exec);
 
         // hb = (sb ∪ sw ∪ init-before-everything)⁺
         let mut hb_base = exec.po().union(&sw);

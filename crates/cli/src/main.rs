@@ -72,7 +72,8 @@ const USAGE: &str = "usage:
   tricheck diagnose NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck dot NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
-                 [--shards N] [--cache-dir PATH]
+                 [--x86] [--shards N] [--cache-dir PATH]
+  tricheck sweep --list-models
   tricheck file PATH [--model M] [--isa base|base+a] [--spec curr|ours]
 
 models: WR rWR rWM rMM nWR nMM A9like (default nMM)
@@ -82,6 +83,9 @@ sweeps: --threads 1 gives a deterministic serial run; --cache-stats prints
         stronger verify_full equivalence, at witness-mode cost); --power
         runs the §7 compiler study ({leading,trailing}-sync C11→Power
         mappings on the ARMv7 models) instead of the RISC-V Figure 15;
+        --x86 runs the x86 study ({sc-atomics,relaxed} C11→x86 mappings
+        on the IR-defined TSO model); --list-models prints every
+        registered stack (ISA, mapping, model, IR axioms) and exits;
         --shards N deals the sweep across N worker processes (1 = in
         process); --cache-dir PATH persists execution spaces and C11
         verdicts across runs (and across shards)";
@@ -94,6 +98,8 @@ struct Options {
     cache_stats: bool,
     outcomes: bool,
     power: bool,
+    x86: bool,
+    list_models: bool,
     shards: Option<usize>,
     cache_dir: Option<String>,
 }
@@ -107,6 +113,8 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
         cache_stats: false,
         outcomes: false,
         power: false,
+        x86: false,
+        list_models: false,
         shards: None,
         cache_dir: None,
     };
@@ -137,6 +145,8 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
             "--cache-stats" => opts.cache_stats = true,
             "--outcomes" => opts.outcomes = true,
             "--power" => opts.power = true,
+            "--x86" => opts.x86 = true,
+            "--list-models" => opts.list_models = true,
             "--isa" => {
                 let v = it.next().ok_or("--isa needs a value")?;
                 opts.isa = match v.to_lowercase().as_str() {
@@ -312,6 +322,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "sweep" => {
+            if opts.list_models {
+                print!("{}", list_models());
+                return Ok(());
+            }
             let family = pos.next().cloned().unwrap_or_else(|| "wrc".to_string());
             let tests: Vec<LitmusTest> = suite::full_suite()
                 .into_iter()
@@ -319,6 +333,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 .collect();
             if tests.is_empty() {
                 return Err(format!("unknown family '{family}'"));
+            }
+            if opts.power && opts.x86 {
+                return Err("--power and --x86 are mutually exclusive".to_string());
             }
             if opts.shards.is_some() || opts.cache_dir.is_some() {
                 return run_dist_sweep(&family, &tests, &opts);
@@ -334,6 +351,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let results = if opts.power {
                 let results = sweep.run_power(&tests);
                 print!("{}", report::power_table(&results));
+                results
+            } else if opts.x86 {
+                let results = sweep.run_x86(&tests);
+                print!("{}", report::x86_table(&results));
                 results
             } else {
                 let results = sweep.run_riscv(&tests);
@@ -373,12 +394,16 @@ fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<
     };
     let spec = if opts.power {
         MatrixSpec::Power
+    } else if opts.x86 {
+        MatrixSpec::X86
     } else {
         MatrixSpec::Riscv
     };
     let dist = run_sharded(spec, tests, &dist_opts).map_err(|e| e.to_string())?;
     if opts.power {
         print!("{}", report::power_table(&dist.results));
+    } else if opts.x86 {
+        print!("{}", report::x86_table(&dist.results));
     } else {
         print!("{}", report::family_chart(&dist.results, family));
     }
@@ -400,6 +425,41 @@ fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<
         }
     }
     Ok(())
+}
+
+/// Renders every registered sweep stack (`sweep --list-models`): the
+/// three matrices' cells, each with its ISA column, mapping, µarch
+/// model, and the model's IR axiom names — so data-defined models added
+/// to any matrix are discoverable without reading source.
+fn list_models() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let matrices: [(&str, Vec<tricheck::core::MatrixStack<'static>>); 3] = [
+        ("riscv (Figure 15)", tricheck::core::riscv_stacks()),
+        ("power (§7 study, --power)", tricheck::core::power_stacks()),
+        ("x86 (TSO study, --x86)", tricheck::core::x86_stacks()),
+    ];
+    for (title, stacks) in matrices {
+        let _ = writeln!(out, "== {title} ==");
+        let _ = writeln!(
+            out,
+            "{:<8} {:<14} {:<24} {:<22} axioms",
+            "ISA", "variant", "mapping", "model"
+        );
+        for stack in stacks {
+            let axioms: Vec<&str> = stack.model.ir().axioms().iter().map(|a| a.name).collect();
+            let _ = writeln!(
+                out,
+                "{:<8} {:<14} {:<24} {:<22} {}",
+                stack.key.isa_label(),
+                stack.key.variant_label(),
+                stack.mapping.name(),
+                stack.model.name(),
+                axioms.join(", ")
+            );
+        }
+    }
+    out
 }
 
 /// Validates `--cache-dir`: an existing path must be a directory; a
@@ -438,6 +498,10 @@ fn print_engine_stats(s: &tricheck::core::SweepStats) {
     println!(
         "  execution spaces     {} distinct programs, {} enumerations, {} cache hits",
         s.distinct_programs, s.space_enumerations, s.space_cache_hits
+    );
+    println!(
+        "  pruned branches      {} (axiom-driven enumeration pruning)",
+        s.candidates_pruned
     );
 }
 
@@ -491,6 +555,39 @@ mod tests {
         assert_eq!(pos.len(), 2);
         assert!(opts.outcomes);
         assert!(opts.power);
+    }
+
+    #[test]
+    fn x86_sweep_runs_end_to_end() {
+        // The CI smoke invocation, in-process: the sb family through the
+        // data-defined TSO stack.
+        let args = strings(&["sweep", "sb", "--x86", "--threads", "2", "--cache-stats"]);
+        assert_eq!(run(&args), Ok(()));
+        // --power and --x86 cannot be combined.
+        assert!(run(&strings(&["sweep", "sb", "--power", "--x86"])).is_err());
+    }
+
+    #[test]
+    fn list_models_names_every_matrix_and_axiom() {
+        let listing = list_models();
+        for needle in [
+            "riscv (Figure 15)",
+            "power (§7 study, --power)",
+            "x86 (TSO study, --x86)",
+            "x86-TSO",
+            "x86-sc-atomics",
+            "x86-relaxed",
+            "ARMv7-A9like",
+            "riscv-base+a-refined",
+            "ScPerLocation",
+            "ScAmoOrder",
+        ] {
+            assert!(listing.contains(needle), "missing {needle}:\n{listing}");
+        }
+        // 28 RISC-V + 4 Power + 2 x86 stacks, plus 3 titles + 3 headers.
+        assert_eq!(listing.lines().count(), 34 + 6);
+        // And the flag path prints it without touching a sweep.
+        assert_eq!(run(&strings(&["sweep", "--list-models"])), Ok(()));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! | [`BaseARefined`] | Table 3, "Refined" column (§5.3) |
 //! | [`PowerLeadingSync`] | Table 1 (McKenney–Silvera leading-sync) |
 //! | [`PowerTrailingSync`] | Batty et al. trailing-sync (§7) |
+//! | [`X86ScAtomics`] | the standard C11 → x86 SC-atomics mapping |
+//! | [`X86Relaxed`] | unfenced x86 strawman (exposes SC store buffering) |
 //!
 //! [`compile`] applies a mapping to a whole litmus test, preserving the
 //! observable registers so language-level and ISA-level outcomes can be
@@ -574,6 +576,148 @@ impl Mapping for PowerTrailingSync {
                 })
             }
         })
+    }
+}
+
+fn mfence() -> Instr<HwAnnot> {
+    Instr::Fence {
+        ann: HwAnnot::Fence(FenceKind::Mfence),
+    }
+}
+
+/// The standard C11 → x86 SC-atomics mapping: plain `mov`s everywhere,
+/// with an `mfence` after each SC store. TSO already gives acquire loads
+/// and release stores for free; the fence only restores W→R order for
+/// SC accesses (the store-buffering case).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct X86ScAtomics;
+
+impl Mapping for X86ScAtomics {
+    fn name(&self) -> &'static str {
+        "x86-sc-atomics"
+    }
+
+    fn load(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx | MemOrder::Acq | MemOrder::Sc => vec![plain_load(dst, addr)],
+            MemOrder::Rel | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "release-ordered load",
+                })
+            }
+        })
+    }
+
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        _scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx | MemOrder::Rel => vec![plain_store(addr, val)],
+            MemOrder::Sc => vec![plain_store(addr, val), mfence()],
+            MemOrder::Acq | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "acquire-ordered store",
+                })
+            }
+        })
+    }
+}
+
+/// The deliberately *unfenced* C11 → x86 mapping: every atomic access
+/// becomes a bare `mov`. Correct for relaxed/acquire/release on TSO,
+/// wrong for seq_cst — SC store buffering slips through, which is
+/// exactly the miscompilation `Sweep::run_x86` is built to expose.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct X86Relaxed;
+
+impl Mapping for X86Relaxed {
+    fn name(&self) -> &'static str {
+        "x86-relaxed"
+    }
+
+    fn load(
+        &self,
+        dst: Reg,
+        addr: Expr,
+        mo: MemOrder,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx | MemOrder::Acq | MemOrder::Sc => vec![plain_load(dst, addr)],
+            MemOrder::Rel | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "release-ordered load",
+                })
+            }
+        })
+    }
+
+    fn store(
+        &self,
+        addr: Expr,
+        val: Expr,
+        mo: MemOrder,
+        _scratch: Reg,
+    ) -> Result<Vec<Instr<HwAnnot>>, CompileError> {
+        Ok(match mo {
+            MemOrder::Rlx | MemOrder::Rel | MemOrder::Sc => vec![plain_store(addr, val)],
+            MemOrder::Acq | MemOrder::AcqRel => {
+                return Err(CompileError::Unsupported {
+                    mapping: self.name(),
+                    construct: "acquire-ordered store",
+                })
+            }
+        })
+    }
+}
+
+/// Which C11 → x86 mapping a stack of the x86 study uses — the axis the
+/// `run_x86` matrix sweeps over.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum X86MappingStyle {
+    /// The standard SC-atomics mapping ([`X86ScAtomics`]).
+    ScAtomics,
+    /// The unfenced strawman ([`X86Relaxed`]).
+    Relaxed,
+}
+
+impl X86MappingStyle {
+    /// Both styles, correct mapping first.
+    pub const ALL: [X86MappingStyle; 2] = [X86MappingStyle::ScAtomics, X86MappingStyle::Relaxed];
+
+    /// The short label used in reports and row keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            X86MappingStyle::ScAtomics => "sc-atomics",
+            X86MappingStyle::Relaxed => "relaxed",
+        }
+    }
+}
+
+impl fmt::Display for X86MappingStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The x86-study mapping for one style.
+#[must_use]
+pub fn x86_mapping(style: X86MappingStyle) -> &'static dyn Mapping {
+    match style {
+        X86MappingStyle::ScAtomics => &X86ScAtomics,
+        X86MappingStyle::Relaxed => &X86Relaxed,
     }
 }
 

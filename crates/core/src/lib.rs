@@ -68,8 +68,8 @@ pub mod verdict;
 
 pub use explain::{diagnose, Diagnosis};
 pub use runner::{
-    power_stacks, results_from_items, riscv_stacks, MatrixItems, MatrixStack, OutcomeMode,
-    SpaceSharing, StackKey, Sweep, SweepOptions, SweepResults, SweepRow, SweepStats,
+    power_stacks, results_from_items, riscv_stacks, x86_stacks, MatrixItems, MatrixStack,
+    OutcomeMode, SpaceSharing, StackKey, Sweep, SweepOptions, SweepResults, SweepRow, SweepStats,
     SHARING_BREAK_EVEN,
 };
 pub use store::{C11Cached, SpaceStore, StoreStats};

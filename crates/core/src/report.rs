@@ -133,11 +133,21 @@ pub fn headline_table(results: &SweepResults) -> String {
 /// whole suite, in matrix order.
 #[must_use]
 pub fn power_table(results: &SweepResults) -> String {
+    mapping_study_table(results, "§7 compiler study: C11 → Power mappings on ARMv7")
+}
+
+/// Renders the x86 mapping-study table: per (mapping style, TSO) cell,
+/// the total counts across the suite.
+#[must_use]
+pub fn x86_table(results: &SweepResults) -> String {
+    mapping_study_table(results, "x86 mapping study: C11 → x86 mappings on TSO")
+}
+
+/// Shared renderer of the compiler-mapping study tables: one row per
+/// (stack key, model) pair, aggregated over families in matrix order.
+fn mapping_study_table(results: &SweepResults, title: &str) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "== §7 compiler study: C11 → Power mappings on ARMv7 =="
-    );
+    let _ = writeln!(out, "== {title} ==");
     let _ = writeln!(
         out,
         "{:<15} {:<22} {:>6} {:>14} {:>11} {:>7}",

@@ -74,7 +74,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use tricheck_c11::C11Model;
 use tricheck_compiler::{
-    compile, power_mapping, riscv_mapping, CompileError, CompiledTest, Mapping, PowerSyncStyle,
+    compile, power_mapping, riscv_mapping, x86_mapping, CompileError, CompiledTest, Mapping,
+    PowerSyncStyle, X86MappingStyle,
 };
 use tricheck_isa::{HwAnnot, RiscvIsa, SpecVersion};
 use tricheck_litmus::{ExecutionSpace, LitmusTest, Outcome};
@@ -147,6 +148,15 @@ pub struct SweepOptions {
     pub outcome_mode: OutcomeMode,
     /// Shared-space materialization policy (see [`SpaceSharing`]).
     pub space_sharing: SpaceSharing,
+    /// Axiom-driven enumeration pruning (on by default): shared
+    /// execution spaces cut search branches that already violate the
+    /// model-independent core (coherence + RMW atomicity), which every
+    /// model rejects anyway — strictly fewer candidates are
+    /// materialized, with bit-identical rows (pinned by
+    /// `tests/model_properties.rs` and the golden-row fixtures).
+    /// Pruned and unpruned runs may freely share a cache directory:
+    /// restored views only ever differ in already-doomed candidates.
+    pub pruning: bool,
     /// A persistent memoization of execution spaces and C11 verdicts,
     /// consulted before computing and updated at the end of the run.
     /// `None` (the default) keeps all caches run-scoped.
@@ -171,6 +181,7 @@ impl Default for SweepOptions {
             threads,
             outcome_mode: OutcomeMode::Target,
             space_sharing: SpaceSharing::Auto,
+            pruning: true,
             store: None,
         }
     }
@@ -182,6 +193,7 @@ impl std::fmt::Debug for SweepOptions {
             .field("threads", &self.threads)
             .field("outcome_mode", &self.outcome_mode)
             .field("space_sharing", &self.space_sharing)
+            .field("pruning", &self.pruning)
             .field("store", &self.store.as_ref().map(|_| "<store>"))
             .finish()
     }
@@ -209,6 +221,12 @@ pub enum StackKey {
         /// The C11 → Power sync placement style.
         style: PowerSyncStyle,
     },
+    /// An x86 stack of the TSO mapping study (the IR-defined model's
+    /// proving ground).
+    X86 {
+        /// The C11 → x86 mapping style.
+        style: X86MappingStyle,
+    },
 }
 
 impl StackKey {
@@ -225,6 +243,7 @@ impl StackKey {
                 ..
             } => "Base+A",
             StackKey::Power { .. } => "Power",
+            StackKey::X86 { .. } => "x86",
         }
     }
 
@@ -242,6 +261,7 @@ impl StackKey {
                 ..
             } => "riscv-ours",
             StackKey::Power { style } => style.label(),
+            StackKey::X86 { style } => style.label(),
         }
     }
 }
@@ -307,6 +327,10 @@ pub struct SweepStats {
     /// Enumeration passes actually run across all spaces — equals
     /// `distinct_programs` when every space is enumerated exactly once.
     pub space_enumerations: usize,
+    /// Search branches cut by axiom-driven pruning across all space
+    /// enumerations (zero when [`SweepOptions::pruning`] is off or no
+    /// spaces were materialized).
+    pub candidates_pruned: usize,
 }
 
 /// Aggregated results of a sweep.
@@ -347,27 +371,6 @@ impl SweepResults {
             .filter(|r| r.key == key && bare_model_name(&r.model) == model)
             .map(|r| r.bugs)
             .sum()
-    }
-
-    /// The row for an exact RISC-V cell, if present.
-    #[deprecated(note = "use `row` with a `StackKey` — Power rows carry no RISC-V ISA tag")]
-    #[must_use]
-    pub fn cell(
-        &self,
-        isa: RiscvIsa,
-        version: SpecVersion,
-        model: &str,
-        family: &str,
-    ) -> Option<&SweepRow> {
-        self.row(StackKey::Riscv { isa, version }, model, family)
-    }
-
-    /// Total bugs across all families for one RISC-V (ISA, version,
-    /// model).
-    #[deprecated(note = "use `bugs_for` with a `StackKey` — Power rows carry no RISC-V ISA tag")]
-    #[must_use]
-    pub fn total_bugs(&self, isa: RiscvIsa, version: SpecVersion, model: &str) -> usize {
-        self.bugs_for(StackKey::Riscv { isa, version }, model)
     }
 
     /// Total bugs in the entire sweep.
@@ -456,6 +459,8 @@ struct SweepCache<'t> {
     tests: &'t [LitmusTest],
     n_mappings: usize,
     mode: OutcomeMode,
+    /// Whether spaces enumerate with axiom-driven pruning.
+    pruning: bool,
     c11: C11Model,
     /// The persistent store, consulted on C11 and space cache misses.
     store: Option<&'t dyn SpaceStore>,
@@ -478,12 +483,14 @@ impl<'t> SweepCache<'t> {
         tests: &'t [LitmusTest],
         n_mappings: usize,
         mode: OutcomeMode,
+        pruning: bool,
         store: Option<&'t dyn SpaceStore>,
     ) -> Self {
         SweepCache {
             tests,
             n_mappings,
             mode,
+            pruning,
             c11: C11Model::new(),
             store,
             c11_verdicts: (0..tests.len()).map(|_| OnceLock::new()).collect(),
@@ -563,9 +570,18 @@ impl<'t> SweepCache<'t> {
         let loaded = self
             .store
             .and_then(|s| s.load_space(compiled.program()))
-            .map(|space| CachedSpace {
-                loaded_digest: Some(CachedSpace::snapshot_digest(&space)),
-                space: Arc::new(space),
+            .map(|space| {
+                // Re-arm pruning on restored spaces so views enumerated
+                // later in this run are pruned like fresh ones.
+                let space = if self.pruning {
+                    space.into_pruned()
+                } else {
+                    space
+                };
+                CachedSpace {
+                    loaded_digest: Some(CachedSpace::snapshot_digest(&space)),
+                    space: Arc::new(space),
+                }
             });
         let mut spaces = self.spaces.lock().expect("space cache lock");
         let bucket = spaces.entry(fingerprint.as_u64()).or_default();
@@ -578,9 +594,17 @@ impl<'t> SweepCache<'t> {
             self.space_lookup_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(&entry.space);
         }
-        let entry = loaded.unwrap_or_else(|| CachedSpace {
-            space: Arc::new(ExecutionSpace::new(compiled.program().clone())),
-            loaded_digest: None,
+        let entry = loaded.unwrap_or_else(|| {
+            let program = compiled.program().clone();
+            let space = if self.pruning {
+                ExecutionSpace::pruned(program)
+            } else {
+                ExecutionSpace::new(program)
+            };
+            CachedSpace {
+                space: Arc::new(space),
+                loaded_digest: None,
+            }
         });
         let space = Arc::clone(&entry.space);
         bucket.push(entry);
@@ -663,12 +687,14 @@ impl<'t> SweepCache<'t> {
         let spaces = self.spaces.lock().expect("space cache lock");
         let mut distinct_programs = 0;
         let mut space_enumerations = 0;
+        let mut candidates_pruned = 0;
         let mut space_cache_hits = self.space_lookup_hits.load(Ordering::Relaxed);
         for entry in spaces.values().flatten() {
             distinct_programs += 1;
             let s = entry.space.stats();
             space_enumerations += s.enumerations;
             space_cache_hits += s.cache_hits;
+            candidates_pruned += s.candidates_pruned;
         }
         SweepStats {
             tests: self.tests.len(),
@@ -679,6 +705,7 @@ impl<'t> SweepCache<'t> {
             distinct_programs,
             space_cache_hits,
             space_enumerations,
+            candidates_pruned,
         }
     }
 }
@@ -863,6 +890,23 @@ impl Sweep {
         self.run_matrix_naive(tests, &power_stacks())
     }
 
+    /// The x86 mapping study as a cached sweep: {sc-atomics, relaxed}
+    /// C11 → x86 mappings × the IR-defined TSO model, via
+    /// [`Sweep::run_matrix`]. The third thin instantiation of the
+    /// generic engine — and the proving ground for data-defined models:
+    /// the whole stack behind it is declarative (`x86_tso_ir`).
+    #[must_use]
+    pub fn run_x86(&self, tests: &[LitmusTest]) -> SweepResults {
+        self.run_matrix(tests, &x86_stacks())
+    }
+
+    /// The x86 study on the per-cell recompute path — the differential
+    /// oracle for [`Sweep::run_x86`].
+    #[must_use]
+    pub fn run_x86_naive(&self, tests: &[LitmusTest]) -> SweepResults {
+        self.run_matrix_naive(tests, &x86_stacks())
+    }
+
     /// Processes every (test × cell) item over the shared caches and the
     /// work-stealing pool, returning per-item results (test-major) plus
     /// cache statistics.
@@ -873,7 +917,13 @@ impl Sweep {
         n_mappings: usize,
     ) -> (Vec<Option<TestResult>>, SweepStats) {
         let store = self.options.store.as_deref();
-        let cache = SweepCache::new(tests, n_mappings, self.options.outcome_mode, store);
+        let cache = SweepCache::new(
+            tests,
+            n_mappings,
+            self.options.outcome_mode,
+            self.options.pruning,
+            store,
+        );
         let n_cells = cells.len();
         let n_items = tests.len() * n_cells;
         let results: Vec<OnceLock<Option<TestResult>>> =
@@ -985,6 +1035,24 @@ pub fn power_stacks() -> Vec<MatrixStack<'static>> {
         for model in UarchModel::all_armv7() {
             stacks.push(MatrixStack {
                 key: StackKey::Power { style },
+                mapping,
+                model,
+            });
+        }
+    }
+    stacks
+}
+
+/// The x86-study stacks: both mapping styles × the TSO model, in
+/// presentation order. Public for the same reason as [`riscv_stacks`].
+#[must_use]
+pub fn x86_stacks() -> Vec<MatrixStack<'static>> {
+    let mut stacks = Vec::new();
+    for style in X86MappingStyle::ALL {
+        let mapping = x86_mapping(style);
+        for model in UarchModel::all_x86() {
+            stacks.push(MatrixStack {
+                key: StackKey::X86 { style },
                 mapping,
                 model,
             });
@@ -1317,6 +1385,65 @@ mod tests {
     }
 
     #[test]
+    fn x86_sweep_exposes_sb_only_under_the_relaxed_mapping() {
+        use tricheck_compiler::X86MappingStyle;
+        let tests: Vec<_> = suite::sb_template().instantiate_all().collect();
+        let results = Sweep::new().run_x86(&tests);
+        let sc = StackKey::X86 {
+            style: X86MappingStyle::ScAtomics,
+        };
+        let relaxed = StackKey::X86 {
+            style: X86MappingStyle::Relaxed,
+        };
+        assert_eq!(results.bugs_for(sc, "x86-TSO"), 0);
+        assert_eq!(
+            results.bugs_for(relaxed, "x86-TSO"),
+            1,
+            "exactly the all-SC store-buffering variant slips through"
+        );
+        assert_eq!(results.rows(), Sweep::new().run_x86_naive(&tests).rows());
+    }
+
+    #[test]
+    fn x86_matrix_is_two_data_defined_cells() {
+        let stacks = x86_stacks();
+        assert_eq!(stacks.len(), 2);
+        for stack in &stacks {
+            assert!(matches!(stack.key, StackKey::X86 { .. }));
+            assert_eq!(stack.key.isa_label(), "x86");
+            // The TSO model is IR-only: no relaxation config behind it.
+            assert!(stack.model.config().is_none());
+            assert_eq!(stack.model.ir().name(), "x86-TSO");
+        }
+        assert!(stacks.len() / 2 < SHARING_BREAK_EVEN, "x86 matrix streams");
+    }
+
+    #[test]
+    fn full_suite_pruning_is_transparent_and_nonzero() {
+        // The acceptance contract of axiom-driven pruning on a family
+        // with RMW-compiled stores: identical rows, identical
+        // exactly-once counts, strictly fewer materialized candidates.
+        let tests: Vec<_> = suite::corsdwi_template().instantiate_all().collect();
+        let pruned = Sweep::new().run_riscv(&tests);
+        let unpruned = Sweep::with_options(SweepOptions {
+            pruning: false,
+            ..SweepOptions::default()
+        })
+        .run_riscv(&tests);
+        assert_eq!(pruned.rows(), unpruned.rows());
+        assert_eq!(
+            pruned.stats().distinct_programs,
+            unpruned.stats().distinct_programs
+        );
+        assert_eq!(
+            pruned.stats().space_enumerations,
+            unpruned.stats().space_enumerations
+        );
+        assert!(pruned.stats().candidates_pruned > 0);
+        assert_eq!(unpruned.stats().candidates_pruned, 0);
+    }
+
+    #[test]
     fn riscv_sweep_is_deterministic_across_thread_counts() {
         let tests: Vec<_> = suite::sb_template().instantiate_all().collect();
         let serial = Sweep::with_options(SweepOptions::with_threads(1)).run_riscv(&tests);
@@ -1358,25 +1485,6 @@ mod tests {
         assert_eq!(
             full.stats().space_enumerations,
             full.stats().distinct_programs
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_riscv_shims_forward_to_generalized_row_key() {
-        let tests: Vec<_> = suite::mp_template().instantiate_all().collect();
-        let results = Sweep::new().run_riscv(&tests);
-        let key = StackKey::Riscv {
-            isa: RiscvIsa::Base,
-            version: SpecVersion::Curr,
-        };
-        assert_eq!(
-            results.cell(RiscvIsa::Base, SpecVersion::Curr, "nMM", "mp"),
-            results.row(key, "nMM", "mp")
-        );
-        assert_eq!(
-            results.total_bugs(RiscvIsa::Base, SpecVersion::Curr, "nMM"),
-            results.bugs_for(key, "nMM")
         );
     }
 

@@ -45,8 +45,8 @@ use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use tricheck_core::{
-    power_stacks, results_from_items, riscv_stacks, Classification, MatrixStack, OutcomeMode,
-    SpaceStore, StoreStats, Sweep, SweepOptions, SweepResults, SweepStats,
+    power_stacks, results_from_items, riscv_stacks, x86_stacks, Classification, MatrixStack,
+    OutcomeMode, SpaceStore, StoreStats, Sweep, SweepOptions, SweepResults, SweepStats,
 };
 use tricheck_litmus::codec::{self, ByteReader, CodecError};
 use tricheck_litmus::{Fingerprint, LitmusTest, MemOrder};
@@ -56,8 +56,9 @@ use crate::store::DiskStore;
 /// Bumped whenever the job or result wire layout changes; a version
 /// mismatch is a hard error (parent and child are expected to be the
 /// same binary, so a mismatch means a build-system bug, not skew to
-/// paper over).
-pub const PROTOCOL_VERSION: u16 = 1;
+/// paper over). v2: result frames carry `candidates_pruned`, jobs may
+/// name the x86 matrix and disable pruning.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Stdout marker preceding a worker's hex-encoded result payload.
 pub const RESULT_MARKER: &str = "TCSHARD-RESULT ";
@@ -74,6 +75,8 @@ pub enum MatrixSpec {
     /// The §7 Power compiler-study matrix
     /// ([`tricheck_core::power_stacks`]).
     Power,
+    /// The x86 mapping-study matrix ([`tricheck_core::x86_stacks`]).
+    X86,
 }
 
 impl MatrixSpec {
@@ -84,6 +87,7 @@ impl MatrixSpec {
         match self {
             MatrixSpec::Riscv => riscv_stacks(),
             MatrixSpec::Power => power_stacks(),
+            MatrixSpec::X86 => x86_stacks(),
         }
     }
 
@@ -91,6 +95,7 @@ impl MatrixSpec {
         match self {
             MatrixSpec::Riscv => 0,
             MatrixSpec::Power => 1,
+            MatrixSpec::X86 => 2,
         }
     }
 
@@ -98,6 +103,7 @@ impl MatrixSpec {
         match tag {
             0 => Ok(MatrixSpec::Riscv),
             1 => Ok(MatrixSpec::Power),
+            2 => Ok(MatrixSpec::X86),
             _ => Err(CodecError::Invalid("matrix spec tag")),
         }
     }
@@ -115,6 +121,10 @@ pub struct DistOptions {
     pub threads: Option<usize>,
     /// The equivalence checked per cell.
     pub outcome_mode: OutcomeMode,
+    /// Axiom-driven enumeration pruning (see
+    /// [`tricheck_core::SweepOptions::pruning`]); forwarded to every
+    /// shard.
+    pub pruning: bool,
     /// Cache directory for the persistent [`DiskStore`], shared by all
     /// shards. `None` runs without persistence.
     pub cache_dir: Option<PathBuf>,
@@ -134,6 +144,7 @@ impl Default for DistOptions {
             shards: 1,
             threads: None,
             outcome_mode: OutcomeMode::Target,
+            pruning: true,
             cache_dir: None,
             worker_args: vec!["shard-worker".to_string()],
             worker_env: Vec::new(),
@@ -358,6 +369,7 @@ fn run_in_process(
     let sweep_opts = SweepOptions {
         threads: threads_per_shard(opts),
         outcome_mode: opts.outcome_mode,
+        pruning: opts.pruning,
         store: store.clone().map(|s| s as Arc<dyn SpaceStore>),
         ..SweepOptions::default()
     };
@@ -387,6 +399,7 @@ fn merge_stats(a: SweepStats, b: SweepStats) -> SweepStats {
         distinct_programs: a.distinct_programs + b.distinct_programs,
         space_cache_hits: a.space_cache_hits + b.space_cache_hits,
         space_enumerations: a.space_enumerations + b.space_enumerations,
+        candidates_pruned: a.candidates_pruned + b.candidates_pruned,
     }
 }
 
@@ -429,6 +442,7 @@ fn encode_job(
         OutcomeMode::Target => 0,
         OutcomeMode::FullOutcomes => 1,
     });
+    out.push(u8::from(opts.pruning));
     codec::put_u16(&mut out, threads as u16);
     match &opts.cache_dir {
         Some(dir) => {
@@ -453,6 +467,7 @@ fn encode_job(
 struct Job {
     spec: MatrixSpec,
     outcome_mode: OutcomeMode,
+    pruning: bool,
     threads: usize,
     cache_dir: Option<PathBuf>,
     tests: Vec<LitmusTest>,
@@ -472,6 +487,11 @@ fn decode_job(bytes: &[u8]) -> Result<Job, String> {
             0 => OutcomeMode::Target,
             1 => OutcomeMode::FullOutcomes,
             _ => return Err(CodecError::Invalid("outcome mode")),
+        };
+        let pruning = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Invalid("pruning flag")),
         };
         let threads = (r.u16()? as usize).max(1);
         let cache_dir = match r.u8()? {
@@ -505,6 +525,7 @@ fn decode_job(bytes: &[u8]) -> Result<Job, String> {
         Ok(Job {
             spec,
             outcome_mode,
+            pruning,
             threads,
             cache_dir,
             tests,
@@ -539,6 +560,7 @@ fn encode_result(
         stats.distinct_programs,
         stats.space_cache_hits,
         stats.space_enumerations,
+        stats.candidates_pruned,
     ] {
         codec::put_u64(&mut out, v as u64);
     }
@@ -586,6 +608,7 @@ fn decode_result(
         distinct_programs: take()?,
         space_cache_hits: take()?,
         space_enumerations: take()?,
+        candidates_pruned: take()?,
     };
     let store = StoreStats {
         space_hits: take()?,
@@ -630,6 +653,7 @@ pub fn shard_worker_stdio() -> Result<(), String> {
             let sweep_opts = SweepOptions {
                 threads: job.threads,
                 outcome_mode: job.outcome_mode,
+                pruning: job.pruning,
                 store: store.clone().map(|s| s as Arc<dyn SpaceStore>),
                 ..SweepOptions::default()
             };
@@ -742,6 +766,7 @@ mod tests {
             distinct_programs: 2,
             space_cache_hits: 5,
             space_enumerations: 2,
+            candidates_pruned: 7,
         };
         let store = StoreStats {
             space_hits: 1,

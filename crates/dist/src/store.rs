@@ -56,7 +56,12 @@ use tricheck_litmus::{ExecutionSpace, Fingerprint, LitmusTest, Program};
 /// Bumped whenever any byte of the file layout — including the codec
 /// payloads from `tricheck_litmus::codec` — changes shape. Files
 /// written by any other version are evicted and recomputed.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: the hardware-annotation codec gained the x86 `mfence` variant
+/// (tag 5), so v1 caches — which could never contain it but whose
+/// decoder set differs — are evicted wholesale rather than risking a
+/// skewed mixed-version directory.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic prefix of space files ("TriChecK SPaCe").
 const SPACE_MAGIC: &[u8; 8] = b"TCKSPC\x00\x01";

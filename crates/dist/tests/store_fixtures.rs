@@ -220,6 +220,51 @@ fn version_bumped_files_fall_back_to_recompute_with_identical_rows() {
 }
 
 #[test]
+fn previous_format_version_caches_evict_cleanly() {
+    // The inverse of the future-version test: a cache written by the
+    // *previous* release (FORMAT_VERSION - 1, e.g. one predating the
+    // x86 annotation variant) must be evicted and recomputed, never
+    // decoded under the new rules.
+    let dir = TempDir::new("oldversion");
+    let tests = small_suite();
+    let baseline = populate(dir.path(), &tests);
+
+    let downgrade = |path: &Path| {
+        let bytes = fs::read(path).expect("read file");
+        let (magic, body) = bytes.split_at(8);
+        let body = &body[..body.len() - 8];
+        let mut old_body = body.to_vec();
+        let previous = (tricheck_dist::FORMAT_VERSION - 1).to_le_bytes();
+        old_body[..4].copy_from_slice(&previous);
+        let mut out = magic.to_vec();
+        out.extend_from_slice(&old_body);
+        out.extend_from_slice(&fnv1a(&old_body).to_le_bytes());
+        fs::write(path, out).expect("rewrite file");
+    };
+    for file in space_files(dir.path()) {
+        downgrade(&file);
+    }
+    downgrade(&dir.path().join("c11.verdicts"));
+
+    let store = Arc::new(DiskStore::open(dir.path()).expect("reopen store"));
+    assert!(store.stats().evictions > 0, "old-version files must evict");
+    let rows = run_with_store(&tests, &store);
+    assert_eq!(
+        rows.rows(),
+        baseline.rows(),
+        "old-version cache == storeless"
+    );
+    assert_eq!(store.stats().space_hits, 0);
+    assert_eq!(store.stats().c11_hits, 0);
+    // The eviction rewrote current-version files: a further run is warm.
+    let store2 = Arc::new(DiskStore::open(dir.path()).expect("reopen again"));
+    let rows2 = run_with_store(&tests, &store2);
+    assert_eq!(rows2.rows(), baseline.rows());
+    assert_eq!(store2.stats().space_misses, 0);
+    assert_eq!(store2.stats().evictions, 0);
+}
+
+#[test]
 fn corrupt_verdict_file_is_evicted_at_open() {
     let dir = TempDir::new("verdicts");
     let tests = small_suite();

@@ -106,6 +106,11 @@ pub enum FenceKind {
     /// A cumulative heavyweight fence (the paper's proposed `hwf`; Power
     /// `sync`, ARM `dmb`): orders everything, fully cumulative.
     CumulativeHeavy,
+    /// x86 `MFENCE`: orders everything locally (its only job on TSO is
+    /// draining the store buffer, restoring W→R order). Non-cumulative —
+    /// x86-TSO stores are multi-copy atomic, so there is nothing remote
+    /// to accumulate.
+    Mfence,
 }
 
 impl FenceKind {
@@ -114,7 +119,9 @@ impl FenceKind {
     pub fn pred(self) -> AccessTypes {
         match self {
             FenceKind::Normal { pred, .. } => pred,
-            FenceKind::CumulativeLight | FenceKind::CumulativeHeavy => AccessTypes::RW,
+            FenceKind::CumulativeLight | FenceKind::CumulativeHeavy | FenceKind::Mfence => {
+                AccessTypes::RW
+            }
         }
     }
 
@@ -123,7 +130,9 @@ impl FenceKind {
     pub fn succ(self) -> AccessTypes {
         match self {
             FenceKind::Normal { succ, .. } => succ,
-            FenceKind::CumulativeLight | FenceKind::CumulativeHeavy => AccessTypes::RW,
+            FenceKind::CumulativeLight | FenceKind::CumulativeHeavy | FenceKind::Mfence => {
+                AccessTypes::RW
+            }
         }
     }
 
@@ -155,7 +164,7 @@ impl FenceKind {
                     (Read, Read) | (Read, Write) | (Write, Write)
                 )
             }
-            FenceKind::CumulativeHeavy => {
+            FenceKind::CumulativeHeavy | FenceKind::Mfence => {
                 matches!((before, after), (Read | Write, Read | Write))
             }
         }
@@ -165,9 +174,12 @@ impl FenceKind {
     #[must_use]
     pub fn asm(self, dialect: Asm) -> String {
         match (self, dialect) {
-            (FenceKind::Normal { pred, succ }, Asm::RiscV) => format!("fence {pred}, {succ}"),
-            (FenceKind::CumulativeLight, Asm::RiscV) => "lwf".to_string(),
-            (FenceKind::CumulativeHeavy, Asm::RiscV) => "hwf".to_string(),
+            (FenceKind::Mfence, _) => "mfence".to_string(),
+            (FenceKind::Normal { pred, succ }, Asm::RiscV | Asm::X86) => {
+                format!("fence {pred}, {succ}")
+            }
+            (FenceKind::CumulativeLight, Asm::RiscV | Asm::X86) => "lwf".to_string(),
+            (FenceKind::CumulativeHeavy, Asm::RiscV | Asm::X86) => "hwf".to_string(),
             (FenceKind::Normal { pred, .. }, Asm::Power) => {
                 if pred == AccessTypes::R {
                     "ctrlisync".to_string()
@@ -322,6 +334,7 @@ impl tricheck_litmus::AnnCodec for HwAnnot {
             }
             HwAnnot::Fence(FenceKind::CumulativeLight) => out.push(3),
             HwAnnot::Fence(FenceKind::CumulativeHeavy) => out.push(4),
+            HwAnnot::Fence(FenceKind::Mfence) => out.push(5),
         }
     }
 
@@ -354,6 +367,7 @@ impl tricheck_litmus::AnnCodec for HwAnnot {
             }),
             3 => HwAnnot::Fence(FenceKind::CumulativeLight),
             4 => HwAnnot::Fence(FenceKind::CumulativeHeavy),
+            5 => HwAnnot::Fence(FenceKind::Mfence),
             _ => return Err(CodecError::Invalid("hardware annotation tag")),
         })
     }
@@ -366,6 +380,8 @@ pub enum Asm {
     RiscV,
     /// Power/ARMv7-flavoured: `ld`/`st`/`sync`/`lwsync`/`ctrlisync`.
     Power,
+    /// x86: `mov`/`mfence` (TSO needs nothing else).
+    X86,
 }
 
 /// The two RISC-V ISAs of the case study (§4).
@@ -432,6 +448,7 @@ pub fn format_instr(instr: &Instr<HwAnnot>, dialect: Asm) -> String {
     let (ld_op, st_op) = match dialect {
         Asm::RiscV => ("lw", "sw"),
         Asm::Power => ("ld", "st"),
+        Asm::X86 => ("mov", "mov"),
     };
     match instr {
         Instr::Read { dst, addr, ann } => match ann {
@@ -570,6 +587,14 @@ pub mod build {
             ann: HwAnnot::Fence(FenceKind::CumulativeHeavy),
         }
     }
+
+    /// x86 `MFENCE`.
+    #[must_use]
+    pub fn mfence() -> Instr<HwAnnot> {
+        Instr::Fence {
+            ann: HwAnnot::Fence(FenceKind::Mfence),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -684,6 +709,7 @@ mod tests {
             }),
             HwAnnot::Fence(FenceKind::CumulativeLight),
             HwAnnot::Fence(FenceKind::CumulativeHeavy),
+            HwAnnot::Fence(FenceKind::Mfence),
         ];
         for ann in annots {
             let mut bytes = Vec::new();
@@ -694,6 +720,24 @@ mod tests {
         }
         // Unknown tags are rejected, not misread.
         assert!(HwAnnot::decode_ann(&mut ByteReader::new(&[9])).is_err());
+    }
+
+    #[test]
+    fn mfence_orders_everything_locally_without_cumulativity() {
+        assert!(FenceKind::Mfence.orders(Write, Read));
+        assert!(FenceKind::Mfence.orders(Read, Write));
+        assert!(!FenceKind::Mfence.is_cumulative());
+        assert_eq!(FenceKind::Mfence.asm(Asm::X86), "mfence");
+        assert_eq!(FenceKind::Mfence.asm(Asm::RiscV), "mfence");
+    }
+
+    #[test]
+    fn x86_dialect_renders_movs() {
+        use build::*;
+        use tricheck_litmus::{Loc, Reg};
+        assert_eq!(format_instr(&lw(Reg(0), Loc(1)), Asm::X86), "mov r0, (x)");
+        assert_eq!(format_instr(&sw(Loc(1), 1), Asm::X86), "mov 1, (x)");
+        assert_eq!(format_instr(&mfence(), Asm::X86), "mfence");
     }
 
     #[test]

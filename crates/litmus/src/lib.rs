@@ -55,7 +55,8 @@ pub mod template;
 
 pub use codec::{AnnCodec, ByteReader, CodecError};
 pub use enumerate::{
-    count_executions, enumerate_executions, enumerate_matching, outcome_set, target_realizable,
+    core_consistent, count_executions, enumerate_executions, enumerate_executions_pruned,
+    enumerate_matching, enumerate_matching_pruned, outcome_set, target_realizable, Enumeration,
 };
 pub use exec::{Event, EventKind, Execution};
 pub use mir::{Expr, Instr, Loc, Program, ProgramError, Reg, RmwKind, Val};

@@ -52,7 +52,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::codec::{self, AnnCodec, ByteReader, CodecError};
-use crate::enumerate::{enumerate_executions, enumerate_matching, target_realizable};
+use crate::enumerate::{
+    enumerate_executions, enumerate_executions_pruned, enumerate_matching,
+    enumerate_matching_pruned, target_realizable,
+};
 use crate::exec::Execution;
 use crate::mir::{Program, Reg};
 use crate::outcome::Outcome;
@@ -120,6 +123,9 @@ pub struct SpaceStats {
     pub enumerations: usize,
     /// Queries answered from an already-materialized space.
     pub cache_hits: usize,
+    /// Search branches cut by the coherence core across this space's
+    /// enumerations (always zero for an unpruned space).
+    pub candidates_pruned: usize,
 }
 
 /// The candidate-execution space of one program, enumerated at most once
@@ -132,6 +138,13 @@ pub struct SpaceStats {
 pub struct ExecutionSpace<A> {
     program: Program<A>,
     fingerprint: Fingerprint,
+    /// When set, every enumeration this space runs is axiom-pruned (see
+    /// [`crate::enumerate_executions_pruned`]): the materialized views
+    /// hold only coherence-core-consistent candidates. Model verdicts
+    /// are unchanged — every model rejects the pruned candidates — so
+    /// pruned and unpruned spaces are freely interchangeable; only the
+    /// candidate counts and the work to produce them differ.
+    prune: bool,
     full: OnceLock<Arc<Vec<Execution<A>>>>,
     matching: Mutex<BTreeMap<Outcome, Arc<Vec<Execution<A>>>>>,
     /// Outcome partition of the full space, keyed by the observed-register
@@ -139,6 +152,7 @@ pub struct ExecutionSpace<A> {
     groups: Mutex<GroupCache>,
     enumerations: AtomicUsize,
     cache_hits: AtomicUsize,
+    candidates_pruned: AtomicUsize,
 }
 
 /// The full candidate space partitioned by outcome: each entry pairs one
@@ -157,12 +171,34 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
         ExecutionSpace {
             program,
             fingerprint,
+            prune: false,
             full: OnceLock::new(),
             matching: Mutex::new(BTreeMap::new()),
             groups: Mutex::new(BTreeMap::new()),
             enumerations: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
+            candidates_pruned: AtomicUsize::new(0),
         }
+    }
+
+    /// Like [`ExecutionSpace::new`], but every enumeration is
+    /// axiom-pruned: candidates cyclic in the model-independent
+    /// coherence core are cut during the search instead of being
+    /// materialized and rejected by every model individually. This is
+    /// the sweep engine's default space.
+    #[must_use]
+    pub fn pruned(program: Program<A>) -> Self {
+        Self::new(program).into_pruned()
+    }
+
+    /// Turns this space into a pruned one (used to re-arm pruning on
+    /// spaces restored from a persistent snapshot). Must be applied
+    /// before the space is shared; already-materialized views are kept
+    /// as-is.
+    #[must_use]
+    pub fn into_pruned(mut self) -> Self {
+        self.prune = true;
+        self
     }
 
     /// The program this space belongs to.
@@ -186,10 +222,17 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
             enumerated = true;
             self.enumerations.fetch_add(1, Ordering::Relaxed);
             let mut all = Vec::new();
-            enumerate_executions(&self.program, &mut |exec| {
+            let mut push = |exec: &Execution<A>| {
                 all.push(exec.clone());
                 true
-            });
+            };
+            if self.prune {
+                let e = enumerate_executions_pruned(&self.program, &mut push);
+                self.candidates_pruned
+                    .fetch_add(e.pruned_branches, Ordering::Relaxed);
+            } else {
+                enumerate_executions(&self.program, &mut push);
+            }
             Arc::new(all)
         });
         if !enumerated {
@@ -227,10 +270,17 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
         } else {
             self.enumerations.fetch_add(1, Ordering::Relaxed);
             let mut out = Vec::new();
-            enumerate_matching(&self.program, target, &mut |exec| {
+            let mut push = |exec: &Execution<A>| {
                 out.push(exec.clone());
                 true
-            });
+            };
+            if self.prune {
+                let e = enumerate_matching_pruned(&self.program, target, &mut push);
+                self.candidates_pruned
+                    .fetch_add(e.pruned_branches, Ordering::Relaxed);
+            } else {
+                enumerate_matching(&self.program, target, &mut push);
+            }
             Arc::new(out)
         };
         map.insert(target.clone(), Arc::clone(&restricted));
@@ -329,6 +379,7 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
         SpaceStats {
             enumerations: self.enumerations.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -713,6 +764,79 @@ mod tests {
         let mut padded = bytes;
         padded.push(0);
         assert!(ExecutionSpace::from_snapshot(t.program().clone(), &padded).is_err());
+    }
+
+    #[test]
+    fn pruned_space_holds_exactly_the_core_consistent_candidates() {
+        use crate::enumerate::core_consistent;
+        use crate::mir::{Expr, Instr, Val};
+        // T0 writes x then reads it back; T1 writes x remotely. The
+        // candidates where T0's read misses its own earlier write (reads
+        // init, or a remote write coherence-before its own) violate the
+        // coherence core and must be pruned.
+        let prog: Program<MemOrder> = Program::new(
+            vec![
+                vec![
+                    Instr::Write {
+                        addr: Expr::Const(1),
+                        val: Expr::Const(1),
+                        ann: MemOrder::Rlx,
+                    },
+                    Instr::Read {
+                        dst: Reg(0),
+                        addr: Expr::Const(1),
+                        ann: MemOrder::Rlx,
+                    },
+                ],
+                vec![Instr::Write {
+                    addr: Expr::Const(1),
+                    val: Expr::Const(2),
+                    ann: MemOrder::Rlx,
+                }],
+            ],
+            [],
+        )
+        .expect("valid program");
+        let full = ExecutionSpace::new(prog.clone());
+        let pruned = ExecutionSpace::pruned(prog.clone());
+        let expect: Vec<_> = full
+            .executions()
+            .iter()
+            .filter(|e| core_consistent(e))
+            .cloned()
+            .collect();
+        assert_eq!(pruned.executions().as_slice(), expect.as_slice());
+        assert!(pruned.executions().len() < full.executions().len());
+        assert!(pruned.stats().candidates_pruned > 0);
+        assert_eq!(full.stats().candidates_pruned, 0);
+        // Matching views agree the same way: the "read the remote
+        // write" outcome survives only with the remote write
+        // coherence-after the local one.
+        let target = Outcome::from_values([((0, Reg(0)), Val(2))]);
+        let matched: Vec<_> = full
+            .matching(&target)
+            .iter()
+            .filter(|e| core_consistent(e))
+            .cloned()
+            .collect();
+        assert_eq!(pruned.matching(&target).as_slice(), matched.as_slice());
+        assert_eq!(pruned.matching(&target).len(), 1);
+    }
+
+    #[test]
+    fn pruned_space_restores_from_snapshots_as_pruned() {
+        let t = suite::sb([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::pruned(t.program().clone());
+        let n = space.executions().len();
+        let restored = ExecutionSpace::from_snapshot(t.program().clone(), &space.snapshot())
+            .expect("decode")
+            .into_pruned();
+        assert_eq!(restored.executions().len(), n);
+        // The restored view is served from the snapshot, not re-pruned.
+        assert_eq!(restored.stats().enumerations, 0);
+        assert_eq!(restored.stats().candidates_pruned, 0);
+        // A new view enumerated on the restored space prunes again.
+        let _ = restored.matching(t.target());
     }
 
     #[test]

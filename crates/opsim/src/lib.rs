@@ -425,6 +425,10 @@ impl OpMachine {
                     // includes writes.
                     !pred.writes || state.buffers[tid].is_empty()
                 }
+                // `mfence` drains the issuing thread's buffer like a
+                // `fence rw, rw`; cumulative fences additionally drain
+                // every visible buffer.
+                Some(FenceKind::Mfence) => state.buffers[tid].is_empty(),
                 Some(FenceKind::CumulativeLight | FenceKind::CumulativeHeavy) => {
                     // Cumulative fences drain every visible buffer: writes
                     // the thread may have observed from sharers included.

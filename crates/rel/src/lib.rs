@@ -14,6 +14,54 @@
 //! transitive closures, acyclicity — are a few machine instructions per
 //! row, which keeps exhaustive enumeration of candidate executions cheap.
 //!
+//! # The model IR
+//!
+//! On top of the algebra, the [`ir`] module makes whole models *data*:
+//! a [`ModelIr`] is a list of named derived-relation definitions over
+//! the operators above plus acyclicity/irreflexivity/emptiness
+//! [`Axiom`]s, evaluated against any execution through a pluggable
+//! [`BaseRelations`] binding. See [`ir`] for the grammar; as a worked
+//! example, this is the complete §7 ARMv7 Cortex-A9-like machine as
+//! `tricheck-uarch`'s `build_uarch_ir` compiles it from its relaxation
+//! knobs (`Display` output, verbatim):
+//!
+//! ```text
+//! model ARMv7-A9like
+//!   pipeline-ppo := ((((addr ∪ data) ∪ rmw) ∪ [R]([M]po[M] ∩ same-loc)[W]) ∪ [R]([M]po[M] ∩ same-loc)[R])
+//!   aq := [(amo-aq ∩ M)]po[M]
+//!   rl := [M]po[(amo-rl ∩ M)]
+//!   ppo := ((pipeline-ppo ∪ aq) ∪ rl)
+//!   fences := (fence-noncum ∪ fence-cum)
+//!   com := ((rf ∪ co) ∪ fr)
+//!   hb := ((ppo ∪ fences) ∪ rfe)
+//!   hb-star := hb*
+//!   hb-plus := hb⁺
+//!   local := ((pipeline-ppo ∪ fences) ∪ aq)
+//!   prop-base := ((fence-cum ∪ (rfe ; fence-cum)) ; hb-star)
+//!   heavy := (((com* ; prop-base*) ; fence-heavy) ; hb-star)
+//!   cum := (((prop-base ∩ (W × W)) ∪ heavy) ; hb-star)
+//!   sync := ([M]po[(amo-rl ∩ W)] ; [(amo-rl ∩ W)]rfe[U])
+//!   scvis := [(amo-sc ∩ W)]rfe[U]
+//!   drain := [M]fence-noncum[R]
+//!   per-observer := [M](fence-noncum ∪ pipeline-ppo)[W]
+//!   strong := ((((cum ∪ sync) ∪ scvis) ∪ local) ∪ drain)⁺
+//!   relayed := (((strong? ; per-observer) ; rfe) ; local*)
+//!   fre-drain := ((fre ; drain) ; strong?)
+//!   prop := ((strong ∪ relayed) ∪ fre-drain)
+//!   po-loc-all := (po-loc ∪ ((ppo ∪ fences)⁺ ∩ same-loc))
+//!   ScPerLocation: acyclic((po-loc-all ∪ com))
+//!   Atomicity: empty((rmw ∩ (fr ; co)))
+//!   Causality: acyclic(hb)
+//!   Observation: irreflexive((fre ; prop))
+//!   Propagation: acyclic((co ∪ prop))
+//!   ScAmoOrder: acyclic([(amo-sc ∩ M)]((hb-plus ∪ po) ∪ com)[(amo-sc ∩ M)])
+//! ```
+//!
+//! Base relations (`po`, `rf`, `co`, `fr`, fence edge sets, …) and base
+//! sets (`R`, `W`, `M`, AMO ordering-bit sets) come from the binding;
+//! everything model-specific is in the definitions above. The C11 model
+//! and the hand-written x86-TSO machine are phrased the same way.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +86,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod ir;
+
+pub use ir::{Axiom, AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
 
 use std::fmt;
 

@@ -6,7 +6,7 @@
 //!
 //! | module | crate | role |
 //! |--------|-------|------|
-//! | [`rel`] | `tricheck-rel` | bitset relation algebra |
+//! | [`rel`] | `tricheck-rel` | bitset relation algebra + the axiomatic-model IR |
 //! | [`litmus`] | `tricheck-litmus` | micro-IR, enumeration, test generator |
 //! | [`c11`] | `tricheck-c11` | the C11 axiomatic model (Step 1) |
 //! | [`isa`] | `tricheck-isa` | RISC-V / Power instruction annotations |
@@ -89,8 +89,9 @@ pub use tricheck_uarch as uarch;
 pub mod prelude {
     pub use tricheck_c11::{C11Model, C11Verdict};
     pub use tricheck_compiler::{
-        compile, power_mapping, riscv_mapping, BaseAIntuitive, BaseARefined, BaseIntuitive,
-        BaseRefined, Mapping, PowerLeadingSync, PowerSyncStyle, PowerTrailingSync,
+        compile, power_mapping, riscv_mapping, x86_mapping, BaseAIntuitive, BaseARefined,
+        BaseIntuitive, BaseRefined, Mapping, PowerLeadingSync, PowerSyncStyle, PowerTrailingSync,
+        X86MappingStyle, X86Relaxed, X86ScAtomics,
     };
     pub use tricheck_core::{
         report, Classification, MatrixStack, OutcomeMode, SpaceSharing, SpaceStore, StackKey,

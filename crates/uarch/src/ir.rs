@@ -1,0 +1,529 @@
+//! The microarchitecture models as declarative IR: a [`BaseRelations`]
+//! binding over hardware-level executions, a compiler from
+//! [`UarchConfig`] relaxation knobs to a [`ModelIr`], and the
+//! hand-written x86-TSO model.
+//!
+//! The binding is deliberately *model-free*: every base it provides is
+//! derived from the execution's events and annotations alone (program
+//! order, communication relations, fence-induced edge sets, AMO
+//! ordering-bit event sets). All model semantics — which relaxations a
+//! pipeline performs, what a release publishes, how propagation
+//! composes — live in the IR built by [`build_uarch_ir`], so a model is
+//! a value you can print, diff, and extend without touching the
+//! evaluator.
+//!
+//! # Base names
+//!
+//! Relations: `po`, `po-loc`, `same-loc`, `addr`, `data`, `rmw`, `rf`,
+//! `rfe`, `rfi`, `co`, `fr`, `fre`, `fence-noncum`, `fence-cum`,
+//! `fence-heavy`.
+//!
+//! Sets: `R`, `W`, `F`, `M` (accesses), `init`, `amo-aq`, `amo-rl`,
+//! `amo-sc`.
+
+use tricheck_isa::HwAnnot;
+use tricheck_litmus::{EventKind, Execution};
+use tricheck_rel::ir::{AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
+use tricheck_rel::{EventSet, Relation};
+
+use crate::config::{ReleasePredecessors, StoreAtomicity, UarchConfig};
+
+/// The fence-induced edge sets of an execution, split by cumulativity
+/// class: `(non-cumulative, cumulative, heavyweight-cumulative)` edges.
+/// `heavy ⊆ cumulative`. Each edge `(x, y)` relates accesses of the
+/// fencing thread that the fence's kind orders.
+///
+/// Shared by the imperative oracle and the IR binding — the split is
+/// annotation bookkeeping, not model semantics.
+#[must_use]
+pub(crate) fn fence_edges(exec: &Execution<HwAnnot>) -> (Relation, Relation, Relation) {
+    let n = exec.len();
+    let accesses = exec.reads().union(exec.writes());
+    let kind = |e: usize| exec.events()[e].kind;
+    let mut f_noncum = Relation::empty(n);
+    let mut f_cum = Relation::empty(n);
+    let mut f_heavy = Relation::empty(n);
+    for f in exec.fences().iter() {
+        let Some(HwAnnot::Fence(k)) = exec.ann(f) else {
+            continue;
+        };
+        for x in exec.po().inverse().successors(f).intersect(accesses).iter() {
+            for y in exec.po().successors(f).intersect(accesses).iter() {
+                if k.orders(kind(x), kind(y)) {
+                    if k.is_cumulative() {
+                        f_cum.insert(x, y);
+                        if matches!(k, tricheck_isa::FenceKind::CumulativeHeavy) {
+                            f_heavy.insert(x, y);
+                        }
+                    } else {
+                        f_noncum.insert(x, y);
+                    }
+                }
+            }
+        }
+    }
+    (f_noncum, f_cum, f_heavy)
+}
+
+/// The model-free binding of IR base names to one hardware-level
+/// candidate execution.
+#[derive(Debug)]
+pub struct HwBinding<'e> {
+    exec: &'e Execution<HwAnnot>,
+    /// The three fence edge sets share one computation; the evaluator
+    /// asks for them under separate names.
+    fences: std::cell::OnceCell<(Relation, Relation, Relation)>,
+    /// `same_loc` backs both the `same-loc` and `po-loc` bases.
+    same_loc: std::cell::OnceCell<Relation>,
+}
+
+impl<'e> HwBinding<'e> {
+    /// Binds an execution.
+    #[must_use]
+    pub fn new(exec: &'e Execution<HwAnnot>) -> Self {
+        HwBinding {
+            exec,
+            fences: std::cell::OnceCell::new(),
+            same_loc: std::cell::OnceCell::new(),
+        }
+    }
+
+    fn fence_rels(&self) -> &(Relation, Relation, Relation) {
+        self.fences.get_or_init(|| fence_edges(self.exec))
+    }
+
+    fn same_loc(&self) -> &Relation {
+        self.same_loc.get_or_init(|| self.exec.same_loc())
+    }
+
+    fn amo_set(&self, pick: impl Fn(tricheck_isa::AmoBits) -> bool) -> EventSet {
+        let n = self.exec.len();
+        EventSet::from_ids(
+            n,
+            (0..n).filter(|&e| {
+                self.exec
+                    .ann(e)
+                    .and_then(HwAnnot::amo_bits)
+                    .is_some_and(&pick)
+            }),
+        )
+    }
+
+    fn kind_set(&self, kind: EventKind) -> EventSet {
+        match kind {
+            EventKind::Read => self.exec.reads(),
+            EventKind::Write => self.exec.writes(),
+            EventKind::Fence => self.exec.fences(),
+        }
+    }
+}
+
+impl BaseRelations for HwBinding<'_> {
+    fn universe(&self) -> usize {
+        self.exec.len()
+    }
+
+    fn rel(&self, name: &str) -> Option<Relation> {
+        Some(match name {
+            "po" => self.exec.po().clone(),
+            "po-loc" => self.exec.po().intersect(self.same_loc()),
+            "same-loc" => self.same_loc().clone(),
+            "addr" => self.exec.addr().clone(),
+            "data" => self.exec.data().clone(),
+            "rmw" => self.exec.rmw().clone(),
+            "rf" => self.exec.rf().clone(),
+            "rfe" => self.exec.rfe(),
+            "rfi" => self.exec.rfi(),
+            "co" => self.exec.co().clone(),
+            "fr" => self.exec.fr(),
+            "fre" => self.exec.fre(),
+            "fence-noncum" => self.fence_rels().0.clone(),
+            "fence-cum" => self.fence_rels().1.clone(),
+            "fence-heavy" => self.fence_rels().2.clone(),
+            _ => return None,
+        })
+    }
+
+    fn set(&self, name: &str) -> Option<EventSet> {
+        Some(match name {
+            "R" => self.kind_set(EventKind::Read),
+            "W" => self.kind_set(EventKind::Write),
+            "F" => self.kind_set(EventKind::Fence),
+            "M" => self.exec.reads().union(self.exec.writes()),
+            "init" => self.exec.inits(),
+            "amo-aq" => self.amo_set(|b| b.aq),
+            "amo-rl" => self.amo_set(|b| b.rl),
+            "amo-sc" => self.amo_set(|b| b.sc),
+            _ => return None,
+        })
+    }
+}
+
+fn rel(name: &'static str) -> RelExpr {
+    RelExpr::base(name)
+}
+
+fn set(name: &'static str) -> SetExpr {
+    SetExpr::base(name)
+}
+
+fn reference(name: &'static str) -> RelExpr {
+    RelExpr::reference(name)
+}
+
+/// Compiles a [`UarchConfig`] into its declarative model: every
+/// relaxation knob becomes structure in the returned [`ModelIr`], and
+/// the result is judged through [`HwBinding`] with no further
+/// config-dependence. The imperative `UarchModel::check` remains as the
+/// differential oracle for this compilation.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build_uarch_ir(cfg: &UarchConfig) -> ModelIr {
+    let r = set("R");
+    let w = set("W");
+    let m = set("M");
+
+    // --- Preserved program order, from the relaxation knobs ---
+    let po_acc = rel("po").restrict(m.clone(), m.clone());
+    let po_loc_acc = po_acc.clone().inter(rel("same-loc"));
+    let mut pipeline_ppo = rel("addr")
+        .union(rel("data"))
+        .union(rel("rmw"))
+        .union(po_loc_acc.clone().restrict(r.clone(), w.clone()));
+    if cfg.same_addr_rr_ordered {
+        pipeline_ppo = pipeline_ppo.union(po_loc_acc.clone().restrict(r.clone(), r.clone()));
+    }
+    if cfg.atomicity == StoreAtomicity::Mca {
+        // No forwarding: a load waits for the pending same-address store.
+        pipeline_ppo = pipeline_ppo.union(po_loc_acc.restrict(w.clone(), r.clone()));
+    }
+    if !cfg.relax_ww {
+        pipeline_ppo = pipeline_ppo.union(po_acc.clone().restrict(w.clone(), w.clone()));
+    }
+    if !cfg.relax_rm {
+        pipeline_ppo = pipeline_ppo.union(po_acc.restrict(r.clone(), m.clone()));
+    }
+
+    // --- AMO aq/rl one-way barriers (§4.2.1) ---
+    let aq = rel("po").restrict(set("amo-aq").inter(m.clone()), m.clone());
+    let rl = rel("po").restrict(m.clone(), set("amo-rl").inter(m.clone()));
+
+    let mut ir = ModelIr::new(cfg.name.clone())
+        .define("pipeline-ppo", pipeline_ppo)
+        .define("aq", aq)
+        .define("rl", rl)
+        .define(
+            "ppo",
+            reference("pipeline-ppo")
+                .union(reference("aq"))
+                .union(reference("rl")),
+        )
+        .define("fences", rel("fence-noncum").union(rel("fence-cum")))
+        .define("com", rel("rf").union(rel("co")).union(rel("fr")));
+
+    // --- Happens-before ---
+    let mut hb = reference("ppo")
+        .union(reference("fences"))
+        .union(rel("rfe"));
+    if cfg.atomicity == StoreAtomicity::Mca {
+        hb = hb.union(rel("rfi"));
+    }
+    ir = ir
+        .define("hb", hb)
+        .define("hb-star", reference("hb").star())
+        .define("hb-plus", reference("hb").plus());
+
+    // --- Propagation ---
+    let prop = match cfg.atomicity {
+        StoreAtomicity::Mca => reference("ppo")
+            .union(reference("fences"))
+            .union(rel("rf"))
+            .union(rel("fr"))
+            .plus(),
+        StoreAtomicity::RMca => reference("ppo")
+            .union(reference("fences"))
+            .union(rel("rfe"))
+            .union(rel("fr"))
+            .plus(),
+        StoreAtomicity::NMca => {
+            // 1. Cumulative fences (the Herding-Cats Power construction).
+            ir = ir
+                .define(
+                    "local",
+                    reference("pipeline-ppo")
+                        .union(reference("fences"))
+                        .union(reference("aq")),
+                )
+                .define(
+                    "prop-base",
+                    rel("fence-cum")
+                        .union(rel("rfe").seq(rel("fence-cum")))
+                        .seq(reference("hb-star")),
+                )
+                .define(
+                    "heavy",
+                    reference("com")
+                        .star()
+                        .seq(reference("prop-base").star())
+                        .seq(rel("fence-heavy"))
+                        .seq(reference("hb-star")),
+                )
+                .define(
+                    "cum",
+                    reference("prop-base")
+                        .inter(RelExpr::cross(w.clone(), w.clone()))
+                        .union(reference("heavy"))
+                        .seq(reference("hb-star")),
+                );
+            // 2. Release synchronization (AMO rl): the release's
+            //    predecessor set becomes visible to eligible readers.
+            //    §5.2.1 picks the predecessor relation, §5.2.3 the
+            //    eligible readers.
+            let rl_writes = set("amo-rl").inter(w.clone());
+            let preds = match cfg.release_predecessors {
+                ReleasePredecessors::ProgramOrder => rel("po"),
+                ReleasePredecessors::HappensBefore => reference("hb-plus"),
+            };
+            let eligible = if cfg.release_sync_any_load {
+                SetExpr::Universe
+            } else {
+                set("amo-aq")
+            };
+            ir = ir.define(
+                "sync",
+                preds
+                    .restrict(m.clone(), rl_writes.clone())
+                    .seq(rel("rfe").restrict(rl_writes, eligible)),
+            );
+            // 3. SC-AMO global visibility (A9like): reading a completed
+            //    AMO's write is a globally-agreed fact.
+            let scvis = if cfg.sc_amo_writes_globally_visible {
+                rel("rfe").restrict(set("amo-sc").inter(w.clone()), SetExpr::Universe)
+            } else {
+                RelExpr::Empty
+            };
+            // Non-cumulative ordering splits by the kind of its target:
+            // *drain* edges are global facts, *per-observer* edges relay
+            // through exactly one reads-from hop (see the crate docs of
+            // `crate::model`).
+            ir = ir
+                .define("scvis", scvis)
+                .define("drain", rel("fence-noncum").restrict(m.clone(), r.clone()))
+                .define(
+                    "per-observer",
+                    rel("fence-noncum")
+                        .union(reference("pipeline-ppo"))
+                        .restrict(m.clone(), w.clone()),
+                )
+                .define(
+                    "strong",
+                    reference("cum")
+                        .union(reference("sync"))
+                        .union(reference("scvis"))
+                        .union(reference("local"))
+                        .union(reference("drain"))
+                        .plus(),
+                )
+                .define(
+                    "relayed",
+                    reference("strong")
+                        .opt()
+                        .seq(reference("per-observer"))
+                        .seq(rel("rfe"))
+                        .seq(reference("local").star()),
+                )
+                .define(
+                    "fre-drain",
+                    rel("fre")
+                        .seq(reference("drain"))
+                        .seq(reference("strong").opt()),
+                );
+            reference("strong")
+                .union(reference("relayed"))
+                .union(reference("fre-drain"))
+        }
+    };
+    ir = ir.define("prop", prop);
+
+    // --- Per-location coherence order basis (§5.1.3) ---
+    let mut po_loc = rel("po-loc");
+    if cfg.relax_rm && !cfg.same_addr_rr_ordered {
+        po_loc = po_loc.minus(RelExpr::cross(r.clone(), r));
+    }
+    ir = ir.define(
+        "po-loc-all",
+        po_loc.union(
+            reference("ppo")
+                .union(reference("fences"))
+                .plus()
+                .inter(rel("same-loc")),
+        ),
+    );
+
+    let sc_amo = set("amo-sc").inter(m);
+    ir.axiom(
+        "ScPerLocation",
+        AxiomKind::Acyclic,
+        reference("po-loc-all").union(reference("com")),
+    )
+    .axiom(
+        "Atomicity",
+        AxiomKind::Empty,
+        rel("rmw").inter(rel("fr").seq(rel("co"))),
+    )
+    .axiom("Causality", AxiomKind::Acyclic, reference("hb"))
+    .axiom(
+        "Observation",
+        AxiomKind::Irreflexive,
+        rel("fre").seq(reference("prop")),
+    )
+    .axiom(
+        "Propagation",
+        AxiomKind::Acyclic,
+        rel("co").union(reference("prop")),
+    )
+    .axiom(
+        "ScAmoOrder",
+        AxiomKind::Acyclic,
+        // The global SC-AMO order must be consistent with program order,
+        // (transitive) happens-before, and direct communication between
+        // SC AMOs (§4.2.2). Restriction to an empty participant set
+        // yields the empty relation, which is vacuously acyclic — the
+        // imperative oracle's "skip when no SC AMOs" special case.
+        reference("hb-plus")
+            .union(rel("po"))
+            .union(reference("com"))
+            .restrict(sc_amo.clone(), sc_amo),
+    )
+}
+
+/// The x86-TSO model, defined directly in the IR with no
+/// [`UarchConfig`] behind it: a FIFO store buffer with forwarding
+/// (write→read program order relaxed, everything else preserved),
+/// multi-copy-atomic stores, and `mfence` restoring W→R order.
+///
+/// This is the Owens/Sewell x86-TSO in the Herding-Cats presentation,
+/// phrased over the same base names every other model uses — adding it
+/// took exactly this function.
+#[must_use]
+pub fn x86_tso_ir() -> ModelIr {
+    let r = set("R");
+    let w = set("W");
+    let m = set("M");
+    ModelIr::new("x86-TSO")
+        .define(
+            "ppo",
+            rel("po")
+                .restrict(m.clone(), m.clone())
+                .minus(RelExpr::cross(w.clone(), r)),
+        )
+        .define("com", rel("rf").union(rel("co")).union(rel("fr")))
+        .define(
+            "hb",
+            reference("ppo")
+                .union(rel("fence-noncum"))
+                .union(rel("rfe")),
+        )
+        .define(
+            "prop",
+            reference("ppo")
+                .union(rel("fence-noncum"))
+                .union(rel("rfe"))
+                .union(rel("fr"))
+                .plus(),
+        )
+        .axiom(
+            "ScPerLocation",
+            AxiomKind::Acyclic,
+            rel("po-loc").union(reference("com")),
+        )
+        .axiom(
+            "Atomicity",
+            AxiomKind::Empty,
+            rel("rmw").inter(rel("fr").seq(rel("co"))),
+        )
+        .axiom("Causality", AxiomKind::Acyclic, reference("hb"))
+        .axiom(
+            "Observation",
+            AxiomKind::Irreflexive,
+            rel("fre").seq(reference("prop")),
+        )
+        .axiom(
+            "Propagation",
+            AxiomKind::Acyclic,
+            rel("co").union(reference("prop")),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricheck_isa::SpecVersion;
+    use tricheck_litmus::{enumerate_executions, suite, MemOrder};
+
+    #[test]
+    fn binding_provides_every_base_the_models_reference() {
+        let test = suite::mp([MemOrder::Rlx; 4]);
+        let compiled = tricheck_compiler::compile(
+            &test,
+            tricheck_compiler::riscv_mapping(tricheck_isa::RiscvIsa::BaseA, SpecVersion::Curr),
+        )
+        .unwrap();
+        enumerate_executions(compiled.program(), &mut |exec| {
+            let binding = HwBinding::new(exec);
+            for name in [
+                "po",
+                "po-loc",
+                "same-loc",
+                "addr",
+                "data",
+                "rmw",
+                "rf",
+                "rfe",
+                "rfi",
+                "co",
+                "fr",
+                "fre",
+                "fence-noncum",
+                "fence-cum",
+                "fence-heavy",
+            ] {
+                assert!(binding.rel(name).is_some(), "missing base relation {name}");
+            }
+            for name in ["R", "W", "F", "M", "init", "amo-aq", "amo-rl", "amo-sc"] {
+                assert!(binding.set(name).is_some(), "missing base set {name}");
+            }
+            assert!(binding.rel("nonesuch").is_none());
+            assert!(binding.set("nonesuch").is_none());
+            false
+        });
+    }
+
+    #[test]
+    fn every_config_compiles_to_a_printable_model() {
+        let mut configs = Vec::new();
+        for version in [SpecVersion::Curr, SpecVersion::Ours] {
+            configs.extend(UarchConfig::all_riscv(version));
+        }
+        configs.extend(UarchConfig::all_armv7());
+        for cfg in configs {
+            let ir = build_uarch_ir(&cfg);
+            assert_eq!(ir.name(), cfg.name);
+            let text = ir.to_string();
+            assert!(text.contains("ppo :="), "{text}");
+            assert!(
+                ir.axioms().iter().any(|a| a.name == "ScPerLocation"),
+                "{text}"
+            );
+            assert_eq!(ir.axioms().len(), 6);
+        }
+    }
+
+    #[test]
+    fn tso_ir_is_self_contained() {
+        let ir = x86_tso_ir();
+        assert_eq!(ir.name(), "x86-TSO");
+        assert_eq!(ir.axioms().len(), 5);
+        assert!(ir.to_string().contains("(po-loc ∪ com)"));
+    }
+}

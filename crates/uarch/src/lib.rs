@@ -54,6 +54,17 @@
 //! `ppo ∪ fences ∪ rf(e) ∪ fr`; non-MCA models build `prop` from fence
 //! cumulativity, Power-style (see [`model`] for the construction).
 //!
+//! # Models as data
+//!
+//! Every model is a declarative [`tricheck_rel::ModelIr`]: knob-driven
+//! configurations are compiled to IR by [`build_uarch_ir`] (the
+//! imperative checker survives as `UarchModel::check`, the differential
+//! oracle), and new machines can be written directly in the IR with no
+//! config at all — [`x86_tso_ir`] is the worked example, wired into the
+//! sweep as `UarchModel::x86_tso()`. The [`HwBinding`] supplies the
+//! model-free base relations (program order, communication, fence edge
+//! sets, AMO ordering-bit sets) every model draws from.
+//!
 //! # Examples
 //!
 //! ```
@@ -74,7 +85,9 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod ir;
 pub mod model;
 
 pub use config::{ReleasePredecessors, StoreAtomicity, UarchConfig};
+pub use ir::{build_uarch_ir, x86_tso_ir, HwBinding};
 pub use model::{UarchModel, UarchViolation};

@@ -31,14 +31,16 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 use tricheck_isa::{HwAnnot, SpecVersion};
 use tricheck_litmus::{
     outcome_set, ConsistencyModel, Execution, ExecutionSpace, Outcome, Program, Reg,
 };
-use tricheck_rel::{EventSet, Relation};
+use tricheck_rel::{EventSet, ModelIr, Relation};
 
 use crate::config::{ReleasePredecessors, StoreAtomicity, UarchConfig};
+use crate::ir::{build_uarch_ir, fence_edges, x86_tso_ir, HwBinding};
 
 /// Why an execution is rejected by a microarchitecture model.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -72,20 +74,84 @@ impl fmt::Display for UarchViolation {
     }
 }
 
+impl UarchViolation {
+    /// Maps a violated IR axiom name back onto the typed violation. The
+    /// microarchitecture models all share one axiom vocabulary (the
+    /// crate-docs axioms), so an unknown name is a model-definition bug.
+    #[must_use]
+    pub fn from_axiom_name(name: &str) -> Self {
+        match name {
+            "ScPerLocation" => UarchViolation::ScPerLocation,
+            "Atomicity" => UarchViolation::Atomicity,
+            "Causality" => UarchViolation::Causality,
+            "Observation" => UarchViolation::Observation,
+            "Propagation" => UarchViolation::Propagation,
+            "ScAmoOrder" => UarchViolation::ScAmoOrder,
+            other => panic!("IR model uses an unknown axiom name '{other}'"),
+        }
+    }
+}
+
 impl std::error::Error for UarchViolation {}
 
-/// A microarchitecture memory model: a [`UarchConfig`] interpreted as a
-/// consistency predicate over hardware-level candidate executions.
+/// A microarchitecture memory model: a declarative [`ModelIr`] judged
+/// over hardware-level candidate executions.
+///
+/// Models come in two flavours. Knob-driven models wrap a
+/// [`UarchConfig`] (the paper's Table 7 machines); their IR is compiled
+/// from the knobs by [`build_uarch_ir`] on first use, and the original
+/// imperative checker survives as [`UarchModel::check`] — the
+/// differential oracle the property tests pin the compilation against.
+/// Data-defined models ([`UarchModel::from_ir`], e.g.
+/// [`UarchModel::x86_tso`]) *are* their IR: no config, no imperative
+/// twin.
 #[derive(Clone, Debug)]
 pub struct UarchModel {
-    config: UarchConfig,
+    name: String,
+    kind: ModelKind,
+}
+
+#[derive(Clone, Debug)]
+enum ModelKind {
+    /// Knob-driven: IR compiled from the config lazily; imperative
+    /// checker kept as the oracle.
+    Config {
+        config: UarchConfig,
+        ir: OnceLock<ModelIr>,
+    },
+    /// Data-defined: the IR is the whole model.
+    Ir(ModelIr),
 }
 
 impl UarchModel {
     /// Wraps an explicit configuration.
     #[must_use]
     pub fn from_config(config: UarchConfig) -> Self {
-        UarchModel { config }
+        UarchModel {
+            name: config.name.clone(),
+            kind: ModelKind::Config {
+                config,
+                ir: OnceLock::new(),
+            },
+        }
+    }
+
+    /// Wraps a data-defined model: the IR is evaluated directly, with
+    /// no configuration (and no imperative oracle) behind it.
+    #[must_use]
+    pub fn from_ir(ir: ModelIr) -> Self {
+        UarchModel {
+            name: ir.name().to_string(),
+            kind: ModelKind::Ir(ir),
+        }
+    }
+
+    /// The x86-TSO machine, defined purely in the IR
+    /// ([`x86_tso_ir`]): store-buffer forwarding relaxes W→R, `mfence`
+    /// restores it, stores are multi-copy atomic.
+    #[must_use]
+    pub fn x86_tso() -> Self {
+        Self::from_ir(x86_tso_ir())
     }
 
     /// Table 7 `WR` under the given spec version.
@@ -162,25 +228,67 @@ impl UarchModel {
             .collect()
     }
 
-    /// The model's configuration.
+    /// The models of the x86 compiler-mapping study: just TSO (one
+    /// microarchitecture faithfully implements the ISA's memory model).
     #[must_use]
-    pub fn config(&self) -> &UarchConfig {
-        &self.config
+    pub fn all_x86() -> Vec<Self> {
+        vec![Self::x86_tso()]
+    }
+
+    /// The model's relaxation configuration, or `None` for a
+    /// data-defined (IR-only) model.
+    #[must_use]
+    pub fn config(&self) -> Option<&UarchConfig> {
+        match &self.kind {
+            ModelKind::Config { config, .. } => Some(config),
+            ModelKind::Ir(_) => None,
+        }
+    }
+
+    /// The model's declarative IR — compiled from the config on first
+    /// use for knob-driven models, the model itself for data-defined
+    /// ones.
+    #[must_use]
+    pub fn ir(&self) -> &ModelIr {
+        match &self.kind {
+            ModelKind::Config { config, ir } => ir.get_or_init(|| build_uarch_ir(config)),
+            ModelKind::Ir(ir) => ir,
+        }
     }
 
     /// The model's display name.
     #[must_use]
     pub fn name(&self) -> &str {
-        &self.config.name
+        &self.name
     }
 
-    /// Checks one candidate execution, reporting the first violated axiom.
+    /// Checks one candidate execution, reporting the first violated
+    /// axiom. For knob-driven models this is the *imperative* checker —
+    /// kept as the differential oracle for the IR compilation (the
+    /// production predicate, [`UarchModel::consistent`], evaluates the
+    /// IR). Data-defined models are checked through their IR, with
+    /// axiom names mapped onto [`UarchViolation`].
     ///
     /// # Errors
     ///
     /// Returns the violated axiom as a [`UarchViolation`].
     pub fn check(&self, exec: &Execution<HwAnnot>) -> Result<(), UarchViolation> {
-        let rels = HwRelations::new(exec, &self.config);
+        match &self.kind {
+            ModelKind::Config { config, .. } => self.check_imperative(exec, config),
+            ModelKind::Ir(ir) => ir
+                .check(&HwBinding::new(exec))
+                .map_err(UarchViolation::from_axiom_name),
+        }
+    }
+
+    /// The imperative oracle for knob-driven models: the original
+    /// hand-written evaluation of the crate-docs axioms.
+    fn check_imperative(
+        &self,
+        exec: &Execution<HwAnnot>,
+        config: &UarchConfig,
+    ) -> Result<(), UarchViolation> {
+        let rels = HwRelations::new(exec, config);
 
         if !rels.po_loc.union(&rels.com).is_acyclic() {
             return Err(UarchViolation::ScPerLocation);
@@ -221,9 +329,14 @@ impl UarchModel {
     }
 
     /// `true` if the execution is realizable on this microarchitecture.
+    ///
+    /// This is the production predicate and always evaluates the
+    /// declarative IR; `tests/model_properties.rs` pins it against the
+    /// imperative [`UarchModel::check`] oracle on every candidate
+    /// execution of random suite subsets.
     #[must_use]
     pub fn consistent(&self, exec: &Execution<HwAnnot>) -> bool {
-        self.check(exec).is_ok()
+        self.ir().consistent(&HwBinding::new(exec))
     }
 
     /// Whether the target outcome is observable for the compiled program
@@ -303,32 +416,11 @@ impl HwRelations {
         let reads = exec.reads();
         let writes = exec.writes();
         let accesses = reads.union(writes);
-        let kind = |e: usize| exec.events()[e].kind;
         let amo = |e: usize| exec.ann(e).and_then(HwAnnot::amo_bits);
 
-        // --- Fence-induced edges, split by cumulativity class ---
-        let mut f_noncum = Relation::empty(n);
-        let mut f_cum = Relation::empty(n);
-        let mut f_heavy = Relation::empty(n);
-        for f in exec.fences().iter() {
-            let Some(HwAnnot::Fence(k)) = exec.ann(f) else {
-                continue;
-            };
-            for x in exec.po().inverse().successors(f).intersect(accesses).iter() {
-                for y in exec.po().successors(f).intersect(accesses).iter() {
-                    if k.orders(kind(x), kind(y)) {
-                        if k.is_cumulative() {
-                            f_cum.insert(x, y);
-                            if matches!(k, tricheck_isa::FenceKind::CumulativeHeavy) {
-                                f_heavy.insert(x, y);
-                            }
-                        } else {
-                            f_noncum.insert(x, y);
-                        }
-                    }
-                }
-            }
-        }
+        // --- Fence-induced edges, split by cumulativity class (shared
+        // annotation bookkeeping with the IR binding) ---
+        let (f_noncum, f_cum, f_heavy) = fence_edges(exec);
         let fences = f_noncum.union(&f_cum);
 
         // --- AMO aq/rl local ordering (one-way barriers, §4.2.1) ---

@@ -73,3 +73,40 @@ fn sec7_counterexample_counts_match_committed_fixture() {
     out.push_str(&report::to_csv(&results));
     assert_matches_fixture("sec7_power_rows.txt", &out);
 }
+
+/// The x86 mapping study ({sc-atomics, relaxed} × the IR-defined TSO
+/// model over the full suite) matches the committed table. The headline
+/// facts this pins: TSO exhibits the store-buffering (sb) and
+/// read-to-write-causality (rwc) reorderings under the unfenced relaxed
+/// mapping — and zero bugs under the standard SC-atomics mapping.
+#[test]
+fn x86_tso_rows_match_committed_fixture() {
+    let results = Sweep::new().run_x86(&suite::full_suite());
+    let mut out = report::x86_table(&results);
+    out.push('\n');
+    out.push_str(&report::to_csv(&results));
+    assert_matches_fixture("x86_tso_rows.txt", &out);
+
+    // The headline claims, asserted directly so a fixture regeneration
+    // cannot silently launder them away.
+    use tricheck::core::StackKey;
+    use tricheck::prelude::X86MappingStyle;
+    let sc = StackKey::X86 {
+        style: X86MappingStyle::ScAtomics,
+    };
+    let relaxed = StackKey::X86 {
+        style: X86MappingStyle::Relaxed,
+    };
+    assert_eq!(
+        results.bugs_for(sc, "x86-TSO"),
+        0,
+        "the SC-atomics mapping is sound on TSO"
+    );
+    assert!(
+        results
+            .row(relaxed, "x86-TSO", "sb")
+            .is_some_and(|r| r.bugs == 1),
+        "TSO permits SC store buffering under the unfenced mapping"
+    );
+    assert!(results.bugs_for(relaxed, "x86-TSO") > 0);
+}

@@ -53,8 +53,122 @@ fn strengthen(test: &LitmusTest) -> Option<LitmusTest> {
     None
 }
 
+/// The full Figure 15 and §7 sweeps are bit-identical with axiom-driven
+/// pruning on and off — and pruning actually fires — across all 1,701
+/// tests. (The committed golden fixtures, generated before the IR and
+/// pruning landed, pin the same rows a third way.)
+#[test]
+fn full_suite_sweeps_are_identical_with_and_without_pruning() {
+    let tests = suite::full_suite();
+    let pruned = Sweep::new();
+    let unpruned = Sweep::with_options(SweepOptions {
+        pruning: false,
+        ..SweepOptions::default()
+    });
+    let (a, b) = (pruned.run_riscv(&tests), unpruned.run_riscv(&tests));
+    assert_eq!(a.rows(), b.rows(), "Figure 15 rows must not move");
+    assert_eq!(a.stats().distinct_programs, b.stats().distinct_programs);
+    assert_eq!(a.stats().space_enumerations, b.stats().space_enumerations);
+    assert_eq!(a.stats().c11_evaluations, b.stats().c11_evaluations);
+    assert!(
+        a.stats().candidates_pruned > 0,
+        "pruning must fire on the full suite"
+    );
+    assert_eq!(b.stats().candidates_pruned, 0);
+
+    let (a, b) = (pruned.run_power(&tests), unpruned.run_power(&tests));
+    assert_eq!(a.rows(), b.rows(), "§7 rows must not move");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The declarative C11 IR and the imperative oracle agree on every
+    /// candidate execution of random suite variants.
+    #[test]
+    fn ir_c11_agrees_with_the_imperative_oracle(test in arb_variant()) {
+        let model = C11Model::new();
+        let mut checked = 0;
+        tricheck::litmus::enumerate_executions(test.program(), &mut |exec| {
+            assert_eq!(
+                model.consistent(exec),           // IR evaluation
+                model.check(exec).is_ok(),        // imperative oracle
+                "C11 IR disagrees with the oracle on {} (candidate {checked})",
+                test.name()
+            );
+            checked += 1;
+            checked < 200
+        });
+        prop_assert!(checked > 0);
+    }
+
+    /// Every knob-driven µarch model's IR compilation agrees with its
+    /// imperative oracle on every candidate execution of random
+    /// compiled variants (both spec versions, both ISAs, plus the ARMv7
+    /// study machines).
+    #[test]
+    fn ir_uarch_models_agree_with_the_imperative_oracles(test in arb_variant()) {
+        let mut stacks: Vec<(&dyn Mapping, UarchModel)> = Vec::new();
+        for version in [SpecVersion::Curr, SpecVersion::Ours] {
+            for isa in [RiscvIsa::Base, RiscvIsa::BaseA] {
+                for model in UarchModel::all_riscv(version) {
+                    stacks.push((riscv_mapping(isa, version), model));
+                }
+            }
+        }
+        for model in UarchModel::all_armv7() {
+            stacks.push((power_mapping(PowerSyncStyle::Leading), model));
+        }
+        for (mapping, model) in stacks {
+            let compiled = compile(&test, mapping).unwrap();
+            let mut checked = 0;
+            tricheck::litmus::enumerate_executions(compiled.program(), &mut |exec| {
+                assert_eq!(
+                    model.consistent(exec),       // IR evaluation
+                    model.check(exec).is_ok(),    // imperative oracle
+                    "{} IR disagrees with the oracle on {} (candidate {checked})",
+                    model.name(),
+                    test.name()
+                );
+                checked += 1;
+                checked < 60
+            });
+            prop_assert!(checked > 0);
+        }
+    }
+
+    /// Pruned and unpruned enumeration produce the same
+    /// [`ExecutionSpace`] up to the model-independent core: the pruned
+    /// space holds exactly the core-consistent candidates, and every
+    /// model's verdict over either space is identical.
+    #[test]
+    fn pruned_spaces_are_model_equivalent_to_unpruned(test in arb_variant()) {
+        use tricheck::litmus::{core_consistent, ConsistencyModel, ExecutionSpace};
+        let compiled = compile(&test, riscv_mapping(RiscvIsa::BaseA, SpecVersion::Curr)).unwrap();
+        let full = ExecutionSpace::new(compiled.program().clone());
+        let pruned = ExecutionSpace::pruned(compiled.program().clone());
+        let filtered: Vec<_> = full
+            .executions()
+            .iter()
+            .filter(|e| core_consistent(e))
+            .cloned()
+            .collect();
+        let pruned_execs = pruned.executions();
+        prop_assert_eq!(pruned_execs.as_slice(), filtered.as_slice());
+        for model in UarchModel::all_riscv(SpecVersion::Curr) {
+            prop_assert!(
+                model.permits(&full, compiled.target())
+                    == model.permits(&pruned, compiled.target()),
+                "{} changes verdict under pruning on {}",
+                model.name(),
+                test.name()
+            );
+            prop_assert_eq!(
+                model.allowed_outcomes(&full, compiled.observed()),
+                model.allowed_outcomes(&pruned, compiled.observed())
+            );
+        }
+    }
 
     /// Strengthening a memory order never enlarges the C11-permitted
     /// outcome set (C11 is monotone in ordering strength).
