@@ -1,14 +1,22 @@
-//! Model-evaluation bench: the declarative IR against the imperative
-//! oracles, and axiom-pruned against unpruned enumeration, on the
-//! wrc/iriw families (the shapes the paper's §5 bugs live in).
+//! Model-evaluation bench: the compiled bitset kernels against the
+//! tree-walking IR interpreter and the imperative oracles, and
+//! axiom-pruned against unpruned enumeration, on the wrc/iriw families
+//! (the shapes the paper's §5 bugs live in).
 //!
-//! Two questions this answers after every model-layer change:
+//! Three questions this answers after every model-layer change:
 //!
-//! 1. What does the IR's interpretation overhead cost per candidate,
-//!    against the hand-written checkers it replaced in production?
-//! 2. What does axiom-driven pruning save (or cost) end to end, where
-//!    the partial-core acyclicity checks buy fewer materialized
-//!    candidates?
+//! 1. What does a candidate verdict cost on the production path — the
+//!    compiled kernel replaying a cached space-invariant prelude
+//!    (`compiled-prelude`, the shape every sweep runs) — against the
+//!    hand-written checkers and the interpreter it retired?
+//! 2. How much of the old interpretation overhead does compilation
+//!    recover (`interpreter` vs `compiled`)?
+//! 3. What does axiom-driven pruning save (or cost) end to end, now
+//!    that the partial-core checks ride an incremental topological
+//!    order instead of recomputing acyclicity per branch?
+//!
+//! Set `TRICHECK_BENCH_QUICK=1` to run a fast smoke pass (CI): fewer
+//! samples and the per-candidate variants only.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tricheck_compiler::{compile, riscv_mapping};
@@ -17,13 +25,18 @@ use tricheck_isa::{HwAnnot, RiscvIsa, SpecVersion};
 use tricheck_litmus::{
     enumerate_executions, enumerate_executions_pruned, suite, Execution, LitmusTest,
 };
-use tricheck_uarch::UarchModel;
+use tricheck_rel::EvalScratch;
+use tricheck_uarch::{HwBinding, UarchModel};
 
 fn family(name: &str) -> Vec<LitmusTest> {
     suite::full_suite()
         .into_iter()
         .filter(|t| t.family() == name)
         .collect()
+}
+
+fn quick() -> bool {
+    std::env::var_os("TRICHECK_BENCH_QUICK").is_some_and(|v| v == "1")
 }
 
 /// Every candidate execution of one representative compiled variant.
@@ -40,8 +53,11 @@ fn candidates(test: &LitmusTest) -> Vec<Execution<HwAnnot>> {
 
 fn bench_model_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_eval");
+    if quick() {
+        group.sample_size(2);
+    }
 
-    // --- IR vs imperative consistency evaluation ---
+    // --- compiled kernel vs interpreter vs imperative, per candidate ---
     for fam in ["wrc", "iriw"] {
         let test = &family(fam)[0];
         let execs = candidates(test);
@@ -51,6 +67,7 @@ fn bench_model_eval(c: &mut Criterion) {
         ];
         for model in &models {
             let _ = model.ir(); // build outside the timed region
+            let kernel = model.compiled(); // compile outside the timed region
             group.bench_function(format!("{fam}/{}/imperative", model.name()), |b| {
                 b.iter(|| {
                     execs
@@ -59,7 +76,17 @@ fn bench_model_eval(c: &mut Criterion) {
                         .count()
                 });
             });
-            group.bench_function(format!("{fam}/{}/ir", model.name()), |b| {
+            group.bench_function(format!("{fam}/{}/interpreter", model.name()), |b| {
+                b.iter(|| {
+                    execs
+                        .iter()
+                        .filter(|e| model.ir().consistent(&HwBinding::new(black_box(e))))
+                        .count()
+                });
+            });
+            // The production path: `model.consistent` routes through the
+            // compiled kernel, rebuilding the prelude per candidate.
+            group.bench_function(format!("{fam}/{}/compiled", model.name()), |b| {
                 b.iter(|| {
                     execs
                         .iter()
@@ -67,7 +94,31 @@ fn bench_model_eval(c: &mut Criterion) {
                         .count()
                 });
             });
+            // The sweep shape: the space-invariant prelude is computed
+            // once per (space, kernel) and replayed for every candidate,
+            // with evaluation buffers reused across candidates.
+            let prelude = kernel.prelude(&HwBinding::new(&execs[0]));
+            group.bench_function(format!("{fam}/{}/compiled-prelude", model.name()), |b| {
+                let mut scratch = EvalScratch::default();
+                b.iter(|| {
+                    execs
+                        .iter()
+                        .filter(|e| {
+                            kernel.consistent_with_scratch(
+                                &prelude,
+                                &HwBinding::new(black_box(e)),
+                                &mut scratch,
+                            )
+                        })
+                        .count()
+                });
+            });
         }
+    }
+
+    if quick() {
+        group.finish();
+        return;
     }
 
     // --- Pruned vs unpruned enumeration over the compiled families ---

@@ -63,7 +63,7 @@ use tricheck_litmus::{
     MemOrder, Outcome, Reg,
 };
 use tricheck_rel::ir::{AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
-use tricheck_rel::{linear_extensions, EventSet, Relation};
+use tricheck_rel::{linear_extensions, CompiledModel, EvalScratch, EventSet, Relation};
 
 /// Why an execution is inconsistent under C11.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -162,6 +162,24 @@ impl C11Model {
         })
     }
 
+    /// The C11 IR lowered to a fused bitset kernel, shared by every
+    /// instance. Program-only bases (`po`, `rmw`, `init`) are hoisted
+    /// into the kernel's prelude; `sw` and `sc-bad` stay
+    /// candidate-dependent (both derive from `rf`/`co`).
+    #[must_use]
+    pub fn compiled() -> &'static CompiledModel {
+        static COMPILED: OnceLock<CompiledModel> = OnceLock::new();
+        COMPILED.get_or_init(|| CompiledModel::compile(Self::ir(), &["po", "rmw", "init"]))
+    }
+
+    /// The process-unique id of the compiled C11 kernel (the key of
+    /// per-space prelude caches and the unit of `--cache-stats` kernel
+    /// counting).
+    #[must_use]
+    pub fn kernel_id(&self) -> u64 {
+        Self::compiled().kernel_id()
+    }
+
     /// Checks consistency of one candidate execution through the
     /// *imperative* checker, reporting the first violated axiom on
     /// failure. Kept as the differential oracle for [`C11Model::ir`]
@@ -195,11 +213,12 @@ impl C11Model {
 
     /// `true` if the execution is consistent under C11.
     ///
-    /// Evaluates the declarative [`C11Model::ir`]; the imperative
-    /// [`C11Model::check`] remains as the differential oracle.
+    /// Evaluates the *compiled* kernel ([`C11Model::compiled`]); the
+    /// tree-walking interpreter over [`C11Model::ir`] and the imperative
+    /// [`C11Model::check`] remain as differential oracles.
     #[must_use]
     pub fn consistent(&self, exec: &Execution<MemOrder>) -> bool {
-        Self::ir().consistent(&C11Binding::new(exec))
+        Self::compiled().consistent(&C11Binding::new(exec))
     }
 
     /// Whether the test's target outcome is permitted by C11.
@@ -277,6 +296,34 @@ impl ConsistencyModel for C11Model {
 
     fn consistent(&self, exec: &Execution<MemOrder>) -> bool {
         C11Model::consistent(self, exec)
+    }
+
+    // The space-judged paths replay the kernel's space-invariant prelude
+    // from the space's per-kernel cache instead of recomputing it for
+    // every candidate.
+
+    fn permits(&self, space: &ExecutionSpace<MemOrder>, target: &Outcome) -> bool {
+        let compiled = Self::compiled();
+        let mut scratch = EvalScratch::default();
+        space.realizes(target, |e| {
+            let binding = C11Binding::new(e);
+            let prelude = space.kernel_prelude(compiled.kernel_id(), || compiled.prelude(&binding));
+            compiled.consistent_with_scratch(&prelude, &binding, &mut scratch)
+        })
+    }
+
+    fn allowed_outcomes(
+        &self,
+        space: &ExecutionSpace<MemOrder>,
+        observed: &[(usize, Reg)],
+    ) -> BTreeSet<Outcome> {
+        let compiled = Self::compiled();
+        let mut scratch = EvalScratch::default();
+        space.outcome_set(observed, |e| {
+            let binding = C11Binding::new(e);
+            let prelude = space.kernel_prelude(compiled.kernel_id(), || compiled.prelude(&binding));
+            compiled.consistent_with_scratch(&prelude, &binding, &mut scratch)
+        })
     }
 }
 

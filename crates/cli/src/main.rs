@@ -503,6 +503,14 @@ fn print_engine_stats(s: &tricheck::core::SweepStats) {
         "  pruned branches      {} (axiom-driven enumeration pruning)",
         s.candidates_pruned
     );
+    println!(
+        "  compiled kernels     {} (one fused bitset kernel per stack)",
+        s.compiled_kernels
+    );
+    println!(
+        "  kernel preludes      {} hits, {} misses (space-invariant inputs)",
+        s.prelude_hits, s.prelude_misses
+    );
 }
 
 #[cfg(test)]

@@ -331,6 +331,17 @@ pub struct SweepStats {
     /// enumerations (zero when [`SweepOptions::pruning`] is off or no
     /// spaces were materialized).
     pub candidates_pruned: usize,
+    /// Distinct compiled model kernels across the sweep's cells — each
+    /// µarch model instance lowers its IR to one fused bitset kernel, so
+    /// a single-process sweep reports exactly one kernel per stack
+    /// (sharded runs sum their per-process counts).
+    pub compiled_kernels: usize,
+    /// Candidate judgements that replayed a space-cached kernel prelude
+    /// (the space-invariant inputs evaluated once per program).
+    pub prelude_hits: usize,
+    /// Kernel preludes evaluated across all spaces — at most one per
+    /// (space, kernel) pair.
+    pub prelude_misses: usize,
 }
 
 /// Aggregated results of a sweep.
@@ -683,11 +694,13 @@ impl<'t> SweepCache<'t> {
     }
 
     /// Drains the cache into sweep-level statistics.
-    fn stats(&self, cells: usize) -> SweepStats {
+    fn stats(&self, cells: &[Cell<'_, '_>]) -> SweepStats {
         let spaces = self.spaces.lock().expect("space cache lock");
         let mut distinct_programs = 0;
         let mut space_enumerations = 0;
         let mut candidates_pruned = 0;
+        let mut prelude_hits = 0;
+        let mut prelude_misses = 0;
         let mut space_cache_hits = self.space_lookup_hits.load(Ordering::Relaxed);
         for entry in spaces.values().flatten() {
             distinct_programs += 1;
@@ -695,10 +708,17 @@ impl<'t> SweepCache<'t> {
             space_enumerations += s.enumerations;
             space_cache_hits += s.cache_hits;
             candidates_pruned += s.candidates_pruned;
+            prelude_hits += s.prelude_hits;
+            prelude_misses += s.prelude_misses;
         }
+        let compiled_kernels = cells
+            .iter()
+            .map(|c| c.model.kernel_id())
+            .collect::<BTreeSet<_>>()
+            .len();
         SweepStats {
             tests: self.tests.len(),
-            cells,
+            cells: cells.len(),
             c11_evaluations: self.c11_evaluations.load(Ordering::Relaxed),
             compile_calls: self.compile_calls.load(Ordering::Relaxed),
             compile_cache_hits: self.compile_cache_hits.load(Ordering::Relaxed),
@@ -706,6 +726,9 @@ impl<'t> SweepCache<'t> {
             space_cache_hits,
             space_enumerations,
             candidates_pruned,
+            compiled_kernels,
+            prelude_hits,
+            prelude_misses,
         }
     }
 }
@@ -953,7 +976,7 @@ impl Sweep {
             cache.persist(store);
             store.flush();
         }
-        let stats = cache.stats(n_cells);
+        let stats = cache.stats(cells);
         let results = results
             .into_iter()
             .map(|slot| slot.into_inner().expect("all work items processed"))

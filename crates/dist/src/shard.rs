@@ -57,8 +57,9 @@ use crate::store::DiskStore;
 /// mismatch is a hard error (parent and child are expected to be the
 /// same binary, so a mismatch means a build-system bug, not skew to
 /// paper over). v2: result frames carry `candidates_pruned`, jobs may
-/// name the x86 matrix and disable pruning.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// name the x86 matrix and disable pruning. v3: result frames carry the
+/// compiled-kernel and prelude-cache counters.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Stdout marker preceding a worker's hex-encoded result payload.
 pub const RESULT_MARKER: &str = "TCSHARD-RESULT ";
@@ -400,6 +401,9 @@ fn merge_stats(a: SweepStats, b: SweepStats) -> SweepStats {
         space_cache_hits: a.space_cache_hits + b.space_cache_hits,
         space_enumerations: a.space_enumerations + b.space_enumerations,
         candidates_pruned: a.candidates_pruned + b.candidates_pruned,
+        compiled_kernels: a.compiled_kernels + b.compiled_kernels,
+        prelude_hits: a.prelude_hits + b.prelude_hits,
+        prelude_misses: a.prelude_misses + b.prelude_misses,
     }
 }
 
@@ -561,6 +565,9 @@ fn encode_result(
         stats.space_cache_hits,
         stats.space_enumerations,
         stats.candidates_pruned,
+        stats.compiled_kernels,
+        stats.prelude_hits,
+        stats.prelude_misses,
     ] {
         codec::put_u64(&mut out, v as u64);
     }
@@ -609,6 +616,9 @@ fn decode_result(
         space_cache_hits: take()?,
         space_enumerations: take()?,
         candidates_pruned: take()?,
+        compiled_kernels: take()?,
+        prelude_hits: take()?,
+        prelude_misses: take()?,
     };
     let store = StoreStats {
         space_hits: take()?,
@@ -767,6 +777,9 @@ mod tests {
             space_cache_hits: 5,
             space_enumerations: 2,
             candidates_pruned: 7,
+            compiled_kernels: 4,
+            prelude_hits: 9,
+            prelude_misses: 3,
         };
         let store = StoreStats {
             space_hits: 1,

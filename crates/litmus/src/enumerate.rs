@@ -48,6 +48,18 @@
 //! candidate below it — pruning is exact, never heuristic: the pruned
 //! enumeration yields precisely the candidates on which
 //! [`core_consistent`] holds, with identical surviving executions.
+//!
+//! The core is *incremental*: instead of rebuilding the relation and
+//! recomputing a transitive closure at every search node, the search
+//! carries a [`CoreGraph`] — a topological order over the partial core
+//! maintained Pearce–Kelly-style as `rf` edges are assigned and
+//! per-location `co` orders are committed. Inserting an edge that agrees
+//! with the current order costs O(1); a violating edge triggers a
+//! bounded reorder of the affected region (or sets a sticky cycle flag,
+//! since the core only grows along a branch). Programs with
+//! register-computed addresses fall back to building the graph fresh at
+//! each check (their locations resolve per candidate), with identical
+//! decisions either way — cycle detection is exact, not heuristic.
 
 use std::collections::BTreeMap;
 
@@ -446,6 +458,281 @@ impl<A: Clone> Skeleton<A> {
     }
 }
 
+/// Incremental cycle detection over the growing partial coherence core:
+/// a topological order of the current (acyclic) core, repaired locally
+/// on each edge insertion (Pearce–Kelly).
+///
+/// An edge agreeing with the order costs O(1). A violating edge
+/// triggers discovery of the affected region (the nodes topologically
+/// between the edge's endpoints) and a reorder confined to it; if the
+/// target's region reaches back to the source, the edge closes a cycle
+/// and the sticky [`CoreGraph::cyclic`] flag is set — sound because the
+/// core only ever grows along a search branch, so a cycle never
+/// un-closes. Fixed-size arrays keep clones allocation-free
+/// (`Relation` caps universes at 64 events).
+#[derive(Clone)]
+struct CoreGraph {
+    /// Successor bitsets.
+    adj: [u64; 64],
+    /// Predecessor bitsets (for the backward half of the repair).
+    radj: [u64; 64],
+    /// Topological position of each node (a permutation of `0..n`).
+    pos: [u32; 64],
+    /// Inverse of `pos`: the node at each position.
+    node_at: [u32; 64],
+    /// Set once an inserted edge closed a cycle; sticky.
+    cyclic: bool,
+}
+
+impl CoreGraph {
+    fn new(n: usize) -> Self {
+        assert!(n <= 64, "Relation caps universes at 64 events");
+        let mut pos = [0u32; 64];
+        let mut node_at = [0u32; 64];
+        for (i, (p, q)) in pos.iter_mut().zip(node_at.iter_mut()).enumerate() {
+            *p = i as u32;
+            *q = i as u32;
+        }
+        CoreGraph {
+            adj: [0; 64],
+            radj: [0; 64],
+            pos,
+            node_at,
+            cyclic: false,
+        }
+    }
+
+    fn insert(&mut self, a: usize, b: usize) {
+        if a == b {
+            self.cyclic = true;
+            return;
+        }
+        let bit_b = 1u64 << b;
+        if self.adj[a] & bit_b != 0 {
+            return;
+        }
+        self.adj[a] |= bit_b;
+        self.radj[b] |= 1 << a;
+        if self.cyclic || self.pos[a] < self.pos[b] {
+            return; // order already valid (or moot)
+        }
+        // Affected region: the nodes at positions pos[b]..=pos[a]. Every
+        // pre-existing edge respects the order, so any path between
+        // region nodes stays inside the region.
+        let (lo, hi) = (self.pos[b] as usize, self.pos[a] as usize);
+        let mut region = 0u64;
+        for p in lo..=hi {
+            region |= 1 << self.node_at[p];
+        }
+        // Forward discovery from b; reaching a closes a cycle.
+        let mut fwd = bit_b;
+        let mut frontier = bit_b;
+        while frontier != 0 {
+            let mut next = 0u64;
+            while frontier != 0 {
+                let x = frontier.trailing_zeros() as usize;
+                frontier &= frontier - 1;
+                next |= self.adj[x];
+            }
+            next &= region & !fwd;
+            if next & (1 << a) != 0 {
+                self.cyclic = true;
+                return;
+            }
+            fwd |= next;
+            frontier = next;
+        }
+        // Backward discovery from a.
+        let mut back = 1u64 << a;
+        let mut frontier = back;
+        while frontier != 0 {
+            let mut next = 0u64;
+            while frontier != 0 {
+                let x = frontier.trailing_zeros() as usize;
+                frontier &= frontier - 1;
+                next |= self.radj[x];
+            }
+            next &= region & !back;
+            back |= next;
+            frontier = next;
+        }
+        // Repair: everything reaching `a` moves before everything
+        // reachable from `b`, reusing the vacated positions in ascending
+        // order; relative order within each side is preserved.
+        let mut slots = [0u32; 64];
+        let mut nodes = [0u32; 64];
+        let mut k = 0;
+        for p in lo..=hi {
+            if (back | fwd) & (1 << self.node_at[p]) != 0 {
+                slots[k] = p as u32;
+                k += 1;
+            }
+        }
+        let mut m = 0;
+        for p in lo..=hi {
+            let x = self.node_at[p];
+            if back & (1 << x) != 0 {
+                nodes[m] = x;
+                m += 1;
+            }
+        }
+        for p in lo..=hi {
+            let x = self.node_at[p];
+            if fwd & (1 << x) != 0 {
+                nodes[m] = x;
+                m += 1;
+            }
+        }
+        debug_assert_eq!(k, m);
+        for i in 0..k {
+            self.pos[nodes[i] as usize] = slots[i];
+            self.node_at[slots[i] as usize] = nodes[i];
+        }
+    }
+}
+
+/// The incrementally-maintained prune state carried down a search
+/// branch: the core's cycle detector plus the committed coherence lower
+/// bound (forced edges + the per-location orders chosen so far), which
+/// seeds the derived `fr` edges and the RMW-atomicity check.
+#[derive(Clone)]
+struct CoreState {
+    graph: CoreGraph,
+    co_lower: Relation,
+}
+
+impl CoreState {
+    /// The static seed for constant-address programs: forced coherence
+    /// edges and `po_loc \ R×R` are known before any search choice.
+    fn new_static<A>(skel: &Skeleton<A>) -> CoreState {
+        let n = skel.events.len();
+        let mut graph = CoreGraph::new(n);
+        for (a, b) in skel.static_forced_co.pairs() {
+            graph.insert(a, b);
+        }
+        for (a, b) in skel.static_po_loc.pairs() {
+            graph.insert(a, b);
+        }
+        CoreState {
+            graph,
+            co_lower: skel.static_forced_co.clone(),
+        }
+    }
+
+    /// A from-scratch build for register-computed-address programs,
+    /// whose locations (hence forced edges and `po_loc`) only resolve as
+    /// `rf` choices land: the same edge set the incremental path
+    /// accumulates, so decisions are identical.
+    fn fresh_dynamic<A>(
+        skel: &Skeleton<A>,
+        rf_choice: &[Option<usize>],
+        loc: &[Option<Loc>],
+        co_known: Option<&Relation>,
+    ) -> CoreState {
+        let n = skel.events.len();
+        let mut co_lower = match co_known {
+            Some(co) => co.clone(),
+            None => Relation::empty(n),
+        };
+        for (i, &a) in skel.writes.iter().enumerate() {
+            let Some(la) = loc[a] else { continue };
+            for &b in &skel.writes[i + 1..] {
+                if loc[b] != Some(la) {
+                    continue;
+                }
+                let (ea, eb) = (&skel.events[a], &skel.events[b]);
+                if ea.tid.is_none() && eb.tid.is_some() {
+                    co_lower.insert(a, b);
+                } else if eb.tid.is_none() && ea.tid.is_some() {
+                    co_lower.insert(b, a);
+                } else if ea.tid == eb.tid && ea.tid.is_some() {
+                    if ea.po_index < eb.po_index {
+                        co_lower.insert(a, b);
+                    } else {
+                        co_lower.insert(b, a);
+                    }
+                }
+            }
+        }
+        let mut graph = CoreGraph::new(n);
+        for (a, b) in co_lower.pairs() {
+            graph.insert(a, b);
+        }
+        for (a, b) in skel.po.pairs() {
+            let (Some(la), Some(lb)) = (loc[a], loc[b]) else {
+                continue;
+            };
+            if la != lb {
+                continue;
+            }
+            let both_reads =
+                skel.events[a].kind == EventKind::Read && skel.events[b].kind == EventKind::Read;
+            if !both_reads {
+                graph.insert(a, b);
+            }
+        }
+        let mut state = CoreState { graph, co_lower };
+        for &r in &skel.reads {
+            if let Some(w) = rf_choice[r] {
+                state.assign_rf(r, w);
+            }
+        }
+        state
+    }
+
+    /// Records `rf(w, r)` plus the `fr` edges it implies against the
+    /// current coherence lower bound (a read is coherence-before every
+    /// write known to be co-after its source).
+    fn assign_rf(&mut self, r: usize, w: usize) {
+        self.graph.insert(w, r);
+        for w2 in self.co_lower.successors(w).iter() {
+            if w2 != r {
+                self.graph.insert(r, w2);
+            }
+        }
+    }
+
+    /// Commits one location's total coherence order: inserts the new
+    /// `co` pairs and, for each, the `fr` edges from the earlier write's
+    /// readers to the later write.
+    fn commit_group(&mut self, reads: &[usize], rf_choice: &[Option<usize>], order: &[usize]) {
+        for i in 0..order.len() {
+            for j in (i + 1)..order.len() {
+                let (wi, wj) = (order[i], order[j]);
+                if self.co_lower.contains(wi, wj) {
+                    continue; // forced edge: already present with its fr
+                }
+                self.co_lower.insert(wi, wj);
+                self.graph.insert(wi, wj);
+                for &r in reads {
+                    if rf_choice[r] == Some(wi) && r != wj {
+                        self.graph.insert(r, wj);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `false` iff the branch is dead under every model: the partial
+    /// core is cyclic, or a write is already known to sit
+    /// coherence-between an RMW's read source and its write half
+    /// (`rmw ∩ (fr ; co) = ∅`, checked verbatim by every model).
+    fn ok(&self, rmw: &Relation, rf_choice: &[Option<usize>]) -> bool {
+        if self.graph.cyclic {
+            return false;
+        }
+        for (r, w) in rmw.pairs() {
+            let Some(s) = rf_choice[r] else { continue };
+            for w2 in self.co_lower.successors(s).iter() {
+                if w2 != w && self.co_lower.contains(w2, w) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
 /// Enumerates all candidate executions of `prog`, calling `visit` on each.
 ///
 /// `visit` returning `false` aborts the enumeration; the function returns
@@ -569,7 +856,11 @@ fn enumerate_inner<A: Clone>(
         prune,
         pruned_branches: 0,
     };
-    let completed = ctx.assign_reads(0, &mut rf_choice);
+    // Constant-address programs maintain the prune state incrementally
+    // through the whole search; dynamic-address programs rebuild it at
+    // each check (their locations resolve per candidate).
+    let core = (prune && skel.all_const_addrs).then(|| CoreState::new_static(&skel));
+    let completed = ctx.assign_reads(0, &mut rf_choice, core.as_ref());
     Enumeration {
         completed,
         pruned_branches: ctx.pruned_branches,
@@ -587,9 +878,14 @@ struct Ctx<'a, A, F> {
 }
 
 impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
-    fn assign_reads(&mut self, k: usize, rf_choice: &mut Vec<Option<usize>>) -> bool {
+    fn assign_reads(
+        &mut self,
+        k: usize,
+        rf_choice: &mut Vec<Option<usize>>,
+        core: Option<&CoreState>,
+    ) -> bool {
         if k == self.skel.reads.len() {
-            return self.finalize(rf_choice);
+            return self.finalize(rf_choice, core);
         }
         let r = self.skel.reads[k];
         for wi in 0..self.skel.writes.len() {
@@ -604,15 +900,26 @@ impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
             }
             rf_choice[r] = Some(w);
             if let Some((loc, _)) = self.skel.propagate(rf_choice) {
-                if self.prune
-                    && self.skel.read_relevant[r]
-                    && !self.partial_core_ok(rf_choice, &loc, None)
-                {
+                // Extend the incremental core with this choice's rf/fr
+                // edges before deciding whether to check it.
+                let next_core = core.map(|c| {
+                    let mut c = c.clone();
+                    c.assign_rf(r, w);
+                    c
+                });
+                let dead = self.prune && self.skel.read_relevant[r] && {
+                    match &next_core {
+                        Some(c) => !c.ok(&self.skel.rmw, rf_choice),
+                        None => !CoreState::fresh_dynamic(self.skel, rf_choice, &loc, None)
+                            .ok(&self.skel.rmw, rf_choice),
+                    }
+                };
+                if dead {
                     // Every completion of this branch keeps the cycle:
                     // resolved locations, chosen rf edges and forced co
                     // edges only ever grow.
                     self.pruned_branches += 1;
-                } else if !self.assign_reads(k + 1, rf_choice) {
+                } else if !self.assign_reads(k + 1, rf_choice, next_core.as_ref()) {
                     rf_choice[r] = None;
                     return false;
                 }
@@ -622,98 +929,7 @@ impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
         true
     }
 
-    /// Checks the partial model-independent core — `(po_loc \ R×R)` over
-    /// the locations resolved so far, the chosen `rf` edges, the known
-    /// coherence lower bound (forced edges plus `co_known`, the
-    /// per-location orders committed so far), and the `fr` edges they
-    /// imply — for acyclicity. `false` means the branch is dead under
-    /// every model.
-    fn partial_core_ok(
-        &self,
-        rf_choice: &[Option<usize>],
-        loc: &[Option<Loc>],
-        co_known: Option<&Relation>,
-    ) -> bool {
-        let n = self.skel.events.len();
-        // Coherence lower bound: the per-location orders committed so
-        // far plus the forced edges (init writes first, same-thread
-        // same-location writes in program order — see `finalize`). For
-        // constant-address programs the forced edges are precomputed.
-        let mut co_lower = match co_known {
-            Some(co) => co.clone(),
-            None => Relation::empty(n),
-        };
-        if self.skel.all_const_addrs {
-            co_lower = co_lower.union(&self.skel.static_forced_co);
-        } else {
-            for (i, &a) in self.skel.writes.iter().enumerate() {
-                let Some(la) = loc[a] else { continue };
-                for &b in &self.skel.writes[i + 1..] {
-                    if loc[b] != Some(la) {
-                        continue;
-                    }
-                    let (ea, eb) = (&self.skel.events[a], &self.skel.events[b]);
-                    if ea.tid.is_none() && eb.tid.is_some() {
-                        co_lower.insert(a, b);
-                    } else if eb.tid.is_none() && ea.tid.is_some() {
-                        co_lower.insert(b, a);
-                    } else if ea.tid == eb.tid && ea.tid.is_some() {
-                        if ea.po_index < eb.po_index {
-                            co_lower.insert(a, b);
-                        } else {
-                            co_lower.insert(b, a);
-                        }
-                    }
-                }
-            }
-        }
-        // fr lower bound: a read is coherence-before every write known
-        // to be co-after its source.
-        let mut core = co_lower.clone();
-        for &r in &self.skel.reads {
-            let Some(w) = rf_choice[r] else { continue };
-            core.insert(w, r); // the rf edge itself
-            for w2 in co_lower.successors(w).iter() {
-                if w2 != r {
-                    core.insert(r, w2);
-                }
-            }
-        }
-        // RMW atomicity lower bound: no write may be known to sit
-        // coherence-between an RMW's read source and its write half
-        // (`rmw ∩ (fr ; co) = ∅`, checked by every model).
-        for (r, w) in self.skel.rmw.pairs() {
-            let Some(s) = rf_choice[r] else { continue };
-            let after_source = co_lower.successors(s);
-            for w2 in after_source.iter() {
-                if w2 != w && co_lower.contains(w2, w) {
-                    return false;
-                }
-            }
-        }
-        // po_loc \ R×R over resolved locations (precomputed when every
-        // address is a constant).
-        if self.skel.all_const_addrs {
-            core = core.union(&self.skel.static_po_loc);
-        } else {
-            for (a, b) in self.skel.po.pairs() {
-                let (Some(la), Some(lb)) = (loc[a], loc[b]) else {
-                    continue;
-                };
-                if la != lb {
-                    continue;
-                }
-                let both_reads = self.skel.events[a].kind == EventKind::Read
-                    && self.skel.events[b].kind == EventKind::Read;
-                if !both_reads {
-                    core.insert(a, b);
-                }
-            }
-        }
-        core.is_acyclic()
-    }
-
-    fn finalize(&mut self, rf_choice: &[Option<usize>]) -> bool {
+    fn finalize(&mut self, rf_choice: &[Option<usize>], core: Option<&CoreState>) -> bool {
         let Some((loc, val)) = self.skel.propagate(rf_choice) else {
             return true;
         };
@@ -773,7 +989,17 @@ impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
 
         let groups: Vec<Vec<usize>> = groups.into_values().collect();
         let mut co = Relation::empty(n);
-        self.enumerate_co(&groups, 0, &constraint, &mut co, rf_choice, &rf, &loc, &val)
+        self.enumerate_co(
+            &groups,
+            0,
+            &constraint,
+            &mut co,
+            rf_choice,
+            &rf,
+            &loc,
+            &val,
+            core,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -787,6 +1013,7 @@ impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
         rf: &Relation,
         loc: &[Option<Loc>],
         val: &[Option<Val>],
+        core: Option<&CoreState>,
     ) -> bool {
         let n = self.skel.events.len();
         if g == groups.len() {
@@ -808,9 +1035,21 @@ impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
             // One location's order committed: a core cycle through it
             // survives into every completion (later groups only add
             // other locations' edges), so the whole subtree is dead.
-            if self.prune && !self.partial_core_ok(rf_choice, loc, Some(&co_next)) {
-                self.pruned_branches += 1;
-                return true;
+            let next_core = core.map(|c| {
+                let mut c = c.clone();
+                c.commit_group(&self.skel.reads, rf_choice, order);
+                c
+            });
+            if self.prune {
+                let dead = match &next_core {
+                    Some(c) => !c.ok(&self.skel.rmw, rf_choice),
+                    None => !CoreState::fresh_dynamic(self.skel, rf_choice, loc, Some(&co_next))
+                        .ok(&self.skel.rmw, rf_choice),
+                };
+                if dead {
+                    self.pruned_branches += 1;
+                    return true;
+                }
             }
             keep_going = self.enumerate_co(
                 groups,
@@ -821,6 +1060,7 @@ impl<A: Clone, F: FnMut(&Execution<A>) -> bool> Ctx<'_, A, F> {
                 rf,
                 loc,
                 val,
+                next_core.as_ref(),
             );
             keep_going
         });

@@ -51,6 +51,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use tricheck_rel::Prelude;
+
 use crate::codec::{self, AnnCodec, ByteReader, CodecError};
 use crate::enumerate::{
     enumerate_executions, enumerate_executions_pruned, enumerate_matching,
@@ -126,6 +128,12 @@ pub struct SpaceStats {
     /// Search branches cut by the coherence core across this space's
     /// enumerations (always zero for an unpruned space).
     pub candidates_pruned: usize,
+    /// Candidate judgements that replayed a cached compiled-kernel
+    /// prelude (see [`ExecutionSpace::kernel_prelude`]).
+    pub prelude_hits: usize,
+    /// Compiled-kernel preludes evaluated by this space — at most one
+    /// per kernel that ever judged it.
+    pub prelude_misses: usize,
 }
 
 /// The candidate-execution space of one program, enumerated at most once
@@ -150,9 +158,18 @@ pub struct ExecutionSpace<A> {
     /// Outcome partition of the full space, keyed by the observed-register
     /// list it projects onto (see [`ExecutionSpace::outcome_groups`]).
     groups: Mutex<GroupCache>,
+    /// Space-invariant preludes of the compiled model kernels judging
+    /// this space, keyed by kernel id (see
+    /// [`ExecutionSpace::kernel_prelude`]). Runtime-only state: never
+    /// part of [`ExecutionSpace::snapshot`] — preludes are recomputed
+    /// cheaply per process and their layout is a kernel implementation
+    /// detail, not a persistence format.
+    preludes: Mutex<BTreeMap<u64, Arc<Prelude>>>,
     enumerations: AtomicUsize,
     cache_hits: AtomicUsize,
     candidates_pruned: AtomicUsize,
+    prelude_hits: AtomicUsize,
+    prelude_misses: AtomicUsize,
 }
 
 /// The full candidate space partitioned by outcome: each entry pairs one
@@ -175,9 +192,12 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
             full: OnceLock::new(),
             matching: Mutex::new(BTreeMap::new()),
             groups: Mutex::new(BTreeMap::new()),
+            preludes: Mutex::new(BTreeMap::new()),
             enumerations: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             candidates_pruned: AtomicUsize::new(0),
+            prelude_hits: AtomicUsize::new(0),
+            prelude_misses: AtomicUsize::new(0),
         }
     }
 
@@ -380,7 +400,30 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
             enumerations: self.enumerations.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+            prelude_hits: self.prelude_hits.load(Ordering::Relaxed),
+            prelude_misses: self.prelude_misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// The space-invariant prelude of the compiled kernel identified by
+    /// `kernel_id`, evaluating it via `build` on first request and
+    /// replaying the cached result on every later one.
+    ///
+    /// A space is judged by many candidates of the same kernel in a
+    /// sweep cell; the prelude depends only on the program, so each
+    /// kernel pays for its invariant sub-expressions exactly once per
+    /// space. Hits count per-candidate replays; misses count distinct
+    /// kernels that ever judged this space.
+    pub fn kernel_prelude(&self, kernel_id: u64, build: impl FnOnce() -> Prelude) -> Arc<Prelude> {
+        let mut map = self.preludes.lock().expect("space lock");
+        if let Some(cached) = map.get(&kernel_id) {
+            self.prelude_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        self.prelude_misses.fetch_add(1, Ordering::Relaxed);
+        let prelude = Arc::new(build());
+        map.insert(kernel_id, Arc::clone(&prelude));
+        prelude
     }
 }
 

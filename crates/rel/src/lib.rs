@@ -62,6 +62,26 @@
 //! everything model-specific is in the definitions above. The C11 model
 //! and the hand-written x86-TSO machine are phrased the same way.
 //!
+//! # The model compiler
+//!
+//! In production the tree-walking [`ir`] evaluator is only the
+//! *differential oracle*: the [`compile`] module lowers each `ModelIr`
+//! once into a [`CompiledModel`] — a flat, SSA-style program of bitset
+//! kernels. The compile pipeline interns every base and definition name
+//! to a dense index (no per-check string probes), hash-conses the
+//! dataflow graph so shared subterms are computed once per evaluation
+//! (CSE), fuses `∪`/`∩`/`\` chains into single n-ary passes over the
+//! `u64` relation words, and hoists every operation reachable only from
+//! *space-invariant* bases (program-derived: `po`, dependencies, fence
+//! edges, annotation sets) into a per-program prelude that an execution
+//! space evaluates once and replays across all candidate executions.
+//! At judgement time every body operation writes into a reusable
+//! [`EvalScratch`] slot, so a query loop over one program's candidates
+//! allocates nothing per candidate. The compiled path judges a
+//! candidate below the cost of the hand-written imperative checkers
+//! (see `benches/model_eval.rs`), so "models as data" is free at sweep
+//! time.
+//!
 //! # Examples
 //!
 //! ```
@@ -87,8 +107,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod ir;
 
+pub use compile::{CompiledModel, EvalScratch, Prelude};
 pub use ir::{Axiom, AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
 
 use std::fmt;
@@ -501,19 +523,31 @@ impl Relation {
     /// Transitive closure `self⁺` (one or more steps).
     #[must_use]
     pub fn transitive_closure(&self) -> Relation {
-        // Bitset Floyd–Warshall: if row a reaches k, it also reaches
-        // everything row k reaches.
+        // Word-parallel repeated squaring: each pass replaces every
+        // row's successors with its successors-of-successors as well
+        // (R := R ∪ R;R, the union taken 64 columns at a time), so the
+        // reachable path length doubles per pass — at most ⌈log₂ n⌉
+        // passes instead of Floyd–Warshall's n pivot rounds. Updating
+        // in place only accelerates convergence: a row read mid-pass
+        // already holds a subset of the closure.
         let mut rows = self.rows.clone();
-        for k in 0..self.n {
-            let row_k = rows[k];
-            let bit = 1u64 << k;
-            for row in rows.iter_mut().take(self.n) {
-                if *row & bit != 0 {
-                    *row |= row_k;
+        loop {
+            let mut changed = false;
+            for a in 0..self.n {
+                let mut row = rows[a];
+                let mut mids = row;
+                while mids != 0 {
+                    let b = mids.trailing_zeros() as usize;
+                    mids &= mids - 1;
+                    row |= rows[b];
                 }
+                changed |= row != rows[a];
+                rows[a] = row;
+            }
+            if !changed {
+                return Relation { n: self.n, rows };
             }
         }
-        Relation { n: self.n, rows }
     }
 
     /// Reflexive-transitive closure `self*` (zero or more steps).

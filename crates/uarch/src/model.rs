@@ -37,7 +37,7 @@ use tricheck_isa::{HwAnnot, SpecVersion};
 use tricheck_litmus::{
     outcome_set, ConsistencyModel, Execution, ExecutionSpace, Outcome, Program, Reg,
 };
-use tricheck_rel::{EventSet, ModelIr, Relation};
+use tricheck_rel::{CompiledModel, EvalScratch, EventSet, ModelIr, Relation};
 
 use crate::config::{ReleasePredecessors, StoreAtomicity, UarchConfig};
 use crate::ir::{build_uarch_ir, fence_edges, x86_tso_ir, HwBinding};
@@ -109,7 +109,30 @@ impl std::error::Error for UarchViolation {}
 pub struct UarchModel {
     name: String,
     kind: ModelKind,
+    compiled: OnceLock<CompiledModel>,
 }
+
+/// The [`HwBinding`] bases that depend only on the program, not on the
+/// candidate `rf`/`co` — hoisted into the compiled kernel's prelude.
+/// `po-loc`/`same-loc` stay candidate-dependent: locations resolve per
+/// candidate for dynamic-address programs.
+const HW_INVARIANT_BASES: &[&str] = &[
+    "po",
+    "addr",
+    "data",
+    "rmw",
+    "fence-noncum",
+    "fence-cum",
+    "fence-heavy",
+    "R",
+    "W",
+    "F",
+    "M",
+    "init",
+    "amo-aq",
+    "amo-rl",
+    "amo-sc",
+];
 
 #[derive(Clone, Debug)]
 enum ModelKind {
@@ -133,6 +156,7 @@ impl UarchModel {
                 config,
                 ir: OnceLock::new(),
             },
+            compiled: OnceLock::new(),
         }
     }
 
@@ -143,6 +167,7 @@ impl UarchModel {
         UarchModel {
             name: ir.name().to_string(),
             kind: ModelKind::Ir(ir),
+            compiled: OnceLock::new(),
         }
     }
 
@@ -256,6 +281,25 @@ impl UarchModel {
         }
     }
 
+    /// The model's IR lowered to a fused bitset kernel — compiled once
+    /// per model instance on first use. Program-only bases
+    /// ([`HW_INVARIANT_BASES`]) are hoisted into the kernel's prelude so
+    /// an [`ExecutionSpace`] evaluates them once per program instead of
+    /// once per candidate.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledModel {
+        self.compiled
+            .get_or_init(|| CompiledModel::compile(self.ir(), HW_INVARIANT_BASES))
+    }
+
+    /// The process-unique id of this model's compiled kernel (the key of
+    /// per-space prelude caches and the unit of `--cache-stats` kernel
+    /// counting).
+    #[must_use]
+    pub fn kernel_id(&self) -> u64 {
+        self.compiled().kernel_id()
+    }
+
     /// The model's display name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -330,13 +374,14 @@ impl UarchModel {
 
     /// `true` if the execution is realizable on this microarchitecture.
     ///
-    /// This is the production predicate and always evaluates the
-    /// declarative IR; `tests/model_properties.rs` pins it against the
-    /// imperative [`UarchModel::check`] oracle on every candidate
-    /// execution of random suite subsets.
+    /// This is the production predicate and evaluates the *compiled*
+    /// kernel ([`UarchModel::compiled`]); the tree-walking IR
+    /// interpreter and the imperative [`UarchModel::check`] survive as
+    /// differential oracles, pinned against this path on every candidate
+    /// execution of random suite subsets by `tests/model_properties.rs`.
     #[must_use]
     pub fn consistent(&self, exec: &Execution<HwAnnot>) -> bool {
-        self.ir().consistent(&HwBinding::new(exec))
+        self.compiled().consistent(&HwBinding::new(exec))
     }
 
     /// Whether the target outcome is observable for the compiled program
@@ -395,6 +440,34 @@ impl ConsistencyModel for UarchModel {
 
     fn consistent(&self, exec: &Execution<HwAnnot>) -> bool {
         UarchModel::consistent(self, exec)
+    }
+
+    // The space-judged paths replay the kernel's space-invariant prelude
+    // from the space's per-kernel cache instead of recomputing it for
+    // every candidate.
+
+    fn permits(&self, space: &ExecutionSpace<HwAnnot>, target: &Outcome) -> bool {
+        let compiled = self.compiled();
+        let mut scratch = EvalScratch::default();
+        space.realizes(target, |e| {
+            let binding = HwBinding::new(e);
+            let prelude = space.kernel_prelude(compiled.kernel_id(), || compiled.prelude(&binding));
+            compiled.consistent_with_scratch(&prelude, &binding, &mut scratch)
+        })
+    }
+
+    fn allowed_outcomes(
+        &self,
+        space: &ExecutionSpace<HwAnnot>,
+        observed: &[(usize, Reg)],
+    ) -> BTreeSet<Outcome> {
+        let compiled = self.compiled();
+        let mut scratch = EvalScratch::default();
+        space.outcome_set(observed, |e| {
+            let binding = HwBinding::new(e);
+            let prelude = space.kernel_prelude(compiled.kernel_id(), || compiled.prelude(&binding));
+            compiled.consistent_with_scratch(&prelude, &binding, &mut scratch)
+        })
     }
 }
 

@@ -55,8 +55,11 @@ fn strengthen(test: &LitmusTest) -> Option<LitmusTest> {
 
 /// The full Figure 15 and §7 sweeps are bit-identical with axiom-driven
 /// pruning on and off — and pruning actually fires — across all 1,701
-/// tests. (The committed golden fixtures, generated before the IR and
-/// pruning landed, pin the same rows a third way.)
+/// tests, in both outcome modes. The production cell verdicts come from
+/// the compiled bitset kernels, so this differential run also pins the
+/// compiled path against the same rows the tree-walking era produced.
+/// (The committed golden fixtures, generated before the IR, pruning and
+/// the compiler landed, pin the same rows a third way.)
 #[test]
 fn full_suite_sweeps_are_identical_with_and_without_pruning() {
     let tests = suite::full_suite();
@@ -75,25 +78,57 @@ fn full_suite_sweeps_are_identical_with_and_without_pruning() {
         "pruning must fire on the full suite"
     );
     assert_eq!(b.stats().candidates_pruned, 0);
+    assert!(
+        a.stats().compiled_kernels > 0,
+        "the compiled path must be active"
+    );
 
     let (a, b) = (pruned.run_power(&tests), unpruned.run_power(&tests));
     assert_eq!(a.rows(), b.rows(), "§7 rows must not move");
+
+    // Full-outcome mode exercises the other verdict surface
+    // (`allowed_outcomes` instead of `permits`) over the same spaces.
+    let pruned_full = Sweep::with_options(SweepOptions {
+        outcome_mode: OutcomeMode::FullOutcomes,
+        ..SweepOptions::default()
+    });
+    let unpruned_full = Sweep::with_options(SweepOptions {
+        outcome_mode: OutcomeMode::FullOutcomes,
+        pruning: false,
+        ..SweepOptions::default()
+    });
+    let (a, b) = (
+        pruned_full.run_riscv(&tests),
+        unpruned_full.run_riscv(&tests),
+    );
+    assert_eq!(a.rows(), b.rows(), "full-outcome rows must not move");
+    assert_eq!(b.stats().candidates_pruned, 0);
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The declarative C11 IR and the imperative oracle agree on every
-    /// candidate execution of random suite variants.
+    /// The compiled C11 kernel, the tree-walking IR interpreter, and the
+    /// imperative oracle agree on every candidate execution of random
+    /// suite variants. `model.consistent` is the production (compiled)
+    /// path; the other two are the independent oracles it must match.
     #[test]
     fn ir_c11_agrees_with_the_imperative_oracle(test in arb_variant()) {
         let model = C11Model::new();
         let mut checked = 0;
         tricheck::litmus::enumerate_executions(test.program(), &mut |exec| {
+            let kernel = model.consistent(exec); // compiled bitset kernel
+            let binding = tricheck::c11::C11Binding::new(exec);
             assert_eq!(
-                model.consistent(exec),           // IR evaluation
-                model.check(exec).is_ok(),        // imperative oracle
-                "C11 IR disagrees with the oracle on {} (candidate {checked})",
+                kernel,
+                C11Model::ir().consistent(&binding), // tree-walking interpreter
+                "compiled C11 kernel disagrees with the interpreter on {} (candidate {checked})",
+                test.name()
+            );
+            assert_eq!(
+                kernel,
+                model.check(exec).is_ok(),           // imperative oracle
+                "compiled C11 kernel disagrees with the oracle on {} (candidate {checked})",
                 test.name()
             );
             checked += 1;
@@ -102,10 +137,13 @@ proptest! {
         prop_assert!(checked > 0);
     }
 
-    /// Every knob-driven µarch model's IR compilation agrees with its
-    /// imperative oracle on every candidate execution of random
-    /// compiled variants (both spec versions, both ISAs, plus the ARMv7
-    /// study machines).
+    /// Every registered µarch stack's compiled kernel agrees with the
+    /// tree-walking IR interpreter and the imperative oracle on every
+    /// candidate execution of random compiled variants (both spec
+    /// versions, both RISC-V ISAs, the ARMv7 study machines, and the
+    /// x86-TSO stacks). For data-defined (IR-only) models `check` is the
+    /// interpreter itself, so the comparison degenerates to compiled ==
+    /// interpreted — still the pin that matters.
     #[test]
     fn ir_uarch_models_agree_with_the_imperative_oracles(test in arb_variant()) {
         let mut stacks: Vec<(&dyn Mapping, UarchModel)> = Vec::new();
@@ -119,14 +157,28 @@ proptest! {
         for model in UarchModel::all_armv7() {
             stacks.push((power_mapping(PowerSyncStyle::Leading), model));
         }
+        for style in [X86MappingStyle::ScAtomics, X86MappingStyle::Relaxed] {
+            for model in UarchModel::all_x86() {
+                stacks.push((x86_mapping(style), model));
+            }
+        }
         for (mapping, model) in stacks {
             let compiled = compile(&test, mapping).unwrap();
             let mut checked = 0;
             tricheck::litmus::enumerate_executions(compiled.program(), &mut |exec| {
+                let kernel = model.consistent(exec); // compiled bitset kernel
+                let binding = tricheck::uarch::HwBinding::new(exec);
                 assert_eq!(
-                    model.consistent(exec),       // IR evaluation
-                    model.check(exec).is_ok(),    // imperative oracle
-                    "{} IR disagrees with the oracle on {} (candidate {checked})",
+                    kernel,
+                    model.ir().consistent(&binding), // tree-walking interpreter
+                    "{} compiled kernel disagrees with the interpreter on {} (candidate {checked})",
+                    model.name(),
+                    test.name()
+                );
+                assert_eq!(
+                    kernel,
+                    model.check(exec).is_ok(),       // imperative oracle
+                    "{} compiled kernel disagrees with the oracle on {} (candidate {checked})",
                     model.name(),
                     test.name()
                 );
