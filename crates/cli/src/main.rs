@@ -11,14 +11,29 @@
 //! tricheck dot NAME [--model M] [--isa B] [--spec V]
 //!                                             emit a Graphviz graph of the witness
 //! tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
-//!                [--shards N] [--cache-dir PATH]
+//!                [--x86] [--shards N] [--cache-dir PATH]
+//!                [--model FILE | --stack FILE]
 //!                                             Figure-15-style chart for a family
 //! tricheck file PATH [--model M] [--isa B] [--spec V]
 //!                                             parse a .litmus file and verify it
 //!
+//! Every option is checked against the subcommand it is given to:
+//! unknown `--flags` and flags that do not apply to the subcommand are
+//! rejected with an error naming the flag, never silently ignored.
+//!
 //! options: --isa base|base+a    (default base)
 //!          --spec curr|ours     (default curr)
 //!          --model WR|rWR|rWM|rMM|nWR|nMM|A9like   (default nMM)
+//!                               or a path to a herd-style model file
+//!                               (see `models/x86-tso.cat`); for `sweep`
+//!                               the value must be a model file, which is
+//!                               judged under all four C11→RISC-V
+//!                               mappings
+//!          --stack FILE         (sweep only) load a whole-stack
+//!                               definition file — compiler mapping
+//!                               tables plus a model section (see
+//!                               `models/x86-tso.stack`) — and sweep the
+//!                               family through it
 //!          --threads N          sweep worker threads (default: all cores;
 //!                               1 = deterministic serial run; with
 //!                               --shards, threads *per shard*, default
@@ -73,10 +88,18 @@ const USAGE: &str = "usage:
   tricheck dot NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
                  [--x86] [--shards N] [--cache-dir PATH]
-  tricheck sweep --list-models
+                 [--model FILE | --stack FILE]
+  tricheck sweep --list-models [--stack FILE]
   tricheck file PATH [--model M] [--isa base|base+a] [--spec curr|ours]
 
-models: WR rWR rWM rMM nWR nMM A9like (default nMM)
+models: WR rWR rWM rMM nWR nMM A9like (default nMM), or a path to a
+        herd-style model file (models/x86-tso.cat is a worked example);
+        sweep only accepts the file form, judging it under all four
+        C11→RISC-V mappings
+stacks: sweep --stack FILE loads a whole-stack definition file — named
+        compiler-mapping tables plus a model section (models/x86-tso.stack
+        is a worked example) — and sweeps the family through every
+        mapping it defines
 sweeps: --threads 1 gives a deterministic serial run; --cache-stats prints
         the shared execution-space engine's cache counters; --outcomes
         compares full outcome sets instead of the target outcome (the
@@ -90,10 +113,30 @@ sweeps: --threads 1 gives a deterministic serial run; --cache-stats prints
         process); --cache-dir PATH persists execution spaces and C11
         verdicts across runs (and across shards)";
 
+/// Every option the CLI knows about, in the order the usage text lists
+/// them. Used both to reject unknown `--flags` (with a nearest-match
+/// hint) and to check per-subcommand applicability.
+const ALL_FLAGS: &[&str] = &[
+    "--isa",
+    "--spec",
+    "--model",
+    "--stack",
+    "--threads",
+    "--cache-stats",
+    "--outcomes",
+    "--power",
+    "--x86",
+    "--list-models",
+    "--shards",
+    "--cache-dir",
+];
+
+#[derive(Debug)]
 struct Options {
     isa: RiscvIsa,
     spec: SpecVersion,
     model: String,
+    stack: Option<String>,
     threads: Option<usize>,
     cache_stats: bool,
     outcomes: bool,
@@ -102,6 +145,16 @@ struct Options {
     list_models: bool,
     shards: Option<usize>,
     cache_dir: Option<String>,
+    /// The flags actually given on the command line (canonical
+    /// spellings), so subcommands can reject the ones that do not apply
+    /// to them instead of silently ignoring them.
+    given: Vec<&'static str>,
+}
+
+impl Options {
+    fn was_given(&self, flag: &str) -> bool {
+        self.given.contains(&flag)
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
@@ -109,6 +162,7 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
         isa: RiscvIsa::Base,
         spec: SpecVersion::Curr,
         model: "nMM".to_string(),
+        stack: None,
         threads: None,
         cache_stats: false,
         outcomes: false,
@@ -117,10 +171,14 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
         list_models: false,
         shards: None,
         cache_dir: None,
+        given: Vec::new(),
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if let Some(flag) = ALL_FLAGS.iter().find(|f| **f == arg.as_str()) {
+            opts.given.push(flag);
+        }
         match arg.as_str() {
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
@@ -166,10 +224,67 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
             "--model" => {
                 opts.model = it.next().ok_or("--model needs a value")?.clone();
             }
+            "--stack" => {
+                opts.stack = Some(it.next().ok_or("--stack needs a file path")?.clone());
+            }
+            other if other.starts_with("--") => return Err(unknown_flag(other)),
             _ => positional.push(arg),
         }
     }
     Ok((positional, opts))
+}
+
+/// The rejection message for a `--flag` the CLI does not know, with a
+/// nearest-match hint when the typo is close to a real option.
+fn unknown_flag(flag: &str) -> String {
+    let nearest = ALL_FLAGS
+        .iter()
+        .map(|known| (edit_distance(flag, known), known))
+        .min()
+        .filter(|(d, _)| *d <= 3);
+    match nearest {
+        Some((_, known)) => format!("unknown option '{flag}' (did you mean '{known}'?)"),
+        None => format!("unknown option '{flag}'"),
+    }
+}
+
+/// Levenshtein distance, for the `unknown_flag` hint.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row.push(subst.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// Rejects options that do not apply to the given subcommand. Flags are
+/// parsed globally (so `--model` can mean a µarch model for `verify` and
+/// a model file for `sweep`), but each subcommand only accepts its own
+/// set — anything else errors instead of being silently ignored.
+fn check_flags_apply(command: &str, opts: &Options) -> Result<(), String> {
+    let allowed: &[&str] = match command {
+        "compile" => &["--isa", "--spec"],
+        "verify" | "diagnose" | "dot" | "file" => &["--model", "--isa", "--spec"],
+        "sweep" => ALL_FLAGS,
+        // list, show, shard-worker take no options.
+        "list" | "show" | "shard-worker" => &[],
+        // An unknown command: let the dispatcher report it as such.
+        _ => return Ok(()),
+    };
+    for flag in &opts.given {
+        if !allowed.contains(flag) {
+            return Err(format!(
+                "'{flag}' does not apply to the '{command}' command"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn model_by_name(name: &str, spec: SpecVersion) -> Result<UarchModel, String> {
@@ -181,9 +296,27 @@ fn model_by_name(name: &str, spec: SpecVersion) -> Result<UarchModel, String> {
         "nwr" => UarchModel::nwr(spec),
         "nmm" => UarchModel::nmm(spec),
         "a9like" | "a9" => UarchModel::a9like(spec),
-        other => return Err(format!("unknown model '{other}'")),
+        other => {
+            return Err(format!(
+                "unknown model '{other}' (expected one of WR rWR rWM rMM nWR nMM A9like, \
+                 or a path to a model file)"
+            ))
+        }
     };
     Ok(model)
+}
+
+/// Resolves `--model` for the single-test commands: a value naming an
+/// existing file is parsed as a herd-style model file; anything else is
+/// looked up as a built-in µarch model name.
+fn resolve_model(opts: &Options) -> Result<UarchModel, String> {
+    let path = std::path::Path::new(&opts.model);
+    if path.is_file() {
+        let ir = tricheck::core::load_model_file(path).map_err(|e| e.to_string())?;
+        Ok(UarchModel::from_ir(ir))
+    } else {
+        model_by_name(&opts.model, opts.spec)
+    }
 }
 
 fn find_test(name: &str) -> Result<LitmusTest, String> {
@@ -236,6 +369,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let (positional, opts) = parse_options(args)?;
     let mut pos = positional.into_iter();
     let command = pos.next().map(String::as_str).ok_or("no command given")?;
+    check_flags_apply(command, &opts)?;
     match command {
         "list" => {
             let family = pos.next().cloned();
@@ -277,7 +411,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let name = pos.next().ok_or("verify needs a test name")?;
             let test = find_test(name)?;
             let mapping = riscv_mapping(opts.isa, opts.spec);
-            let model = model_by_name(&opts.model, opts.spec)?;
+            let model = resolve_model(&opts)?;
             let stack = TriCheck::new(mapping, model);
             let result = stack.verify(&test).map_err(|e| e.to_string())?;
             println!("{result}");
@@ -287,7 +421,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let name = pos.next().ok_or("diagnose needs a test name")?;
             let test = find_test(name)?;
             let mapping = riscv_mapping(opts.isa, opts.spec);
-            let model = model_by_name(&opts.model, opts.spec)?;
+            let model = resolve_model(&opts)?;
             let d = diagnose(mapping, &model, &test).map_err(|e| e.to_string())?;
             print!("{d}");
             Ok(())
@@ -296,7 +430,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let name = pos.next().ok_or("dot needs a test name")?;
             let test = find_test(name)?;
             let mapping = riscv_mapping(opts.isa, opts.spec);
-            let model = model_by_name(&opts.model, opts.spec)?;
+            let model = resolve_model(&opts)?;
             let d = diagnose(mapping, &model, &test).map_err(|e| e.to_string())?;
             match d.witness_dot {
                 Some(dot) => {
@@ -316,15 +450,68 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", format_c11_program(&test));
             println!("target outcome: {}", test.target());
             let mapping = riscv_mapping(opts.isa, opts.spec);
-            let model = model_by_name(&opts.model, opts.spec)?;
+            let model = resolve_model(&opts)?;
             let d = diagnose(mapping, &model, &test).map_err(|e| e.to_string())?;
             print!("{d}");
             Ok(())
         }
         "sweep" => {
+            // Runtime-loaded stacks and models, checked before anything
+            // else so `--list-models` can catalog them too.
+            if opts.stack.is_some() && opts.was_given("--model") {
+                return Err(
+                    "--stack and --model cannot be combined: a stack file already \
+                     names its model"
+                        .to_string(),
+                );
+            }
+            let mut registry = tricheck::core::StackRegistry::new();
+            if let Some(path) = &opts.stack {
+                registry
+                    .load(std::path::Path::new(path))
+                    .map_err(|e| e.to_string())?;
+            }
+            let model_stacks = if opts.was_given("--model") {
+                let path = std::path::Path::new(&opts.model);
+                if !path.is_file() {
+                    return Err(format!(
+                        "sweep --model takes a path to a model file, and '{}' is not \
+                         a file (built-in µarch model names apply to \
+                         verify/diagnose/dot/file)",
+                        opts.model
+                    ));
+                }
+                let ir = tricheck::core::load_model_file(path).map_err(|e| e.to_string())?;
+                Some((ir.name().to_string(), tricheck::core::stacks_for_model(&ir)))
+            } else {
+                None
+            };
             if opts.list_models {
-                print!("{}", list_models());
+                let mut extra: Vec<(String, &[tricheck::core::MatrixStack<'_>])> = Vec::new();
+                for loaded in registry.loaded() {
+                    let title = format!("{} (loaded from {})", loaded.name, loaded.origin);
+                    extra.push((title, &loaded.stacks));
+                }
+                if let Some((name, stacks)) = &model_stacks {
+                    extra.push((format!("{name} (loaded from {})", opts.model), stacks));
+                }
+                print!("{}", list_models(&extra));
                 return Ok(());
+            }
+            let custom = !registry.is_empty() || model_stacks.is_some();
+            if custom && (opts.power || opts.x86) {
+                return Err(
+                    "--power/--x86 select built-in matrices and cannot be combined \
+                     with --stack or --model FILE"
+                        .to_string(),
+                );
+            }
+            if custom && (opts.shards.is_some() || opts.cache_dir.is_some()) {
+                return Err(
+                    "--shards/--cache-dir cannot be combined with --stack or --model \
+                     FILE: sharded sweeps only run the built-in matrices"
+                        .to_string(),
+                );
             }
             let family = pos.next().cloned().unwrap_or_else(|| "wrc".to_string());
             let tests: Vec<LitmusTest> = suite::full_suite()
@@ -348,7 +535,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 sweep_opts.outcome_mode = OutcomeMode::FullOutcomes;
             }
             let sweep = Sweep::with_options(sweep_opts);
-            let results = if opts.power {
+            let results = if let Some(loaded) = registry.loaded().first() {
+                let results = sweep.run_matrix(&tests, &loaded.stacks);
+                print!("{}", report::stack_table(&results, &loaded.title));
+                results
+            } else if let Some((_, stacks)) = &model_stacks {
+                let results = sweep.run_matrix(&tests, stacks);
+                print!("{}", report::family_chart(&results, &family));
+                results
+            } else if opts.power {
                 let results = sweep.run_power(&tests);
                 print!("{}", report::power_table(&results));
                 results
@@ -428,38 +623,47 @@ fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<
 }
 
 /// Renders every registered sweep stack (`sweep --list-models`): the
-/// three matrices' cells, each with its ISA column, mapping, µarch
-/// model, and the model's IR axiom names — so data-defined models added
-/// to any matrix are discoverable without reading source.
-fn list_models() -> String {
-    use std::fmt::Write as _;
+/// three built-in matrices' cells plus any runtime-loaded sections,
+/// each with its ISA column, mapping, µarch model, and the model's IR
+/// axiom names — so data-defined models added to any matrix (or loaded
+/// from a stack file) are discoverable without reading source.
+fn list_models(extra: &[(String, &[tricheck::core::MatrixStack<'_>])]) -> String {
     let mut out = String::new();
     let matrices: [(&str, Vec<tricheck::core::MatrixStack<'static>>); 3] = [
         ("riscv (Figure 15)", tricheck::core::riscv_stacks()),
         ("power (§7 study, --power)", tricheck::core::power_stacks()),
         ("x86 (TSO study, --x86)", tricheck::core::x86_stacks()),
     ];
-    for (title, stacks) in matrices {
-        let _ = writeln!(out, "== {title} ==");
-        let _ = writeln!(
-            out,
-            "{:<8} {:<14} {:<24} {:<22} axioms",
-            "ISA", "variant", "mapping", "model"
-        );
-        for stack in stacks {
-            let axioms: Vec<&str> = stack.model.ir().axioms().iter().map(|a| a.name).collect();
-            let _ = writeln!(
-                out,
-                "{:<8} {:<14} {:<24} {:<22} {}",
-                stack.key.isa_label(),
-                stack.key.variant_label(),
-                stack.mapping.name(),
-                stack.model.name(),
-                axioms.join(", ")
-            );
-        }
+    for (title, stacks) in &matrices {
+        render_stack_section(&mut out, title, stacks);
+    }
+    for (title, stacks) in extra {
+        render_stack_section(&mut out, title, stacks);
     }
     out
+}
+
+/// One `== title ==` section of the `--list-models` catalog.
+fn render_stack_section(out: &mut String, title: &str, stacks: &[tricheck::core::MatrixStack<'_>]) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<14} {:<24} {:<22} axioms",
+        "ISA", "variant", "mapping", "model"
+    );
+    for stack in stacks {
+        let axioms: Vec<&str> = stack.model.ir().axioms().iter().map(|a| a.name).collect();
+        let _ = writeln!(
+            out,
+            "{:<8} {:<14} {:<24} {:<22} {}",
+            stack.key.isa_label(),
+            stack.key.variant_label(),
+            stack.mapping.name(),
+            stack.model.name(),
+            axioms.join(", ")
+        );
+    }
 }
 
 /// Validates `--cache-dir`: an existing path must be a directory; a
@@ -577,7 +781,7 @@ mod tests {
 
     #[test]
     fn list_models_names_every_matrix_and_axiom() {
-        let listing = list_models();
+        let listing = list_models(&[]);
         for needle in [
             "riscv (Figure 15)",
             "power (§7 study, --power)",
@@ -686,5 +890,107 @@ mod tests {
     fn run_rejects_unknown_commands() {
         assert!(run(&strings(&["frobnicate"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    /// The committed whole-stack definition file, and its bare-model twin.
+    const STACK_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../models/x86-tso.stack");
+    const MODEL_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../models/x86-tso.cat");
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_flag_name() {
+        let err = parse_options(&strings(&["sweep", "--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown option '--frobnicate'"), "{err}");
+        // A near-miss typo earns a nearest-match hint.
+        let err = parse_options(&strings(&["sweep", "--modle", "nMM"])).unwrap_err();
+        assert!(err.contains("did you mean '--model'?"), "{err}");
+        let err = parse_options(&strings(&["sweep", "--cache-sats"])).unwrap_err();
+        assert!(err.contains("did you mean '--cache-stats'?"), "{err}");
+    }
+
+    #[test]
+    fn inapplicable_flags_are_rejected_per_subcommand() {
+        for (args, flag) in [
+            (vec!["list", "--threads", "2"], "--threads"),
+            (vec!["show", "x", "--isa", "base"], "--isa"),
+            (vec!["compile", "x", "--model", "nMM"], "--model"),
+            (vec!["verify", "x", "--shards", "2"], "--shards"),
+            (vec!["dot", "x", "--list-models"], "--list-models"),
+            (vec!["file", "x", "--cache-dir", "/tmp/x"], "--cache-dir"),
+            (vec!["verify", "x", "--stack", STACK_FILE], "--stack"),
+        ] {
+            let err = run(&strings(&args)).unwrap_err();
+            assert!(
+                err.contains(&format!("'{flag}' does not apply")),
+                "{args:?}: {err}"
+            );
+        }
+        // The flags still work where they do apply.
+        assert!(run(&strings(&["compile", "sb+sc+sc+sc+sc", "--isa", "base+a"])).is_ok());
+    }
+
+    #[test]
+    fn sweep_stack_file_runs_end_to_end() {
+        let args = strings(&["sweep", "sb", "--stack", STACK_FILE, "--threads", "2"]);
+        assert_eq!(run(&args), Ok(()));
+        // And the loaded stack shows up in the catalog path.
+        let args = strings(&["sweep", "--list-models", "--stack", STACK_FILE]);
+        assert_eq!(run(&args), Ok(()));
+    }
+
+    #[test]
+    fn sweep_model_file_runs_end_to_end() {
+        let args = strings(&["sweep", "sb", "--model", MODEL_FILE, "--threads", "2"]);
+        assert_eq!(run(&args), Ok(()));
+    }
+
+    #[test]
+    fn single_test_commands_accept_a_model_file() {
+        let args = strings(&["verify", "mp+rlx+rlx+rlx+rlx", "--model", MODEL_FILE]);
+        assert_eq!(run(&args), Ok(()));
+        // A value that is neither a built-in name nor a file still errors.
+        let err = run(&strings(&[
+            "verify",
+            "mp+rlx+rlx+rlx+rlx",
+            "--model",
+            "tso",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown model 'tso'"), "{err}");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_stack_and_model_combinations() {
+        let e = run(&strings(&[
+            "sweep", "sb", "--stack", STACK_FILE, "--model", MODEL_FILE,
+        ]))
+        .unwrap_err();
+        assert!(e.contains("cannot be combined"), "{e}");
+        let e = run(&strings(&["sweep", "sb", "--stack", STACK_FILE, "--x86"])).unwrap_err();
+        assert!(e.contains("--power/--x86"), "{e}");
+        let e = run(&strings(&[
+            "sweep", "sb", "--stack", STACK_FILE, "--shards", "2",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--shards/--cache-dir"), "{e}");
+        let e = run(&strings(&["sweep", "sb", "--model", MODEL_FILE, "--power"])).unwrap_err();
+        assert!(e.contains("--power/--x86"), "{e}");
+        // sweep --model only takes the file form.
+        let e = run(&strings(&["sweep", "sb", "--model", "nMM"])).unwrap_err();
+        assert!(e.contains("is not a file"), "{e}");
+    }
+
+    #[test]
+    fn stack_file_errors_carry_origin_and_line() {
+        let dir = std::env::temp_dir().join(format!("tricheck-cli-stack-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.stack");
+        std::fs::write(
+            &bad,
+            "stack broken\nisa x86\nmapping m\nld rlx = frobnicate\nmodel broken\n  A: acyclic(po)\n",
+        )
+        .unwrap();
+        let err = run(&strings(&["sweep", "sb", "--stack", bad.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("bad.stack:4"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

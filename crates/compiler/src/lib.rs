@@ -43,6 +43,10 @@ use tricheck_litmus::{
     Expr, Instr, LitmusTest, MemOrder, Outcome, Program, ProgramError, Reg, RmwKind,
 };
 
+pub mod table;
+
+pub use table::{MapOp, MapStep, TableMapping};
+
 /// Errors produced while compiling a litmus test.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CompileError {

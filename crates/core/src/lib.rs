@@ -61,12 +61,17 @@
 #![warn(missing_docs)]
 
 pub mod explain;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod store;
 pub mod verdict;
 
 pub use explain::{diagnose, Diagnosis};
+pub use registry::{
+    load_model_file, load_stack_file, parse_stack_file, stacks_for_model, LoadedStack,
+    StackFileError, StackRegistry,
+};
 pub use runner::{
     power_stacks, results_from_items, riscv_stacks, x86_stacks, MatrixItems, MatrixStack,
     OutcomeMode, SpaceSharing, StackKey, Sweep, SweepOptions, SweepResults, SweepRow, SweepStats,

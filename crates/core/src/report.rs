@@ -143,6 +143,15 @@ pub fn x86_table(results: &SweepResults) -> String {
     mapping_study_table(results, "x86 mapping study: C11 → x86 mappings on TSO")
 }
 
+/// Renders a mapping-study table for a runtime-loaded stack under its
+/// file-declared title — the same renderer as [`power_table`] /
+/// [`x86_table`], so a loaded stack that replicates a built-in one
+/// produces byte-identical output.
+#[must_use]
+pub fn stack_table(results: &SweepResults, title: &str) -> String {
+    mapping_study_table(results, title)
+}
+
 /// Shared renderer of the compiler-mapping study tables: one row per
 /// (stack key, model) pair, aggregated over families in matrix order.
 fn mapping_study_table(results: &SweepResults, title: &str) -> String {

@@ -227,6 +227,14 @@ pub enum StackKey {
         /// The C11 → x86 mapping style.
         style: X86MappingStyle,
     },
+    /// A runtime-loaded stack (from a `--stack` definition file). The
+    /// labels are interned so the key stays `Copy` like the built-ins.
+    Custom {
+        /// The ISA column label from the file's `isa` line.
+        isa: &'static str,
+        /// The variant label: the file's `mapping` section label.
+        variant: &'static str,
+    },
 }
 
 impl StackKey {
@@ -244,6 +252,7 @@ impl StackKey {
             } => "Base+A",
             StackKey::Power { .. } => "Power",
             StackKey::X86 { .. } => "x86",
+            StackKey::Custom { isa, .. } => isa,
         }
     }
 
@@ -262,6 +271,7 @@ impl StackKey {
             } => "riscv-ours",
             StackKey::Power { style } => style.label(),
             StackKey::X86 { style } => style.label(),
+            StackKey::Custom { variant, .. } => variant,
         }
     }
 }

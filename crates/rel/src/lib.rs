@@ -62,6 +62,27 @@
 //! everything model-specific is in the definitions above. The C11 model
 //! and the hand-written x86-TSO machine are phrased the same way.
 //!
+//! # The model parser
+//!
+//! The `Display` text above is not just documentation: the [`parse`]
+//! module parses exactly that grammar back into a [`ModelIr`], so
+//! `parse(display(ir)) == ir` round-trips and a model can live in a
+//! `.cat`-style text file instead of Rust source. Entry points:
+//!
+//! - [`parse::parse_model`] — text → [`ModelIr`], validating every base
+//!   name against a caller-supplied [`parse::Vocabulary`] (the names a
+//!   [`BaseRelations`] binding provides) and reporting spanned
+//!   [`parse::ParseError`]s with "did you mean" suggestions;
+//! - [`parse::intern`] — the leak-once string interner that gives
+//!   runtime-loaded names the `&'static str` lifetime the IR requires.
+//!
+//! Hand-written files may use ASCII aliases (`|`, `&`, `^-1`, `^+`) and
+//! `#`/`//` comments; see the [`parse`] module docs for the precedence
+//! table and a worked example. `tricheck-core`'s registry builds on this
+//! to load whole *stack* definition files (mapping table + model text)
+//! at runtime — see `models/x86-tso.stack` in the repository root for a
+//! complete example, loadable with `tricheck sweep --stack`.
+//!
 //! # The model compiler
 //!
 //! In production the tree-walking [`ir`] evaluator is only the
@@ -109,9 +130,11 @@
 
 pub mod compile;
 pub mod ir;
+pub mod parse;
 
 pub use compile::{CompiledModel, EvalScratch, Prelude};
 pub use ir::{Axiom, AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
+pub use parse::{parse_model, ParseError, Vocabulary};
 
 use std::fmt;
 

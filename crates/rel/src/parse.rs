@@ -1,0 +1,894 @@
+//! A herd/cat-style text parser for the model IR.
+//!
+//! [`parse_model`] parses exactly the grammar that [`ModelIr`]'s
+//! `Display` implementation renders (see the [`crate::ir`] module docs),
+//! so `parse(display(ir)) == ir` round-trips for every model — the
+//! printed form of a model *is* its on-disk format. Hand-written files
+//! may additionally use the ASCII aliases `|` (∪), `&` (∩), `^-1` (⁻¹)
+//! and `^+` (⁺), and `#`/`//` line comments.
+//!
+//! Base-relation and base-set names are validated against a caller-
+//! supplied [`Vocabulary`] (the names a [`crate::ir::BaseRelations`]
+//! binding provides), so a typo is a spanned [`ParseError`] at load time
+//! — with a "did you mean" suggestion — instead of an evaluation panic
+//! deep inside a sweep.
+//!
+//! Operator precedence for unparenthesized input, loosest to tightest:
+//! `∪` < `\` < `∩` < `;`/`×` < postfix (`⁻¹ ⁺ * ?`). `Display` output
+//! fully parenthesizes every binary operator, so round-tripping does not
+//! depend on these levels.
+//!
+//! # Examples
+//!
+//! ```
+//! use tricheck_rel::parse::{parse_model, Vocabulary};
+//!
+//! let vocab = Vocabulary {
+//!     rels: &["po", "rf", "co", "fr"],
+//!     sets: &["R", "W"],
+//! };
+//! let ir = parse_model(
+//!     "model toy-tso\n\
+//!      \x20 ppo := po \\ (W × R)\n\
+//!      \x20 Ghb: acyclic(ppo | rf | fr)\n",
+//!     &vocab,
+//! )
+//! .unwrap();
+//! assert_eq!(ir.name(), "toy-tso");
+//! // Display renders the canonical grammar, which parses back to the
+//! // same IR.
+//! assert_eq!(parse_model(&ir.to_string(), &vocab).unwrap(), ir);
+//! ```
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::ir::{AxiomKind, ModelIr, RelExpr, SetExpr};
+
+/// Interns a string, returning a `&'static str` with process lifetime.
+///
+/// The IR names definitions, axioms and bases with `&'static str` (so
+/// the evaluator's caches can settle most probes with a pointer
+/// comparison); models parsed at runtime get their names from this
+/// interner. Each distinct name is leaked exactly once, so total leakage
+/// is bounded by the vocabulary of loaded model files.
+#[must_use]
+pub fn intern(s: &str) -> &'static str {
+    static INTERNER: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNER
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("interner poisoned");
+    if let Some(&found) = set.get(s) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// The base names a [`crate::ir::BaseRelations`] binding provides —
+/// what [`parse_model`] validates base references against.
+#[derive(Clone, Copy, Debug)]
+pub struct Vocabulary<'a> {
+    /// Valid base-relation names (e.g. `po`, `rf`, `fence-cum`).
+    pub rels: &'a [&'a str],
+    /// Valid base-set names (e.g. `R`, `W`, `amo-rl`).
+    pub sets: &'a [&'a str],
+}
+
+/// A spanned parse or validation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line in the source text.
+    pub line: usize,
+    /// 1-based column (in characters) in the source line.
+    pub col: usize,
+    /// Human-readable description of what went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    fn new(pos: Pos, msg: impl Into<String>) -> Self {
+        ParseError {
+            line: pos.0,
+            col: pos.1,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// `(line, column)`, both 1-based.
+type Pos = (usize, usize);
+
+/// Levenshtein distance, for "did you mean" suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within edit distance 2, rendered as a
+/// suggestion suffix (or an empty string).
+fn suggest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> String {
+    candidates
+        .map(|c| (edit_distance(name, c), c))
+        .filter(|&(d, _)| d <= 2)
+        .min()
+        .map(|(_, c)| format!(" (did you mean '{c}'?)"))
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Zero,     // 0   (the empty relation)
+    EmptySet, // ∅
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Union,   // ∪ or |
+    Inter,   // ∩ or &
+    Minus,   // \
+    Seq,     // ;
+    Cross,   // ×
+    Inverse, // ⁻¹ or ^-1
+    Plus,    // ⁺ or ^+
+    Star,    // *
+    Opt,     // ?
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(n) => format!("'{n}'"),
+            Tok::Zero => "'0'".into(),
+            Tok::EmptySet => "'∅'".into(),
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::LBracket => "'['".into(),
+            Tok::RBracket => "']'".into(),
+            Tok::Union => "'∪'".into(),
+            Tok::Inter => "'∩'".into(),
+            Tok::Minus => "'\\'".into(),
+            Tok::Seq => "';'".into(),
+            Tok::Cross => "'×'".into(),
+            Tok::Inverse => "'⁻¹'".into(),
+            Tok::Plus => "'⁺'".into(),
+            Tok::Star => "'*'".into(),
+            Tok::Opt => "'?'".into(),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Lexes one expression (or line fragment). `line` is the 1-based source
+/// line; `col0` the 1-based column of the fragment's first character.
+fn lex(text: &str, line: usize, col0: usize) -> Result<Vec<(Tok, Pos)>, ParseError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = (line, col0 + i);
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => push1(&mut toks, Tok::LParen, pos, &mut i),
+            ')' => push1(&mut toks, Tok::RParen, pos, &mut i),
+            '[' => push1(&mut toks, Tok::LBracket, pos, &mut i),
+            ']' => push1(&mut toks, Tok::RBracket, pos, &mut i),
+            '∪' | '|' => push1(&mut toks, Tok::Union, pos, &mut i),
+            '∩' | '&' => push1(&mut toks, Tok::Inter, pos, &mut i),
+            '\\' => push1(&mut toks, Tok::Minus, pos, &mut i),
+            ';' => push1(&mut toks, Tok::Seq, pos, &mut i),
+            '×' => push1(&mut toks, Tok::Cross, pos, &mut i),
+            '⁺' => push1(&mut toks, Tok::Plus, pos, &mut i),
+            '*' => push1(&mut toks, Tok::Star, pos, &mut i),
+            '?' => push1(&mut toks, Tok::Opt, pos, &mut i),
+            '∅' => push1(&mut toks, Tok::EmptySet, pos, &mut i),
+            '0' => push1(&mut toks, Tok::Zero, pos, &mut i),
+            '⁻' => {
+                if chars.get(i + 1) == Some(&'¹') {
+                    toks.push((Tok::Inverse, pos));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(
+                        pos,
+                        "expected '¹' after '⁻' (inverse is '⁻¹')",
+                    ));
+                }
+            }
+            '^' => {
+                // ASCII aliases: ^-1 (inverse), ^+ (transitive closure).
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) == Some(&'1') {
+                    toks.push((Tok::Inverse, pos));
+                    i += 3;
+                } else if chars.get(i + 1) == Some(&'+') {
+                    toks.push((Tok::Plus, pos));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(
+                        pos,
+                        "expected '^-1' (inverse) or '^+' (transitive closure) after '^'",
+                    ));
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let name: String = chars[start..i].iter().collect();
+                toks.push((Tok::Ident(name), pos));
+            }
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character '{other}'"),
+                ));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn push1(toks: &mut Vec<(Tok, Pos)>, tok: Tok, pos: Pos, i: &mut usize) {
+    toks.push((tok, pos));
+    *i += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: tokens → an untyped expression tree
+// ---------------------------------------------------------------------------
+
+/// Untyped expression: relation/set distinction is resolved afterwards
+/// by context (`×` operands and `[...]` contents are sets; everything
+/// else at the top level is a relation).
+#[derive(Debug)]
+enum G {
+    Name(String, Pos),
+    Zero(Pos),
+    EmptySet(Pos),
+    Union(Box<G>, Box<G>),
+    Inter(Box<G>, Box<G>),
+    Minus(Box<G>, Box<G>),
+    Seq(Box<G>, Box<G>, Pos),
+    Cross(Box<G>, Box<G>),
+    Inverse(Box<G>, Pos),
+    Plus(Box<G>, Pos),
+    Star(Box<G>, Pos),
+    Opt(Box<G>, Pos),
+    Restrict(Box<G>, Box<G>, Box<G>, Pos), // dom, inner, rng
+}
+
+impl G {
+    /// The position to report when this node is used in the wrong
+    /// context.
+    fn pos(&self) -> Pos {
+        match self {
+            G::Name(_, p)
+            | G::Zero(p)
+            | G::EmptySet(p)
+            | G::Seq(_, _, p)
+            | G::Inverse(_, p)
+            | G::Plus(_, p)
+            | G::Star(_, p)
+            | G::Opt(_, p)
+            | G::Restrict(_, _, _, p) => *p,
+            G::Union(a, _) | G::Inter(a, _) | G::Minus(a, _) | G::Cross(a, _) => a.pos(),
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, Pos)>,
+    i: usize,
+    /// Where the expression ends (for "unexpected end" errors).
+    end: Pos,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<(Tok, Pos)> {
+        let t = self.toks.get(self.i).cloned();
+        self.i += 1;
+        t
+    }
+
+    fn eat(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some((t, _)) if t == *want => Ok(()),
+            Some((t, p)) => Err(ParseError::new(
+                p,
+                format!(
+                    "expected {} {what}, found {}",
+                    want.describe(),
+                    t.describe()
+                ),
+            )),
+            None => Err(ParseError::new(
+                self.end,
+                format!(
+                    "expected {} {what}, found end of expression",
+                    want.describe()
+                ),
+            )),
+        }
+    }
+
+    /// union level (loosest): `a ∪ b ∪ c`, left-associative.
+    fn expr(&mut self) -> Result<G, ParseError> {
+        let mut e = self.minus()?;
+        while self.peek() == Some(&Tok::Union) {
+            self.bump();
+            e = G::Union(Box::new(e), Box::new(self.minus()?));
+        }
+        Ok(e)
+    }
+
+    fn minus(&mut self) -> Result<G, ParseError> {
+        let mut e = self.inter()?;
+        while self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            e = G::Minus(Box::new(e), Box::new(self.inter()?));
+        }
+        Ok(e)
+    }
+
+    fn inter(&mut self) -> Result<G, ParseError> {
+        let mut e = self.seq_cross()?;
+        while self.peek() == Some(&Tok::Inter) {
+            self.bump();
+            e = G::Inter(Box::new(e), Box::new(self.seq_cross()?));
+        }
+        Ok(e)
+    }
+
+    fn seq_cross(&mut self) -> Result<G, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Seq) => {
+                    let (_, p) = self.bump().expect("peeked");
+                    e = G::Seq(Box::new(e), Box::new(self.unary()?), p);
+                }
+                Some(Tok::Cross) => {
+                    self.bump();
+                    e = G::Cross(Box::new(e), Box::new(self.unary()?));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    /// atom followed by postfix operators, left to right.
+    fn unary(&mut self) -> Result<G, ParseError> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Inverse) => {
+                    let (_, p) = self.bump().expect("peeked");
+                    e = G::Inverse(Box::new(e), p);
+                }
+                Some(Tok::Plus) => {
+                    let (_, p) = self.bump().expect("peeked");
+                    e = G::Plus(Box::new(e), p);
+                }
+                Some(Tok::Star) => {
+                    let (_, p) = self.bump().expect("peeked");
+                    e = G::Star(Box::new(e), p);
+                }
+                Some(Tok::Opt) => {
+                    let (_, p) = self.bump().expect("peeked");
+                    e = G::Opt(Box::new(e), p);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<G, ParseError> {
+        match self.bump() {
+            Some((Tok::Ident(name), p)) => Ok(G::Name(name, p)),
+            Some((Tok::Zero, p)) => Ok(G::Zero(p)),
+            Some((Tok::EmptySet, p)) => Ok(G::EmptySet(p)),
+            Some((Tok::LParen, _)) => {
+                let e = self.expr()?;
+                self.eat(&Tok::RParen, "to close the group")?;
+                Ok(e)
+            }
+            Some((Tok::LBracket, p)) => {
+                // [dom] inner [rng] — the inner expression binds like a
+                // postfix chain; parenthesize anything looser.
+                let dom = self.expr()?;
+                self.eat(&Tok::RBracket, "to close the domain restriction")?;
+                let inner = self.unary()?;
+                self.eat(&Tok::LBracket, "to open the range restriction")?;
+                let rng = self.expr()?;
+                self.eat(&Tok::RBracket, "to close the range restriction")?;
+                Ok(G::Restrict(
+                    Box::new(dom),
+                    Box::new(inner),
+                    Box::new(rng),
+                    p,
+                ))
+            }
+            Some((t, p)) => Err(ParseError::new(
+                p,
+                format!(
+                    "expected a relation or set expression, found {}",
+                    t.describe()
+                ),
+            )),
+            None => Err(ParseError::new(
+                self.end,
+                "expected a relation or set expression, found end of expression",
+            )),
+        }
+    }
+}
+
+fn parse_fragment(text: &str, line: usize, col0: usize) -> Result<(G, Parser), ParseError> {
+    let toks = lex(text, line, col0)?;
+    let end = (line, col0 + text.chars().count());
+    let mut p = Parser { toks, i: 0, end };
+    let g = p.expr()?;
+    Ok((g, p))
+}
+
+// ---------------------------------------------------------------------------
+// Elaboration: untyped tree → RelExpr / SetExpr, with name validation
+// ---------------------------------------------------------------------------
+
+struct Elab<'v> {
+    vocab: &'v Vocabulary<'v>,
+    /// Names defined so far, in order (later defs may reference them).
+    defs: Vec<&'static str>,
+}
+
+impl Elab<'_> {
+    fn is_def(&self, name: &str) -> bool {
+        self.defs.contains(&name)
+    }
+
+    fn rel(&self, g: &G) -> Result<RelExpr, ParseError> {
+        Ok(match g {
+            G::Name(name, p) => match name.as_str() {
+                "id" => RelExpr::Id,
+                n if self.is_def(n) => RelExpr::reference(intern(n)),
+                n if self.vocab.rels.contains(&n) => RelExpr::base(intern(n)),
+                "U" => {
+                    return Err(ParseError::new(
+                        *p,
+                        "'U' is the universe set; sets may appear only inside [...] restrictions or as × operands".to_string(),
+                    ))
+                }
+                n if self.vocab.sets.contains(&n) => {
+                    return Err(ParseError::new(
+                        *p,
+                        format!(
+                            "'{n}' is a base set, not a relation; sets may appear only inside [...] restrictions or as × operands"
+                        ),
+                    ))
+                }
+                n => {
+                    let hint = suggest(
+                        n,
+                        self.vocab
+                            .rels
+                            .iter()
+                            .copied()
+                            .chain(self.defs.iter().copied()),
+                    );
+                    return Err(ParseError::new(
+                        *p,
+                        format!("unknown base relation '{n}'{hint}"),
+                    ));
+                }
+            },
+            G::Zero(_) => RelExpr::Empty,
+            G::EmptySet(p) => {
+                return Err(ParseError::new(
+                    *p,
+                    "'∅' is the empty set; the empty relation is written '0'",
+                ))
+            }
+            G::Union(a, b) => self.rel(a)?.union(self.rel(b)?),
+            G::Inter(a, b) => self.rel(a)?.inter(self.rel(b)?),
+            G::Minus(a, b) => self.rel(a)?.minus(self.rel(b)?),
+            G::Seq(a, b, _) => self.rel(a)?.seq(self.rel(b)?),
+            G::Cross(a, b) => RelExpr::cross(self.set(a)?, self.set(b)?),
+            G::Inverse(a, _) => self.rel(a)?.inverse(),
+            G::Plus(a, _) => self.rel(a)?.plus(),
+            G::Star(a, _) => self.rel(a)?.star(),
+            G::Opt(a, _) => self.rel(a)?.opt(),
+            G::Restrict(dom, inner, rng, _) => {
+                self.rel(inner)?.restrict(self.set(dom)?, self.set(rng)?)
+            }
+        })
+    }
+
+    fn set(&self, g: &G) -> Result<SetExpr, ParseError> {
+        Ok(match g {
+            G::Name(name, p) => match name.as_str() {
+                "U" => SetExpr::Universe,
+                n if self.vocab.sets.contains(&n) => SetExpr::base(intern(n)),
+                n if self.vocab.rels.contains(&n) || self.is_def(n) || n == "id" => {
+                    return Err(ParseError::new(
+                        *p,
+                        format!("'{n}' is a relation, not a set (expected a set here)"),
+                    ))
+                }
+                n => {
+                    let hint = suggest(n, self.vocab.sets.iter().copied());
+                    return Err(ParseError::new(*p, format!("unknown base set '{n}'{hint}")));
+                }
+            },
+            G::EmptySet(_) => SetExpr::Empty,
+            G::Zero(p) => {
+                return Err(ParseError::new(
+                    *p,
+                    "'0' is the empty relation; the empty set is written '∅'",
+                ))
+            }
+            G::Union(a, b) => self.set(a)?.union(self.set(b)?),
+            G::Inter(a, b) => self.set(a)?.inter(self.set(b)?),
+            G::Minus(a, b) => self.set(a)?.minus(self.set(b)?),
+            other => {
+                return Err(ParseError::new(
+                    other.pos(),
+                    "this operator produces a relation, but a set is expected here (sets support only ∪, ∩ and \\)",
+                ))
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-level parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a single identifier (a def or axiom name), rejecting anything
+/// that is not exactly one name token.
+fn parse_name(text: &str, line: usize, col0: usize, what: &str) -> Result<String, ParseError> {
+    let toks = lex(text, line, col0)?;
+    match toks.as_slice() {
+        [(Tok::Ident(name), _)] => Ok(name.clone()),
+        [] => Err(ParseError::new((line, col0), format!("missing {what}"))),
+        [(_, p), ..] => Err(ParseError::new(
+            *p,
+            format!("expected a single {what}, found '{}'", text.trim()),
+        )),
+    }
+}
+
+/// Parses a complete model in the [`ModelIr`] `Display` grammar,
+/// validating base names against `vocab`.
+///
+/// Blank lines and `#`/`//` comments are skipped. The first significant
+/// line must be `model <name>`; each following line is either a
+/// definition `name := expr` or an axiom
+/// `Name: (acyclic|irreflexive|empty)(expr)`.
+///
+/// # Errors
+///
+/// A spanned [`ParseError`] naming the offending token — including
+/// unknown base relations/sets (with a "did you mean" suggestion),
+/// references to definitions that only appear later, and definitions
+/// that shadow a base name or an earlier definition (which would make
+/// the printed form ambiguous).
+pub fn parse_model(src: &str, vocab: &Vocabulary) -> Result<ModelIr, ParseError> {
+    let mut ir: Option<ModelIr> = None;
+    let mut elab = Elab {
+        vocab,
+        defs: Vec::new(),
+    };
+    let mut axioms = 0usize;
+    let mut last_line = 0usize;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        last_line = lineno;
+        // Strip comments; columns are counted on the raw line.
+        let stripped = match raw.find('#').into_iter().chain(raw.find("//")).min() {
+            Some(cut) => &raw[..cut],
+            None => raw,
+        };
+        if stripped.trim().is_empty() {
+            continue;
+        }
+        let indent_cols = stripped.chars().take_while(|c| c.is_whitespace()).count();
+        let body = stripped.trim();
+        let col0 = indent_cols + 1;
+
+        let Some(model) = ir.as_mut() else {
+            let Some(name) = body.strip_prefix("model") else {
+                return Err(ParseError::new(
+                    (lineno, col0),
+                    "expected 'model <name>' as the first line",
+                ));
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(ParseError::new(
+                    (lineno, col0),
+                    "'model' needs a name (e.g. 'model my-tso')",
+                ));
+            }
+            ir = Some(ModelIr::new(name));
+            continue;
+        };
+
+        if let Some(assign) = body.find(":=") {
+            // Definition: name := expr
+            let name = parse_name(&body[..assign], lineno, col0, "definition name")?;
+            let name_pos = (lineno, col0);
+            if name == "id" || name == "U" {
+                return Err(ParseError::new(
+                    name_pos,
+                    format!("definition '{name}' shadows a built-in name"),
+                ));
+            }
+            if vocab.rels.contains(&name.as_str()) || vocab.sets.contains(&name.as_str()) {
+                return Err(ParseError::new(
+                    name_pos,
+                    format!(
+                        "definition '{name}' shadows the base '{name}' provided by the binding"
+                    ),
+                ));
+            }
+            if elab.is_def(&name) {
+                return Err(ParseError::new(
+                    name_pos,
+                    format!("'{name}' is already defined"),
+                ));
+            }
+            let rhs_col0 = col0 + body[..assign + 2].chars().count();
+            let (g, mut p) = parse_fragment(&body[assign + 2..], lineno, rhs_col0)?;
+            if let Some((t, pos)) = p.bump() {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected {} after the definition body", t.describe()),
+                ));
+            }
+            let expr = elab.rel(&g)?;
+            let interned = intern(&name);
+            elab.defs.push(interned);
+            *model = std::mem::replace(model, ModelIr::new("")).define(interned, expr);
+        } else if let Some(colon) = body.find(':') {
+            // Axiom: Name: kind(expr)
+            let name = parse_name(&body[..colon], lineno, col0, "axiom name")?;
+            let rhs = &body[colon + 1..];
+            let rhs_col0 = col0 + body[..colon + 1].chars().count();
+            let toks = lex(rhs, lineno, rhs_col0)?;
+            let end = (lineno, rhs_col0 + rhs.chars().count());
+            let mut p = Parser { toks, i: 0, end };
+            let kind = match p.bump() {
+                Some((Tok::Ident(k), pos)) => match k.as_str() {
+                    "acyclic" => AxiomKind::Acyclic,
+                    "irreflexive" => AxiomKind::Irreflexive,
+                    "empty" => AxiomKind::Empty,
+                    other => {
+                        let hint = suggest(other, ["acyclic", "irreflexive", "empty"].into_iter());
+                        return Err(ParseError::new(
+                            pos,
+                            format!(
+                                "unknown axiom kind '{other}' (expected acyclic, irreflexive or empty){hint}"
+                            ),
+                        ));
+                    }
+                },
+                got => {
+                    let pos = got.as_ref().map_or(end, |(_, p)| *p);
+                    return Err(ParseError::new(
+                        pos,
+                        "expected an axiom kind: acyclic, irreflexive or empty",
+                    ));
+                }
+            };
+            p.eat(&Tok::LParen, "after the axiom kind")?;
+            let g = p.expr()?;
+            p.eat(&Tok::RParen, "to close the axiom")?;
+            if let Some((t, pos)) = p.bump() {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected {} after the axiom", t.describe()),
+                ));
+            }
+            let expr = elab.rel(&g)?;
+            *model = std::mem::replace(model, ModelIr::new("")).axiom(intern(&name), kind, expr);
+            axioms += 1;
+        } else {
+            return Err(ParseError::new(
+                (lineno, col0),
+                "expected a definition ('name := expr') or an axiom ('Name: kind(expr)')",
+            ));
+        }
+    }
+
+    let model = ir.ok_or_else(|| {
+        ParseError::new(
+            (last_line.max(1), 1),
+            "empty model text (expected 'model <name>')",
+        )
+    })?;
+    if axioms == 0 {
+        return Err(ParseError::new(
+            (last_line.max(1), 1),
+            format!("model '{}' has no axioms", model.name()),
+        ));
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary<'static> {
+        Vocabulary {
+            rels: &["po", "po-loc", "rf", "rfe", "co", "fr", "fence-cum"],
+            sets: &["R", "W", "M", "amo-rl"],
+        }
+    }
+
+    fn parse(src: &str) -> Result<ModelIr, ParseError> {
+        parse_model(src, &vocab())
+    }
+
+    #[test]
+    fn parses_and_roundtrips_a_small_model() {
+        let src = "model toy\n\
+                   \x20 ppo := (po \\ (W × R))\n\
+                   \x20 ghb := ((ppo ∪ rfe) ∪ fr)⁺\n\
+                   \x20 Sc: acyclic(ghb)\n";
+        let ir = parse(src).unwrap();
+        assert_eq!(ir.name(), "toy");
+        assert_eq!(ir.defs().len(), 2);
+        assert_eq!(ir.axioms().len(), 1);
+        assert_eq!(parse(&ir.to_string()).unwrap(), ir);
+    }
+
+    #[test]
+    fn ascii_aliases_parse_to_the_same_ir() {
+        let uni = parse("model m\n  x := ((po ∪ rf) ∩ po⁻¹)⁺\n  A: acyclic(x)\n").unwrap();
+        let ascii = parse("model m\n  x := ((po | rf) & po^-1)^+\n  A: acyclic(x)\n").unwrap();
+        assert_eq!(uni, ascii);
+    }
+
+    #[test]
+    fn restriction_postfix_and_nesting_roundtrip() {
+        for src in [
+            "model m\n  x := [W]po[R]⁺\n  A: acyclic(x)\n",
+            "model m\n  x := [W]po⁺[R]\n  A: acyclic(x)\n",
+            "model m\n  x := [M][W]po[R][M]\n  A: acyclic(x)\n",
+            "model m\n  x := [(amo-rl ∩ M)]po[U]\n  A: acyclic(x)\n",
+            "model m\n  x := (0 ; id)?*⁻¹\n  A: empty(x)\n",
+            "model m\n  x := ((W ∪ R) × (M \\ ∅))\n  A: irreflexive(x)\n",
+        ] {
+            let ir = parse(src).unwrap();
+            assert_eq!(parse(&ir.to_string()).unwrap(), ir, "{src}");
+        }
+    }
+
+    #[test]
+    fn refs_resolve_only_backwards() {
+        let ir = parse("model m\n  a := po\n  b := a ; rf\n  A: acyclic(b)\n").unwrap();
+        assert_eq!(
+            ir.defs()[1].1,
+            RelExpr::reference("a").seq(RelExpr::base("rf"))
+        );
+        // Forward references are unknown names.
+        let err = parse("model m\n  b := later\n  later := po\n  A: acyclic(b)\n").unwrap_err();
+        assert!(err.msg.contains("unknown base relation 'later'"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_names_are_spanned_with_suggestions() {
+        let err = parse("model m\n  x := po ; rff\n  A: acyclic(x)\n").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 13));
+        assert!(err.msg.contains("unknown base relation 'rff'"), "{err}");
+        assert!(err.msg.contains("did you mean 'rf'"), "{err}");
+
+        let err = parse("model m\n  x := [Q]po[R]\n  A: acyclic(x)\n").unwrap_err();
+        assert!(err.msg.contains("unknown base set 'Q'"), "{err}");
+    }
+
+    #[test]
+    fn set_and_relation_contexts_are_distinguished() {
+        let err = parse("model m\n  x := W\n  A: acyclic(x)\n").unwrap_err();
+        assert!(err.msg.contains("base set, not a relation"), "{err}");
+        let err = parse("model m\n  x := [po]rf[R]\n  A: acyclic(x)\n").unwrap_err();
+        assert!(err.msg.contains("relation, not a set"), "{err}");
+        let err = parse("model m\n  x := ((po ; rf) × W)\n  A: acyclic(x)\n").unwrap_err();
+        assert!(err.msg.contains("a set is expected here"), "{err}");
+    }
+
+    #[test]
+    fn shadowing_definitions_are_rejected() {
+        for (src, needle) in [
+            (
+                "model m\n  po := rf\n  A: acyclic(po)\n",
+                "shadows the base",
+            ),
+            ("model m\n  W := rf\n  A: acyclic(W)\n", "shadows the base"),
+            ("model m\n  id := rf\n  A: acyclic(id)\n", "built-in"),
+            (
+                "model m\n  a := po\n  a := rf\n  A: acyclic(a)\n",
+                "already defined",
+            ),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.msg.contains(needle), "{src} → {err}");
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        for (src, needle) in [
+            ("", "empty model text"),
+            ("x := po\n", "expected 'model <name>'"),
+            ("model\n", "needs a name"),
+            ("model m\n  just words\n", "expected a definition"),
+            ("model m\n  a := po\n", "no axioms"),
+            ("model m\n  A: cyclic(po)\n", "unknown axiom kind 'cyclic'"),
+            ("model m\n  A: acyclic(po\n", "expected ')'"),
+            ("model m\n  a := po po\n", "unexpected 'po'"),
+            ("model m\n  a := (po\n", "expected ')'"),
+            ("model m\n  a := po @ rf\n", "unexpected character '@'"),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.msg.contains(needle), "{src:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let src = "# a comment\n\nmodel m // trailing\n  a := po # def\n\n  A: acyclic(a)\n";
+        let ir = parse(src).unwrap();
+        assert_eq!(ir.name(), "m");
+        assert_eq!(ir.defs().len(), 1);
+    }
+
+    #[test]
+    fn intern_returns_stable_pointers() {
+        let a = intern("some-runtime-name");
+        let b = intern(&("some-runtime-".to_string() + "name"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
+    }
+}

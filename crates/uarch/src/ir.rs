@@ -28,6 +28,42 @@ use tricheck_rel::{EventSet, Relation};
 
 use crate::config::{ReleasePredecessors, StoreAtomicity, UarchConfig};
 
+/// Every base-relation name [`HwBinding`] can resolve, in the order the
+/// module docs list them. This is the relation half of the vocabulary a
+/// runtime-parsed hardware model is validated against.
+pub const HW_REL_BASES: &[&str] = &[
+    "po",
+    "po-loc",
+    "same-loc",
+    "addr",
+    "data",
+    "rmw",
+    "rf",
+    "rfe",
+    "rfi",
+    "co",
+    "fr",
+    "fre",
+    "fence-noncum",
+    "fence-cum",
+    "fence-heavy",
+];
+
+/// Every base-set name [`HwBinding`] can resolve: the set half of the
+/// runtime-parse vocabulary.
+pub const HW_SET_BASES: &[&str] = &["R", "W", "F", "M", "init", "amo-aq", "amo-rl", "amo-sc"];
+
+/// The [`HwBinding`] vocabulary for `tricheck_rel::parse::parse_model`:
+/// models parsed against this vocabulary evaluate (and compile) against
+/// hardware-level executions exactly like the built-in models.
+#[must_use]
+pub fn hw_vocabulary() -> tricheck_rel::parse::Vocabulary<'static> {
+    tricheck_rel::parse::Vocabulary {
+        rels: HW_REL_BASES,
+        sets: HW_SET_BASES,
+    }
+}
+
 /// The fence-induced edge sets of an execution, split by cumulativity
 /// class: `(non-cumulative, cumulative, heavyweight-cumulative)` edges.
 /// `heavy ⊆ cumulative`. Each edge `(x, y)` relates accesses of the
@@ -471,26 +507,10 @@ mod tests {
         .unwrap();
         enumerate_executions(compiled.program(), &mut |exec| {
             let binding = HwBinding::new(exec);
-            for name in [
-                "po",
-                "po-loc",
-                "same-loc",
-                "addr",
-                "data",
-                "rmw",
-                "rf",
-                "rfe",
-                "rfi",
-                "co",
-                "fr",
-                "fre",
-                "fence-noncum",
-                "fence-cum",
-                "fence-heavy",
-            ] {
+            for name in HW_REL_BASES {
                 assert!(binding.rel(name).is_some(), "missing base relation {name}");
             }
-            for name in ["R", "W", "F", "M", "init", "amo-aq", "amo-rl", "amo-sc"] {
+            for name in HW_SET_BASES {
                 assert!(binding.set(name).is_some(), "missing base set {name}");
             }
             assert!(binding.rel("nonesuch").is_none());
@@ -525,5 +545,20 @@ mod tests {
         assert_eq!(ir.name(), "x86-TSO");
         assert_eq!(ir.axioms().len(), 5);
         assert!(ir.to_string().contains("(po-loc ∪ com)"));
+    }
+
+    #[test]
+    fn every_builtin_ir_roundtrips_through_the_parser() {
+        let vocab = hw_vocabulary();
+        let mut irs = vec![x86_tso_ir()];
+        for version in [SpecVersion::Curr, SpecVersion::Ours] {
+            irs.extend(UarchConfig::all_riscv(version).iter().map(build_uarch_ir));
+        }
+        irs.extend(UarchConfig::all_armv7().iter().map(build_uarch_ir));
+        for ir in irs {
+            let parsed = tricheck_rel::parse_model(&ir.to_string(), &vocab)
+                .unwrap_or_else(|e| panic!("{}: {e}", ir.name()));
+            assert_eq!(parsed, ir, "{} does not round-trip", ir.name());
+        }
     }
 }

@@ -89,5 +89,5 @@ pub mod ir;
 pub mod model;
 
 pub use config::{ReleasePredecessors, StoreAtomicity, UarchConfig};
-pub use ir::{build_uarch_ir, x86_tso_ir, HwBinding};
+pub use ir::{build_uarch_ir, hw_vocabulary, x86_tso_ir, HwBinding, HW_REL_BASES, HW_SET_BASES};
 pub use model::{UarchModel, UarchViolation};
