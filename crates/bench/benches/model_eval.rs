@@ -171,6 +171,11 @@ fn bench_model_eval(c: &mut Criterion) {
     }
 
     group.finish();
+
+    // Context for the end-to-end numbers above: one traced wrc sweep's
+    // per-phase breakdown shows where the sweep time actually goes.
+    let (_, trace) = tricheck_bench::timed_report(|| Sweep::new().run_riscv(&family("wrc")));
+    println!("\nwrc sweep phase breakdown:\n{}", trace.render_text());
 }
 
 criterion_group!(benches, bench_model_eval);

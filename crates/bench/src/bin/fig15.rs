@@ -54,8 +54,7 @@ fn main() {
         tests.len(),
         if quick { "quick" } else { "full" }
     );
-    let start = std::time::Instant::now();
-    let results = Sweep::new().run_riscv(&tests);
+    let (results, trace) = tricheck_bench::timed_report(|| Sweep::new().run_riscv(&tests));
 
     for family in ["wrc", "rwc", "mp", "sb", "iriw"] {
         println!("{}", report::family_chart(&results, family));
@@ -73,5 +72,5 @@ fn main() {
         std::fs::write(&path, report::to_csv(&results)).expect("writing the CSV file");
         println!("wrote per-cell counts to {path}");
     }
-    println!("elapsed: {:.1?}", start.elapsed());
+    println!("{}", trace.render_text());
 }

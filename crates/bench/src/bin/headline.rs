@@ -4,8 +4,7 @@ use tricheck_litmus::suite;
 
 fn main() {
     let tests = suite::full_suite();
-    let start = std::time::Instant::now();
-    let results = Sweep::new().run_riscv(&tests);
+    let (results, trace) = tricheck_bench::timed_report(|| Sweep::new().run_riscv(&tests));
     println!("{}", report::headline_table(&results));
-    println!("elapsed: {:.1?}", start.elapsed());
+    println!("{}", trace.render_text());
 }

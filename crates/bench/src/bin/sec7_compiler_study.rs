@@ -25,8 +25,7 @@ fn main() {
         tests.len()
     );
 
-    let start = std::time::Instant::now();
-    let results = sweep.run_power(&tests);
+    let (results, trace) = tricheck_bench::timed_report(|| sweep.run_power(&tests));
     println!("{}", report::power_table(&results));
 
     println!("counterexample families (C11-forbidden yet observable):");
@@ -44,14 +43,10 @@ fn main() {
     let s = results.stats();
     println!(
         "cached sweep: {} compilations ({} reused), {} distinct Power programs \
-         enumerated {} times across {} cells, in {:.1?}",
-        s.compile_calls,
-        s.compile_cache_hits,
-        s.distinct_programs,
-        s.space_enumerations,
-        s.cells,
-        start.elapsed()
+         enumerated {} times across {} cells",
+        s.compile_calls, s.compile_cache_hits, s.distinct_programs, s.space_enumerations, s.cells,
     );
+    println!("{}", trace.render_text());
     println!();
 
     let leading = style_bugs(&results, PowerSyncStyle::Leading, "ARMv7-A9like");

@@ -20,6 +20,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Runs `f` under a metrics-collecting trace session and returns its
+/// value with the drained [`tricheck_trace::TraceReport`].
+///
+/// The experiment binaries (`headline`, `fig15`, `sec7_compiler_study`)
+/// report their timing through this instead of a hand-rolled
+/// `Instant::now()` pair: the report's `render_text()` prints the same
+/// wall clock *plus* the per-phase breakdown, so "where did the time
+/// go" no longer needs a profiler.
+pub fn timed_report<T>(f: impl FnOnce() -> T) -> (T, tricheck_trace::TraceReport) {
+    tricheck_trace::start(tricheck_trace::TraceConfig::metrics());
+    let value = f();
+    (value, tricheck_trace::finish().report)
+}
+
 /// The paper's §6.1 reference counts, used by `sec6_counts` and the
 /// integration suite to diff measured values against the publication.
 pub mod paper {

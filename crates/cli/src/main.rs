@@ -12,6 +12,7 @@
 //!                                             emit a Graphviz graph of the witness
 //! tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
 //!                [--x86] [--shards N] [--cache-dir PATH]
+//!                [--metrics-json FILE] [--progress] [--trace FILE]
 //!                [--model FILE | --stack FILE]
 //!                                             Figure-15-style chart for a family
 //! tricheck file PATH [--model M] [--isa B] [--spec V]
@@ -54,6 +55,15 @@
 //!                               in PATH (created if missing) so repeated
 //!                               sweeps skip enumeration; shared by all
 //!                               shards
+//!          --metrics-json FILE  write the structured sweep metrics report
+//!                               (tricheck-metrics/v1 JSON: per-phase
+//!                               timings with p50/p95/max, counters,
+//!                               per-stack and per-worker breakdowns)
+//!          --progress           live progress line on stderr (tests
+//!                               done/total, current phase, ETA); stdout
+//!                               output is untouched
+//!          --trace FILE         write a chrome://tracing JSON timeline of
+//!                               every recorded span
 //! ```
 //!
 //! There is also a hidden `shard-worker` subcommand — the child half of
@@ -88,6 +98,7 @@ const USAGE: &str = "usage:
   tricheck dot NAME [--model M] [--isa base|base+a] [--spec curr|ours]
   tricheck sweep [FAMILY] [--threads N] [--cache-stats] [--outcomes] [--power]
                  [--x86] [--shards N] [--cache-dir PATH]
+                 [--metrics-json FILE] [--progress] [--trace FILE]
                  [--model FILE | --stack FILE]
   tricheck sweep --list-models [--stack FILE]
   tricheck file PATH [--model M] [--isa base|base+a] [--spec curr|ours]
@@ -111,7 +122,10 @@ sweeps: --threads 1 gives a deterministic serial run; --cache-stats prints
         registered stack (ISA, mapping, model, IR axioms) and exits;
         --shards N deals the sweep across N worker processes (1 = in
         process); --cache-dir PATH persists execution spaces and C11
-        verdicts across runs (and across shards)";
+        verdicts across runs (and across shards); --metrics-json FILE
+        writes the structured tricheck-metrics/v1 report; --progress
+        renders a live stderr progress line; --trace FILE writes a
+        chrome://tracing timeline";
 
 /// Every option the CLI knows about, in the order the usage text lists
 /// them. Used both to reject unknown `--flags` (with a nearest-match
@@ -129,6 +143,9 @@ const ALL_FLAGS: &[&str] = &[
     "--list-models",
     "--shards",
     "--cache-dir",
+    "--metrics-json",
+    "--progress",
+    "--trace",
 ];
 
 #[derive(Debug)]
@@ -145,6 +162,9 @@ struct Options {
     list_models: bool,
     shards: Option<usize>,
     cache_dir: Option<String>,
+    metrics_json: Option<String>,
+    progress: bool,
+    trace_out: Option<String>,
     /// The flags actually given on the command line (canonical
     /// spellings), so subcommands can reject the ones that do not apply
     /// to them instead of silently ignoring them.
@@ -171,6 +191,9 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
         list_models: false,
         shards: None,
         cache_dir: None,
+        metrics_json: None,
+        progress: false,
+        trace_out: None,
         given: Vec::new(),
     };
     let mut positional = Vec::new();
@@ -200,6 +223,15 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
                 let v = it.next().ok_or("--cache-dir needs a path")?;
                 opts.cache_dir = Some(v.clone());
             }
+            "--metrics-json" => {
+                let v = it.next().ok_or("--metrics-json needs a file path")?;
+                opts.metrics_json = Some(v.clone());
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file path")?;
+                opts.trace_out = Some(v.clone());
+            }
+            "--progress" => opts.progress = true,
             "--cache-stats" => opts.cache_stats = true,
             "--outcomes" => opts.outcomes = true,
             "--power" => opts.power = true,
@@ -527,6 +559,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if opts.shards.is_some() || opts.cache_dir.is_some() {
                 return run_dist_sweep(&family, &tests, &opts);
             }
+            let session = begin_sweep_trace(&opts);
             let mut sweep_opts = SweepOptions::default();
             if let Some(threads) = opts.threads {
                 sweep_opts.threads = threads;
@@ -537,27 +570,28 @@ fn run(args: &[String]) -> Result<(), String> {
             let sweep = Sweep::with_options(sweep_opts);
             let results = if let Some(loaded) = registry.loaded().first() {
                 let results = sweep.run_matrix(&tests, &loaded.stacks);
-                print!("{}", report::stack_table(&results, &loaded.title));
+                print_report(|| report::stack_table(&results, &loaded.title));
                 results
             } else if let Some((_, stacks)) = &model_stacks {
                 let results = sweep.run_matrix(&tests, stacks);
-                print!("{}", report::family_chart(&results, &family));
+                print_report(|| report::family_chart(&results, &family));
                 results
             } else if opts.power {
                 let results = sweep.run_power(&tests);
-                print!("{}", report::power_table(&results));
+                print_report(|| report::power_table(&results));
                 results
             } else if opts.x86 {
                 let results = sweep.run_x86(&tests);
-                print!("{}", report::x86_table(&results));
+                print_report(|| report::x86_table(&results));
                 results
             } else {
                 let results = sweep.run_riscv(&tests);
-                print!("{}", report::family_chart(&results, &family));
+                print_report(|| report::family_chart(&results, &family));
                 results
             };
+            let report = end_sweep_trace(session, &opts, results.stats(), None, None)?;
             if opts.cache_stats {
-                print_engine_stats(results.stats());
+                print_engine_stats(&report);
             }
             Ok(())
         }
@@ -585,8 +619,13 @@ fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<
             OutcomeMode::Target
         },
         cache_dir,
+        // Spawned workers run their shard under a metrics session and
+        // ship the drained report back (protocol v4) so the merged
+        // metrics carry a per-worker breakdown.
+        collect_trace: wants_metrics(opts),
         ..DistOptions::default()
     };
+    let session = begin_sweep_trace(opts);
     let spec = if opts.power {
         MatrixSpec::Power
     } else if opts.x86 {
@@ -596,30 +635,133 @@ fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<
     };
     let dist = run_sharded(spec, tests, &dist_opts).map_err(|e| e.to_string())?;
     if opts.power {
-        print!("{}", report::power_table(&dist.results));
+        print_report(|| report::power_table(&dist.results));
     } else if opts.x86 {
-        print!("{}", report::x86_table(&dist.results));
+        print_report(|| report::x86_table(&dist.results));
     } else {
-        print!("{}", report::family_chart(&dist.results, family));
+        print_report(|| report::family_chart(&dist.results, family));
     }
+    let store_stats = dist.store_stats();
+    let trace_report = end_sweep_trace(
+        session,
+        opts,
+        dist.results.stats(),
+        opts.cache_dir.is_some().then_some(&store_stats),
+        Some(&dist),
+    )?;
     if opts.cache_stats {
-        print_engine_stats(dist.results.stats());
-        if opts.cache_dir.is_some() {
-            println!("  persistent store     {}", dist.store_stats());
-        }
-        if dist.shards.len() > 1 {
-            for shard in &dist.shards {
-                println!(
-                    "  shard {}              {} tests, {} enumerations, {} space hits",
-                    shard.shard,
-                    shard.tests,
-                    shard.stats.space_enumerations,
-                    shard.store.space_hits
-                );
-            }
-        }
+        print_engine_stats(&trace_report);
     }
     Ok(())
+}
+
+/// Whether the run needs metrics aggregation (not just progress).
+fn wants_metrics(opts: &Options) -> bool {
+    opts.metrics_json.is_some() || opts.trace_out.is_some()
+}
+
+/// The tracing session of one `sweep` invocation, driven by
+/// `--metrics-json`, `--trace`, and `--progress`.
+struct SweepTrace {
+    /// Whether a collector session was started (and must be drained).
+    traced: bool,
+    /// Stop flag + join handle of the live progress renderer thread.
+    progress: Option<(
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+        std::thread::JoinHandle<()>,
+    )>,
+}
+
+fn begin_sweep_trace(opts: &Options) -> SweepTrace {
+    let config = tricheck::trace::TraceConfig {
+        metrics: wants_metrics(opts),
+        events: opts.trace_out.is_some(),
+        progress: opts.progress,
+    };
+    let traced = config.metrics || config.events || config.progress;
+    if traced {
+        tricheck::trace::start(config);
+    }
+    let progress = opts.progress.then(spawn_progress_renderer);
+    SweepTrace { traced, progress }
+}
+
+/// Renders a `\r`-overwritten progress line to stderr at ~5 Hz until
+/// stopped: cells done/total, current phase, elapsed, ETA. stdout — the
+/// chart output scripts diff — is never touched.
+fn spawn_progress_renderer() -> (
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let flag = std::sync::Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut drawn = false;
+        while !flag.load(Ordering::Relaxed) {
+            if let Some(p) = tricheck::trace::progress_snapshot() {
+                let eta = p
+                    .eta()
+                    .map_or_else(|| "--".to_string(), |eta| format!("{eta:.0?}"));
+                eprint!(
+                    "\r[sweep] {}/{} cells  phase {}  elapsed {:.1?}  eta {eta}   ",
+                    p.done, p.total, p.phase, p.elapsed
+                );
+                drawn = true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+        if drawn {
+            eprintln!();
+        }
+    });
+    (stop, handle)
+}
+
+/// Drains the session begun by [`begin_sweep_trace`]: folds in
+/// per-worker shard reports, injects the authoritative engine and store
+/// counters, and writes the `--metrics-json` / `--trace` files. The
+/// returned report is the single source for `--cache-stats`.
+fn end_sweep_trace(
+    session: SweepTrace,
+    opts: &Options,
+    stats: &tricheck::core::SweepStats,
+    store: Option<&tricheck::core::StoreStats>,
+    dist: Option<&tricheck::dist::DistResults>,
+) -> Result<tricheck::trace::TraceReport, String> {
+    if let Some((stop, handle)) = session.progress {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    let (mut report, events) = if session.traced {
+        let drained = tricheck::trace::finish();
+        (drained.report, drained.events)
+    } else {
+        (tricheck::trace::TraceReport::default(), Vec::new())
+    };
+    // Workers first: absorbing sums the per-worker counters; the
+    // engine's own summed totals then overwrite them with identical
+    // values (the invariant `tests/metrics_report.rs` pins).
+    if let Some(dist) = dist {
+        dist.absorb_traces(&mut report);
+    }
+    for (name, value) in stats.as_counters() {
+        report.set_counter(name, value);
+    }
+    if let Some(store) = store {
+        for (name, value) in store.as_counters() {
+            report.set_counter(name, value);
+        }
+    }
+    if let Some(path) = &opts.metrics_json {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("--metrics-json {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, tricheck::trace::chrome_trace_json(&events))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    Ok(report)
 }
 
 /// Renders every registered sweep stack (`sweep --list-models`): the
@@ -685,36 +827,26 @@ fn validate_cache_dir(path: &str) -> Result<std::path::PathBuf, String> {
     Ok(path)
 }
 
-/// Prints the shared-engine cache counters (`--cache-stats`).
-fn print_engine_stats(s: &tricheck::core::SweepStats) {
+/// Renders and prints a results table under the `report` phase, so
+/// chart formatting shows up in the metrics instead of widening the
+/// busy-vs-wall gap.
+fn print_report(render: impl FnOnce() -> String) {
+    let _t = tricheck::trace::span(tricheck::trace::Phase::Report);
+    print!("{}", render());
+}
+
+/// Prints the `--cache-stats` block: every counter of the final
+/// [`tricheck::trace::TraceReport`] as one `key: value` line, sorted by
+/// name. Engine counters ([`tricheck::core::SweepStats`]), pruning
+/// counters, persistent-store counters (`store_*`, when `--cache-dir`
+/// is set), and trace-layer counters all share one flat namespace —
+/// the same names the `--metrics-json` document uses.
+fn print_engine_stats(report: &tricheck::trace::TraceReport) {
     println!();
-    println!("shared-engine cache statistics:");
-    println!("  tests × cells        {} × {}", s.tests, s.cells);
-    println!(
-        "  C11 evaluations      {} ({} shared cell visits)",
-        s.c11_evaluations,
-        s.tests * s.cells - s.c11_evaluations
-    );
-    println!(
-        "  compilations         {} ({} cache hits)",
-        s.compile_calls, s.compile_cache_hits
-    );
-    println!(
-        "  execution spaces     {} distinct programs, {} enumerations, {} cache hits",
-        s.distinct_programs, s.space_enumerations, s.space_cache_hits
-    );
-    println!(
-        "  pruned branches      {} (axiom-driven enumeration pruning)",
-        s.candidates_pruned
-    );
-    println!(
-        "  compiled kernels     {} (one fused bitset kernel per stack)",
-        s.compiled_kernels
-    );
-    println!(
-        "  kernel preludes      {} hits, {} misses (space-invariant inputs)",
-        s.prelude_hits, s.prelude_misses
-    );
+    println!("cache stats:");
+    for (name, value) in &report.counters {
+        println!("  {name}: {value}");
+    }
 }
 
 #[cfg(test)]

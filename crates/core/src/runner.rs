@@ -354,6 +354,29 @@ pub struct SweepStats {
     pub prelude_misses: usize,
 }
 
+impl SweepStats {
+    /// Every field as a stable `(name, value)` pair, in declaration
+    /// order — the counter surface `--cache-stats` and `--metrics-json`
+    /// expose (injected into a `tricheck_trace::TraceReport`).
+    #[must_use]
+    pub fn as_counters(&self) -> [(&'static str, u64); 12] {
+        [
+            ("tests", self.tests as u64),
+            ("cells", self.cells as u64),
+            ("c11_evaluations", self.c11_evaluations as u64),
+            ("compile_calls", self.compile_calls as u64),
+            ("compile_cache_hits", self.compile_cache_hits as u64),
+            ("distinct_programs", self.distinct_programs as u64),
+            ("space_cache_hits", self.space_cache_hits as u64),
+            ("space_enumerations", self.space_enumerations as u64),
+            ("candidates_pruned", self.candidates_pruned as u64),
+            ("compiled_kernels", self.compiled_kernels as u64),
+            ("prelude_hits", self.prelude_hits as u64),
+            ("prelude_misses", self.prelude_misses as u64),
+        ]
+    }
+}
+
 /// Aggregated results of a sweep.
 #[derive(Clone, Debug, Default)]
 pub struct SweepResults {
@@ -540,6 +563,7 @@ impl<'t> SweepCache<'t> {
                 return cached;
             }
             self.c11_evaluations.fetch_add(1, Ordering::Relaxed);
+            let _t = tricheck_trace::span(tricheck_trace::Phase::C11Eval);
             match self.mode {
                 OutcomeMode::Target => C11Cached::Target(self.c11.permits_target(&self.tests[t])),
                 OutcomeMode::FullOutcomes => {
@@ -561,6 +585,7 @@ impl<'t> SweepCache<'t> {
         let result = slot.get_or_init(|| {
             fresh = true;
             self.compile_calls.fetch_add(1, Ordering::Relaxed);
+            let _t = tricheck_trace::span(tricheck_trace::Phase::Compile);
             compile(&self.tests[t], mapping).map(Arc::new)
         });
         if !fresh {
@@ -794,6 +819,7 @@ impl Sweep {
             mapping,
             model,
         }];
+        tricheck_trace::set_keys([format!("{}/{}", mapping.name(), model.name())]);
         let (results, _) = self.run_cells(tests, &cells, 1);
         results.into_iter().flatten().collect()
     }
@@ -855,7 +881,21 @@ impl Sweep {
                 }
             })
             .collect();
+        // Label the per-stack latency histograms; the iterator is only
+        // consumed when a metrics session is collecting.
+        tricheck_trace::set_keys(stacks.iter().map(|stack| {
+            format!(
+                "{}/{}/{}",
+                stack.key.isa_label(),
+                stack.key.variant_label(),
+                stack.model.name()
+            )
+        }));
         let (results, stats) = self.run_cells(tests, &cells, mappings.len());
+        // Reducing 20k+ results to bare classifications drops every
+        // per-item `TestResult` (and its heap data) in one pass —
+        // teardown work, like freeing the space cache below.
+        let _t = tricheck_trace::span(tricheck_trace::Phase::Teardown);
         MatrixItems {
             items: results
                 .into_iter()
@@ -975,11 +1015,16 @@ impl Sweep {
         };
         let process = |i: usize| {
             let (t, s) = (i / n_cells, i % n_cells);
-            let result = cache.process(t, &cells[s], share_spaces);
+            let result = {
+                let _cell = tricheck_trace::cell_span(s);
+                cache.process(t, &cells[s], share_spaces)
+            };
             results[i]
                 .set(result)
                 .expect("each work item is processed exactly once");
+            tricheck_trace::progress_item_done();
         };
+        tricheck_trace::progress_begin(n_items as u64);
         run_work_stealing(n_items, self.options.threads, &process);
 
         if let Some(store) = store {
@@ -991,6 +1036,13 @@ impl Sweep {
             .into_iter()
             .map(|slot| slot.into_inner().expect("all work items processed"))
             .collect();
+        // Freeing the space cache deallocates every materialized
+        // candidate execution of the sweep in one burst — a cost
+        // proportional to the sweep itself, so it gets its own phase.
+        {
+            let _t = tricheck_trace::span(tricheck_trace::Phase::Teardown);
+            drop(cache);
+        }
         (results, stats)
     }
 

@@ -76,6 +76,20 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
+    /// Every field as a stable `(name, value)` pair, `store_`-prefixed
+    /// to keep the merged counter namespace collision-free.
+    #[must_use]
+    pub fn as_counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("store_space_hits", self.space_hits as u64),
+            ("store_space_misses", self.space_misses as u64),
+            ("store_c11_hits", self.c11_hits as u64),
+            ("store_c11_misses", self.c11_misses as u64),
+            ("store_evictions", self.evictions as u64),
+            ("store_writes", self.writes as u64),
+        ]
+    }
+
     /// Field-wise sum, for aggregating per-shard store reports.
     #[must_use]
     pub fn merged(&self, other: &StoreStats) -> StoreStats {

@@ -16,9 +16,10 @@
 //!   their global indices).
 //! - child → parent (stdout): one line `TCSHARD-RESULT <hex>` — the
 //!   per-item classifications in local-test-major order plus the
-//!   shard's [`SweepStats`] and [`StoreStats`]; or `TCSHARD-ERROR
-//!   <message>`. Marker prefixes let the payload coexist with test
-//!   harness chatter on the same stream.
+//!   shard's [`SweepStats`] and [`StoreStats`] and, when the job asked
+//!   for tracing, the worker's drained [`TraceReport`]; or
+//!   `TCSHARD-ERROR <message>`. Marker prefixes let the payload coexist
+//!   with test harness chatter on the same stream.
 //!
 //! Dealing is by the *C11 program fingerprint* of each test: the u64
 //! fingerprint space is split into `shards` equal ranges and a test
@@ -50,6 +51,7 @@ use tricheck_core::{
 };
 use tricheck_litmus::codec::{self, ByteReader, CodecError};
 use tricheck_litmus::{Fingerprint, LitmusTest, MemOrder};
+use tricheck_trace::{KeyStat, PhaseStat, TraceReport, WorkerReport};
 
 use crate::store::DiskStore;
 
@@ -58,8 +60,24 @@ use crate::store::DiskStore;
 /// same binary, so a mismatch means a build-system bug, not skew to
 /// paper over). v2: result frames carry `candidates_pruned`, jobs may
 /// name the x86 matrix and disable pruning. v3: result frames carry the
-/// compiled-kernel and prelude-cache counters.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// compiled-kernel and prelude-cache counters. v4: jobs carry a
+/// collect-trace flag and result frames may append an encoded
+/// [`TraceReport`] so the coordinator can merge a per-worker phase and
+/// counter breakdown.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Checks a decoded frame version against this build's, naming both in
+/// the error so cross-build skew is diagnosable from the message alone.
+fn check_version(frame: &str, got: u16) -> Result<(), String> {
+    if got == PROTOCOL_VERSION {
+        Ok(())
+    } else {
+        Err(format!(
+            "shard protocol version mismatch: {frame} frame is v{got}, \
+             this build expects v{PROTOCOL_VERSION}"
+        ))
+    }
+}
 
 /// Stdout marker preceding a worker's hex-encoded result payload.
 pub const RESULT_MARKER: &str = "TCSHARD-RESULT ";
@@ -129,6 +147,11 @@ pub struct DistOptions {
     /// Cache directory for the persistent [`DiskStore`], shared by all
     /// shards. `None` runs without persistence.
     pub cache_dir: Option<PathBuf>,
+    /// Ask each worker to run its shard under a metrics-collecting
+    /// trace session and ship the drained [`TraceReport`] back in its
+    /// result frame (protocol v4). Off by default: untraced shards pay
+    /// zero collection cost.
+    pub collect_trace: bool,
     /// Arguments the worker binary (`std::env::current_exe()`) is
     /// spawned with, ahead of the stdin job: the CLI passes
     /// `["shard-worker"]`; tests pass a harness filter for their probe
@@ -147,6 +170,7 @@ impl Default for DistOptions {
             outcome_mode: OutcomeMode::Target,
             pruning: true,
             cache_dir: None,
+            collect_trace: false,
             worker_args: vec!["shard-worker".to_string()],
             worker_env: Vec::new(),
         }
@@ -164,6 +188,12 @@ pub struct ShardReport {
     pub stats: SweepStats,
     /// The shard's persistent-store counters (zero without a store).
     pub store: StoreStats,
+    /// The shard's drained trace report, when the run asked for one
+    /// ([`DistOptions::collect_trace`]) and the shard ran out of
+    /// process. In-process (`--shards 1`) runs report `None`: the sweep
+    /// executes inside the caller's own trace session, so there is no
+    /// separate worker report to ship.
+    pub trace: Option<TraceReport>,
 }
 
 /// The merged output of a sharded run.
@@ -185,6 +215,18 @@ impl DistResults {
         self.shards
             .iter()
             .fold(StoreStats::default(), |acc, s| acc.merged(&s.store))
+    }
+
+    /// Folds every shard's trace report into `into` as a per-worker
+    /// breakdown ([`TraceReport::absorb_worker`]): phase, counter, and
+    /// stack aggregates merge into the coordinator's totals while each
+    /// worker's own report is kept under `workers[]`.
+    pub fn absorb_traces(&self, into: &mut TraceReport) {
+        for s in &self.shards {
+            if let Some(trace) = &s.trace {
+                into.absorb_worker(s.shard as u64, trace.clone());
+            }
+        }
     }
 }
 
@@ -313,6 +355,7 @@ pub fn run_sharded(
     let mut stats = SweepStats::default();
     let mut reports = Vec::new();
     for (shard, mut child) in children {
+        let _exchange = tricheck_trace::span(tricheck_trace::Phase::ShardExchange);
         let mut stdout = String::new();
         child
             .stdout
@@ -321,7 +364,7 @@ pub fn run_sharded(
             .read_to_string(&mut stdout)
             .map_err(DistError::Spawn)?;
         let status = child.wait().map_err(DistError::Spawn)?;
-        let (shard_items, shard_stats, shard_store) =
+        let (shard_items, shard_stats, shard_store, shard_trace) =
             parse_worker_output(&stdout, status.success())
                 .map_err(|message| DistError::Worker { shard, message })?;
         let indices = &dealt[shard];
@@ -346,6 +389,7 @@ pub fn run_sharded(
             tests: indices.len(),
             stats: shard_stats,
             store: shard_store,
+            trace: shard_trace,
         });
     }
     stats.tests = tests.len();
@@ -381,6 +425,7 @@ fn run_in_process(
         tests: tests.len(),
         stats: items.stats,
         store: store_stats,
+        trace: None,
     };
     Ok(DistResults {
         results: results_from_items(tests, stacks, &items.items, items.stats),
@@ -409,10 +454,7 @@ fn merge_stats(a: SweepStats, b: SweepStats) -> SweepStats {
 
 /// Extracts a worker's result from its stdout, tolerating harness
 /// chatter around the marker lines.
-fn parse_worker_output(
-    stdout: &str,
-    exited_ok: bool,
-) -> Result<(Vec<Option<Classification>>, SweepStats, StoreStats), String> {
+fn parse_worker_output(stdout: &str, exited_ok: bool) -> Result<DecodedResult, String> {
     for line in stdout.lines() {
         if let Some(at) = line.find(ERROR_MARKER) {
             return Err(line[at + ERROR_MARKER.len()..].trim().to_string());
@@ -420,7 +462,7 @@ fn parse_worker_output(
         if let Some(at) = line.find(RESULT_MARKER) {
             let hex = line[at + RESULT_MARKER.len()..].trim();
             let bytes = hex_decode(hex).ok_or("result line is not valid hex")?;
-            return decode_result(&bytes).map_err(|e| format!("malformed result payload: {e}"));
+            return decode_result(&bytes);
         }
     }
     if exited_ok {
@@ -447,6 +489,7 @@ fn encode_job(
         OutcomeMode::FullOutcomes => 1,
     });
     out.push(u8::from(opts.pruning));
+    out.push(u8::from(opts.collect_trace));
     codec::put_u16(&mut out, threads as u16);
     match &opts.cache_dir {
         Some(dir) => {
@@ -468,10 +511,12 @@ fn encode_job(
 }
 
 /// A decoded job, as seen by the worker.
+#[derive(Debug)]
 struct Job {
     spec: MatrixSpec,
     outcome_mode: OutcomeMode,
     pruning: bool,
+    collect_trace: bool,
     threads: usize,
     cache_dir: Option<PathBuf>,
     tests: Vec<LitmusTest>,
@@ -479,13 +524,16 @@ struct Job {
 
 fn decode_job(bytes: &[u8]) -> Result<Job, String> {
     let mut r = ByteReader::new(bytes);
+    let magic = r
+        .take(4)
+        .map_err(|e| format!("malformed job: {e}"))?
+        .to_vec();
+    if magic != b"TCSJ" {
+        return Err("malformed job: job magic".to_string());
+    }
+    let version = r.u16().map_err(|e| format!("malformed job: {e}"))?;
+    check_version("job", version)?;
     let mut inner = || -> Result<Job, CodecError> {
-        if r.take(4)? != b"TCSJ" {
-            return Err(CodecError::Invalid("job magic"));
-        }
-        if r.u16()? != PROTOCOL_VERSION {
-            return Err(CodecError::Invalid("protocol version"));
-        }
         let spec = MatrixSpec::from_tag(r.u8()?)?;
         let outcome_mode = match r.u8()? {
             0 => OutcomeMode::Target,
@@ -496,6 +544,11 @@ fn decode_job(bytes: &[u8]) -> Result<Job, String> {
             0 => false,
             1 => true,
             _ => return Err(CodecError::Invalid("pruning flag")),
+        };
+        let collect_trace = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::Invalid("collect-trace flag")),
         };
         let threads = (r.u16()? as usize).max(1);
         let cache_dir = match r.u8()? {
@@ -530,6 +583,7 @@ fn decode_job(bytes: &[u8]) -> Result<Job, String> {
             spec,
             outcome_mode,
             pruning,
+            collect_trace,
             threads,
             cache_dir,
             tests,
@@ -538,10 +592,130 @@ fn decode_job(bytes: &[u8]) -> Result<Job, String> {
     inner().map_err(|e| format!("malformed job: {e}"))
 }
 
+/// Appends a length-prefixed `(bucket, count)` sparse histogram.
+fn put_hist(out: &mut Vec<u8>, hist: &[(u16, u64)]) {
+    codec::put_u32(out, hist.len() as u32);
+    for &(bucket, n) in hist {
+        codec::put_u16(out, bucket);
+        codec::put_u64(out, n);
+    }
+}
+
+fn read_hist(r: &mut ByteReader<'_>) -> Result<Vec<(u16, u64)>, CodecError> {
+    let n = r.u32()? as usize;
+    let mut hist = Vec::with_capacity(n);
+    for _ in 0..n {
+        let bucket = r.u16()?;
+        let count = r.u64()?;
+        hist.push((bucket, count));
+    }
+    Ok(hist)
+}
+
+/// Serializes a [`TraceReport`] for a v4 result frame. The layout
+/// mirrors the struct field-for-field (length-prefixed vectors, names
+/// as codec strings, one recursion level for the per-worker
+/// breakdown); [`decode_report`] round-trips it bit-exactly, which
+/// `trace_report_roundtrips_bit_exactly` pins.
+fn encode_report(report: &TraceReport) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, report.wall_ns);
+    codec::put_u32(&mut out, report.phases.len() as u32);
+    for p in &report.phases {
+        codec::put_str(&mut out, &p.name);
+        codec::put_u64(&mut out, p.total_ns);
+        codec::put_u64(&mut out, p.count);
+        codec::put_u64(&mut out, p.max_ns);
+        put_hist(&mut out, &p.hist);
+    }
+    codec::put_u32(&mut out, report.counters.len() as u32);
+    for (name, value) in &report.counters {
+        codec::put_str(&mut out, name);
+        codec::put_u64(&mut out, *value);
+    }
+    codec::put_u32(&mut out, report.stacks.len() as u32);
+    for s in &report.stacks {
+        codec::put_str(&mut out, &s.label);
+        codec::put_u64(&mut out, s.total_ns);
+        codec::put_u64(&mut out, s.count);
+        codec::put_u64(&mut out, s.max_ns);
+        put_hist(&mut out, &s.hist);
+    }
+    codec::put_u32(&mut out, report.workers.len() as u32);
+    for w in &report.workers {
+        codec::put_u64(&mut out, w.shard);
+        codec::put_bytes(&mut out, &encode_report(&w.report));
+    }
+    out
+}
+
+fn decode_report(r: &mut ByteReader<'_>) -> Result<TraceReport, CodecError> {
+    let wall_ns = r.u64()?;
+    let n_phases = r.u32()? as usize;
+    let mut phases = Vec::with_capacity(n_phases);
+    for _ in 0..n_phases {
+        let name = r.string()?;
+        let total_ns = r.u64()?;
+        let count = r.u64()?;
+        let max_ns = r.u64()?;
+        let hist = read_hist(r)?;
+        phases.push(PhaseStat {
+            name,
+            total_ns,
+            count,
+            max_ns,
+            hist,
+        });
+    }
+    let n_counters = r.u32()? as usize;
+    let mut counters = Vec::with_capacity(n_counters);
+    for _ in 0..n_counters {
+        let name = r.string()?;
+        let value = r.u64()?;
+        counters.push((name, value));
+    }
+    let n_stacks = r.u32()? as usize;
+    let mut stacks = Vec::with_capacity(n_stacks);
+    for _ in 0..n_stacks {
+        let label = r.string()?;
+        let total_ns = r.u64()?;
+        let count = r.u64()?;
+        let max_ns = r.u64()?;
+        let hist = read_hist(r)?;
+        stacks.push(KeyStat {
+            label,
+            total_ns,
+            count,
+            max_ns,
+            hist,
+        });
+    }
+    let n_workers = r.u32()? as usize;
+    let mut workers = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        let shard = r.u64()?;
+        let frame = r.bytes()?;
+        let mut wr = ByteReader::new(frame);
+        let report = decode_report(&mut wr)?;
+        if wr.remaining() != 0 {
+            return Err(CodecError::Invalid("trailing bytes in worker report"));
+        }
+        workers.push(WorkerReport { shard, report });
+    }
+    Ok(TraceReport {
+        wall_ns,
+        phases,
+        counters,
+        stacks,
+        workers,
+    })
+}
+
 fn encode_result(
     items: &[Option<Classification>],
     stats: &SweepStats,
     store: &StoreStats,
+    trace: Option<&TraceReport>,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(b"TCSR");
@@ -581,57 +755,90 @@ fn encode_result(
     ] {
         codec::put_u64(&mut out, v as u64);
     }
+    match trace {
+        Some(report) => {
+            out.push(1);
+            codec::put_bytes(&mut out, &encode_report(report));
+        }
+        None => out.push(0),
+    }
     out
 }
 
-fn decode_result(
-    bytes: &[u8],
-) -> Result<(Vec<Option<Classification>>, SweepStats, StoreStats), CodecError> {
+type DecodedResult = (
+    Vec<Option<Classification>>,
+    SweepStats,
+    StoreStats,
+    Option<TraceReport>,
+);
+
+fn decode_result(bytes: &[u8]) -> Result<DecodedResult, String> {
     let mut r = ByteReader::new(bytes);
-    if r.take(4)? != b"TCSR" {
-        return Err(CodecError::Invalid("result magic"));
+    let magic = r
+        .take(4)
+        .map_err(|e| format!("malformed result payload: {e}"))?
+        .to_vec();
+    if magic != b"TCSR" {
+        return Err("malformed result payload: result magic".to_string());
     }
-    if r.u16()? != PROTOCOL_VERSION {
-        return Err(CodecError::Invalid("protocol version"));
-    }
-    let n = r.u32()? as usize;
-    let mut items = Vec::with_capacity(n);
-    for _ in 0..n {
-        items.push(match r.u8()? {
+    let version = r
+        .u16()
+        .map_err(|e| format!("malformed result payload: {e}"))?;
+    check_version("result", version)?;
+    let mut inner = || -> Result<DecodedResult, CodecError> {
+        let n = r.u32()? as usize;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(match r.u8()? {
+                0 => None,
+                1 => Some(Classification::Bug),
+                2 => Some(Classification::OverlyStrict),
+                3 => Some(Classification::Equivalent),
+                _ => return Err(CodecError::Invalid("classification tag")),
+            });
+        }
+        let mut take = || -> Result<usize, CodecError> { Ok(r.u64()? as usize) };
+        let stats = SweepStats {
+            tests: take()?,
+            cells: take()?,
+            c11_evaluations: take()?,
+            compile_calls: take()?,
+            compile_cache_hits: take()?,
+            distinct_programs: take()?,
+            space_cache_hits: take()?,
+            space_enumerations: take()?,
+            candidates_pruned: take()?,
+            compiled_kernels: take()?,
+            prelude_hits: take()?,
+            prelude_misses: take()?,
+        };
+        let store = StoreStats {
+            space_hits: take()?,
+            space_misses: take()?,
+            c11_hits: take()?,
+            c11_misses: take()?,
+            evictions: take()?,
+            writes: take()?,
+        };
+        let trace = match r.u8()? {
             0 => None,
-            1 => Some(Classification::Bug),
-            2 => Some(Classification::OverlyStrict),
-            3 => Some(Classification::Equivalent),
-            _ => return Err(CodecError::Invalid("classification tag")),
-        });
-    }
-    let mut take = || -> Result<usize, CodecError> { Ok(r.u64()? as usize) };
-    let stats = SweepStats {
-        tests: take()?,
-        cells: take()?,
-        c11_evaluations: take()?,
-        compile_calls: take()?,
-        compile_cache_hits: take()?,
-        distinct_programs: take()?,
-        space_cache_hits: take()?,
-        space_enumerations: take()?,
-        candidates_pruned: take()?,
-        compiled_kernels: take()?,
-        prelude_hits: take()?,
-        prelude_misses: take()?,
+            1 => {
+                let frame = r.bytes()?;
+                let mut tr = ByteReader::new(frame);
+                let report = decode_report(&mut tr)?;
+                if tr.remaining() != 0 {
+                    return Err(CodecError::Invalid("trailing bytes in trace report"));
+                }
+                Some(report)
+            }
+            _ => return Err(CodecError::Invalid("trace flag")),
+        };
+        if r.remaining() != 0 {
+            return Err(CodecError::Invalid("trailing bytes in result"));
+        }
+        Ok((items, stats, store, trace))
     };
-    let store = StoreStats {
-        space_hits: take()?,
-        space_misses: take()?,
-        c11_hits: take()?,
-        c11_misses: take()?,
-        evictions: take()?,
-        writes: take()?,
-    };
-    if r.remaining() != 0 {
-        return Err(CodecError::Invalid("trailing bytes in result"));
-    }
-    Ok((items, stats, store))
+    inner().map_err(|e| format!("malformed result payload: {e}"))
 }
 
 /// Runs the worker half of the protocol over this process's stdio:
@@ -668,9 +875,29 @@ pub fn shard_worker_stdio() -> Result<(), String> {
                 ..SweepOptions::default()
             };
             let stacks = job.spec.stacks();
+            if job.collect_trace {
+                tricheck_trace::start(tricheck_trace::TraceConfig::metrics());
+            }
             let items = Sweep::with_options(sweep_opts).run_matrix_items(&job.tests, &stacks);
             let store_stats = store.map(|s| s.stats()).unwrap_or_default();
-            Ok(encode_result(&items.items, &items.stats, &store_stats))
+            let trace = if job.collect_trace {
+                let mut report = tricheck_trace::finish().report;
+                for (name, value) in items.stats.as_counters() {
+                    report.set_counter(name, value);
+                }
+                for (name, value) in store_stats.as_counters() {
+                    report.set_counter(name, value);
+                }
+                Some(report)
+            } else {
+                None
+            };
+            Ok(encode_result(
+                &items.items,
+                &items.stats,
+                &store_stats,
+                trace.as_ref(),
+            ))
         });
     match outcome {
         Ok(payload) => {
@@ -789,11 +1016,139 @@ mod tests {
             evictions: 5,
             writes: 6,
         };
-        let bytes = encode_result(&items, &stats, &store);
-        let (di, ds, dst) = decode_result(&bytes).expect("roundtrip");
+        let bytes = encode_result(&items, &stats, &store, None);
+        let (di, ds, dst, dtr) = decode_result(&bytes).expect("roundtrip");
         assert_eq!(di, items);
         assert_eq!(ds, stats);
         assert_eq!(dst, store);
+        assert_eq!(dtr, None);
+    }
+
+    /// A representative report exercising every field: multiple phases
+    /// with sparse histograms, counters, stack breakdowns, and a nested
+    /// worker report.
+    fn sample_report() -> TraceReport {
+        let mut inner = TraceReport {
+            wall_ns: 42,
+            phases: vec![PhaseStat {
+                name: "cell".to_string(),
+                total_ns: 40,
+                count: 2,
+                max_ns: 30,
+                hist: vec![(3, 1), (17, 1)],
+            }],
+            counters: vec![("candidates_enumerated".to_string(), 7)],
+            stacks: Vec::new(),
+            workers: Vec::new(),
+        };
+        inner.set_counter("pruned_branches", 3);
+        let mut outer = TraceReport {
+            wall_ns: 1_234_567,
+            phases: vec![
+                PhaseStat {
+                    name: "space_enum".to_string(),
+                    total_ns: 900_000,
+                    count: 12,
+                    max_ns: 200_000,
+                    hist: vec![(0, 2), (100, 9), (251, 1)],
+                },
+                PhaseStat {
+                    name: "candidate_check".to_string(),
+                    total_ns: 300_000,
+                    count: 4096,
+                    max_ns: 9_999,
+                    hist: vec![(55, 4096)],
+                },
+            ],
+            counters: vec![
+                ("candidates_enumerated".to_string(), 5000),
+                ("store_bytes_read".to_string(), u64::MAX),
+            ],
+            stacks: vec![KeyStat {
+                label: "riscv/a/sc".to_string(),
+                total_ns: 77,
+                count: 3,
+                max_ns: 60,
+                hist: vec![(9, 3)],
+            }],
+            workers: Vec::new(),
+        };
+        outer.workers.push(WorkerReport {
+            shard: 1,
+            report: inner,
+        });
+        outer
+    }
+
+    #[test]
+    fn trace_report_roundtrips_bit_exactly() {
+        let report = sample_report();
+        let bytes = encode_report(&report);
+        let mut r = ByteReader::new(&bytes);
+        let decoded = decode_report(&mut r).expect("roundtrip");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(decoded, report);
+        // Bit-exact both ways: re-encoding the decoded report yields
+        // the same frame.
+        assert_eq!(encode_report(&decoded), bytes);
+    }
+
+    #[test]
+    fn result_roundtrips_with_trace_report() {
+        let report = sample_report();
+        let bytes = encode_result(
+            &[Some(Classification::Bug)],
+            &SweepStats::default(),
+            &StoreStats::default(),
+            Some(&report),
+        );
+        let (_, _, _, decoded) = decode_result(&bytes).expect("roundtrip");
+        assert_eq!(decoded, Some(report));
+    }
+
+    #[test]
+    fn version_mismatch_errors_name_both_versions() {
+        // A v3 worker's result frame, as an old build would emit it:
+        // same magic, version 3 where this build expects 4.
+        let mut result = Vec::new();
+        result.extend_from_slice(b"TCSR");
+        codec::put_u16(&mut result, 3);
+        let err = decode_result(&result).unwrap_err();
+        assert!(
+            err.contains("v3"),
+            "error must name the frame version: {err}"
+        );
+        assert!(
+            err.contains("v4"),
+            "error must name the expected version: {err}"
+        );
+        assert!(
+            err.contains("version mismatch"),
+            "unexpected message: {err}"
+        );
+
+        let mut job = Vec::new();
+        job.extend_from_slice(b"TCSJ");
+        codec::put_u16(&mut job, 3);
+        let err = decode_job(&job).unwrap_err();
+        assert!(
+            err.contains("v3") && err.contains("v4"),
+            "job error must name both versions: {err}"
+        );
+    }
+
+    #[test]
+    fn job_roundtrips_collect_trace_flag() {
+        let tests: Vec<LitmusTest> = suite::mp_template().instantiate_all().take(1).collect();
+        for collect_trace in [false, true] {
+            let opts = DistOptions {
+                collect_trace,
+                ..DistOptions::default()
+            };
+            let job = encode_job(MatrixSpec::Riscv, &tests, &[0], 1, &opts);
+            let decoded = decode_job(&job).expect("roundtrip");
+            assert_eq!(decoded.collect_trace, collect_trace);
+        }
     }
 
     #[test]
@@ -812,12 +1167,12 @@ mod tests {
 
     #[test]
     fn worker_output_parsing_tolerates_harness_chatter() {
-        let payload = encode_result(&[], &SweepStats::default(), &StoreStats::default());
+        let payload = encode_result(&[], &SweepStats::default(), &StoreStats::default(), None);
         let stdout = format!(
             "running 1 test\n{RESULT_MARKER}{}\ntest probe ... ok\n",
             hex_encode(&payload)
         );
-        let (items, _, _) = parse_worker_output(&stdout, true).expect("parse");
+        let (items, _, _, _) = parse_worker_output(&stdout, true).expect("parse");
         assert!(items.is_empty());
         assert!(parse_worker_output("no markers here\n", true).is_err());
         let err = format!("{ERROR_MARKER}boom\n");

@@ -233,6 +233,11 @@ impl DiskStore {
     /// the sync keeps cold runs from paying one disk flush per distinct
     /// program (~thousands per full-suite sweep).
     fn write_atomic(&self, path: &Path, bytes: &[u8]) {
+        let _t = tricheck_trace::span(tricheck_trace::Phase::StoreWrite);
+        tricheck_trace::count(
+            tricheck_trace::Counter::StoreBytesWritten,
+            bytes.len() as u64,
+        );
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let ok = (|| -> std::io::Result<()> {
             let mut f = fs::File::create(&tmp)?;
@@ -251,10 +256,12 @@ impl DiskStore {
     /// (encoded program, snapshot) entries. `None` means "no usable
     /// file" — missing, or evicted as corrupt/mismatched.
     fn read_space_file(&self, path: &Path) -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
+        let _t = tricheck_trace::span(tricheck_trace::Phase::StoreRead);
         let bytes = match fs::read(path) {
             Ok(b) => b,
             Err(_) => return None,
         };
+        tricheck_trace::count(tricheck_trace::Counter::StoreBytesRead, bytes.len() as u64);
         let parsed = (|| -> Option<Vec<(Vec<u8>, Vec<u8>)>> {
             let payload = Self::validate_file(SPACE_MAGIC, &bytes)?;
             let mut r = ByteReader::new(payload);
@@ -293,11 +300,13 @@ impl DiskStore {
     /// Reads and validates the verdict file; a bad file is evicted and
     /// yields an empty index.
     fn read_c11_file(&self) -> HashMap<C11Key, C11Cached> {
+        let _t = tricheck_trace::span(tricheck_trace::Phase::StoreRead);
         let path = self.c11_path();
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(_) => return HashMap::new(),
         };
+        tricheck_trace::count(tricheck_trace::Counter::StoreBytesRead, bytes.len() as u64);
         let parsed = (|| -> Option<HashMap<C11Key, C11Cached>> {
             let payload = Self::validate_file(C11_MAGIC, &bytes)?;
             let mut r = ByteReader::new(payload);

@@ -20,6 +20,7 @@ use proptest::prelude::*;
 use tricheck_core::{OutcomeMode, Sweep, SweepOptions};
 use tricheck_dist::{run_sharded, DistOptions, MatrixSpec};
 use tricheck_litmus::{suite, LitmusTest};
+use tricheck_trace::TraceReport;
 
 const PROBE_ENV: &str = "TRICHECK_SHARD_WORKER_PROBE";
 
@@ -211,6 +212,74 @@ fn warm_store_extends_exactly_once_across_processes() {
             shard.shard
         );
     }
+}
+
+/// Protocol v4 end to end: with `collect_trace` set, every spawned
+/// shard ships a trace report whose counters agree with its own
+/// `SweepStats`, and the coordinator's merged report ([`TraceReport`]
+/// via `absorb_traces`) carries a per-worker breakdown whose totals
+/// equal the field-wise sum of the per-worker reports.
+#[test]
+fn sharded_trace_reports_merge_to_per_worker_sums() {
+    let tests: Vec<LitmusTest> = cached_suite()
+        .iter()
+        .filter(|t| t.family() == "mp")
+        .cloned()
+        .collect();
+    let opts = DistOptions {
+        collect_trace: true,
+        ..probe_opts(2)
+    };
+    let dist = run_sharded(MatrixSpec::Riscv, &tests, &opts).expect("sharded run");
+    assert_eq!(dist.shards.len(), 2, "both shards must have received work");
+    for shard in &dist.shards {
+        let trace = shard
+            .trace
+            .as_ref()
+            .expect("collect_trace must produce a per-shard report");
+        assert!(trace.wall_ns > 0, "worker reports its own wall clock");
+        assert!(
+            trace.phase("cell").is_some(),
+            "worker traced its cell spans"
+        );
+        // The worker injects its SweepStats into the report's counters.
+        assert_eq!(
+            trace.counter("space_enumerations"),
+            Some(shard.stats.space_enumerations as u64),
+            "shard {} counters disagree with its stats",
+            shard.shard
+        );
+    }
+
+    let mut merged = TraceReport::default();
+    dist.absorb_traces(&mut merged);
+    assert_eq!(merged.workers.len(), 2, "per-worker breakdown retained");
+    // Merged totals are exactly the sums of the per-worker reports.
+    for phase in &merged.phases {
+        let sum: u64 = merged
+            .workers
+            .iter()
+            .filter_map(|w| w.report.phase(&phase.name))
+            .map(|p| p.total_ns)
+            .sum();
+        assert_eq!(
+            phase.total_ns, sum,
+            "merged {} total must equal the per-worker sum",
+            phase.name
+        );
+    }
+    for (name, value) in &merged.counters {
+        let sum: u64 = merged
+            .workers
+            .iter()
+            .filter_map(|w| w.report.counter(name))
+            .sum();
+        assert_eq!(*value, sum, "merged counter {name} must equal the sum");
+    }
+
+    // Untraced runs ship no report at all.
+    let untraced = run_sharded(MatrixSpec::Riscv, &tests, &probe_opts(2)).expect("untraced run");
+    assert!(untraced.shards.iter().all(|s| s.trace.is_none()));
 }
 
 /// `shards == 1` must bypass process spawning entirely: these options

@@ -240,6 +240,7 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
         let mut enumerated = false;
         let execs = self.full.get_or_init(|| {
             enumerated = true;
+            let _t = tricheck_trace::span(tricheck_trace::Phase::SpaceEnum);
             self.enumerations.fetch_add(1, Ordering::Relaxed);
             let mut all = Vec::new();
             let mut push = |exec: &Execution<A>| {
@@ -250,9 +251,17 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
                 let e = enumerate_executions_pruned(&self.program, &mut push);
                 self.candidates_pruned
                     .fetch_add(e.pruned_branches, Ordering::Relaxed);
+                tricheck_trace::count(
+                    tricheck_trace::Counter::PrunedBranches,
+                    e.pruned_branches as u64,
+                );
             } else {
                 enumerate_executions(&self.program, &mut push);
             }
+            tricheck_trace::count(
+                tricheck_trace::Counter::CandidatesEnumerated,
+                all.len() as u64,
+            );
             Arc::new(all)
         });
         if !enumerated {
@@ -288,6 +297,7 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
                     .collect(),
             )
         } else {
+            let _t = tricheck_trace::span(tricheck_trace::Phase::SpaceEnum);
             self.enumerations.fetch_add(1, Ordering::Relaxed);
             let mut out = Vec::new();
             let mut push = |exec: &Execution<A>| {
@@ -298,9 +308,17 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
                 let e = enumerate_matching_pruned(&self.program, target, &mut push);
                 self.candidates_pruned
                     .fetch_add(e.pruned_branches, Ordering::Relaxed);
+                tricheck_trace::count(
+                    tricheck_trace::Counter::PrunedBranches,
+                    e.pruned_branches as u64,
+                );
             } else {
                 enumerate_matching(&self.program, target, &mut push);
             }
+            tricheck_trace::count(
+                tricheck_trace::Counter::CandidatesEnumerated,
+                out.len() as u64,
+            );
             Arc::new(out)
         };
         map.insert(target.clone(), Arc::clone(&restricted));

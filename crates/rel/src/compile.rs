@@ -259,6 +259,7 @@ impl CompiledModel {
     /// time, because which bases exist is the binding's contract.
     #[must_use]
     pub fn compile(ir: &ModelIr, space_invariant_bases: &[&str]) -> CompiledModel {
+        let _t = tricheck_trace::span(tricheck_trace::Phase::KernelCompile);
         let mut lowerer = Lowerer {
             defs: ir.defs(),
             invariant: space_invariant_bases,
@@ -379,6 +380,7 @@ impl CompiledModel {
     /// provide (a model-definition bug, as in [`ModelIr::check`]).
     #[must_use]
     pub fn prelude<B: BaseRelations>(&self, binding: &B) -> Prelude {
+        let _t = tricheck_trace::span(tricheck_trace::Phase::PreludeEval);
         let n = binding.universe();
         let mut values: Vec<Value> = Vec::with_capacity(self.prelude_ops.len());
         for op in &self.prelude_ops {
@@ -430,6 +432,7 @@ impl CompiledModel {
         binding: &B,
         scratch: &mut EvalScratch,
     ) -> Result<(), &'static str> {
+        let _t = tricheck_trace::span(tricheck_trace::Phase::CandidateCheck);
         let n = binding.universe();
         assert_eq!(
             prelude.n, n,

@@ -14,6 +14,7 @@
 //! | [`uarch`] | `tricheck-uarch` | the seven µSpec models (Step 3) |
 //! | [`core`] | `tricheck-core` | classification & sweeps (Step 4) |
 //! | [`dist`] | `tricheck-dist` | sharded multi-process sweeps + on-disk store |
+//! | [`trace`] | `tricheck-trace` | structured tracing + metrics for the pipeline |
 //! | [`opsim`] | `tricheck-opsim` | operational store-buffer machines |
 //! | [`sieve`] | `tricheck-sieve` | the Figure 2 workload |
 //!
@@ -83,6 +84,7 @@ pub use tricheck_litmus as litmus;
 pub use tricheck_opsim as opsim;
 pub use tricheck_rel as rel;
 pub use tricheck_sieve as sieve;
+pub use tricheck_trace as trace;
 pub use tricheck_uarch as uarch;
 
 /// The most common imports for driving the toolflow.
