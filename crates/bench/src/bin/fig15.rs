@@ -2,10 +2,12 @@
 //! across all seven µSpec models, both RISC-V ISAs, and both
 //! specification versions.
 //!
-//! Usage: `fig15 [--quick] [--csv PATH]` — `--quick` restricts order
-//! permutations to the {rlx, sc}-only subset for a fast smoke run;
-//! `--csv PATH` additionally writes the raw per-cell counts for external
-//! plotting.
+//! Usage: `fig15 [--quick] [--csv PATH] [--json FILE]` — `--quick`
+//! restricts order permutations to the {rlx, sc}-only subset for a fast
+//! smoke run; `--csv PATH` additionally writes the raw per-cell counts
+//! for external plotting; `--json FILE` writes the run's structured
+//! `tricheck-metrics/v1` report (phase timings and counters) for perf
+//! trajectories and CI guards.
 
 use tricheck_core::{report, Sweep};
 use tricheck_litmus::{suite, LitmusTest, MemOrder, SlotKind};
@@ -44,6 +46,11 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let tests = if quick {
         quick_suite()
     } else {
@@ -71,6 +78,10 @@ fn main() {
     if let Some(path) = csv_path {
         std::fs::write(&path, report::to_csv(&results)).expect("writing the CSV file");
         println!("wrote per-cell counts to {path}");
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, trace.to_json()).expect("writing the metrics JSON file");
+        println!("wrote tricheck-metrics/v1 report to {path}");
     }
     println!("{}", trace.render_text());
 }

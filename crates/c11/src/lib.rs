@@ -59,11 +59,13 @@ use std::fmt;
 use std::sync::OnceLock;
 
 use tricheck_litmus::{
-    enumerate_executions, outcome_set, ConsistencyModel, Execution, ExecutionSpace, LitmusTest,
-    MemOrder, Outcome, Reg,
+    enumerate_executions, outcome_set, ConsistencyModel, ExecArena, ExecCursor, Execution,
+    ExecutionSpace, LitmusTest, MemOrder, Outcome, Reg,
 };
 use tricheck_rel::ir::{AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
-use tricheck_rel::{linear_extensions, CompiledModel, EvalScratch, EventSet, Relation};
+use tricheck_rel::{
+    linear_extensions, BindingPool, CompiledModel, EvalScratch, EventSet, Relation,
+};
 
 /// Why an execution is inconsistent under C11.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -298,18 +300,37 @@ impl ConsistencyModel for C11Model {
         C11Model::consistent(self, exec)
     }
 
-    // The space-judged paths replay the kernel's space-invariant prelude
-    // from the space's per-kernel cache instead of recomputing it for
-    // every candidate.
+    // The space-judged paths stream the space's columnar views through
+    // `CompiledModel::check_batch`: one cursor rebind per candidate (no
+    // per-candidate `Execution` clone, `fr` served from the arena's
+    // derived column) and one replay of the kernel's space-invariant
+    // prelude per stream from the space's per-kernel cache.
 
     fn permits(&self, space: &ExecutionSpace<MemOrder>, target: &Outcome) -> bool {
         let compiled = Self::compiled();
-        let mut scratch = EvalScratch::default();
-        space.realizes(target, |e| {
-            let binding = C11Binding::new(e);
-            let prelude = space.kernel_prelude(compiled.kernel_id(), || compiled.prelude(&binding));
-            compiled.consistent_with_scratch(&prelude, &binding, &mut scratch)
-        })
+        let view = space.matching(target);
+        if view.is_empty() {
+            return false;
+        }
+        let indices = view.indices();
+        let mut pool = C11Pool::over(view.arena()).expect("non-empty view has candidates");
+        // The prelude lives for exactly this stream: batching already
+        // shares it across every candidate of the (space, kernel) pair,
+        // so caching it on the space would only defer the free to the
+        // sweep's teardown burst.
+        let prelude = compiled.prelude(&pool.bind(indices[0]));
+        let mut witnessed = false;
+        compiled.check_batch(
+            &prelude,
+            &mut pool,
+            &indices,
+            &mut EvalScratch::default(),
+            |_, ok| {
+                witnessed = ok;
+                !ok
+            },
+        );
+        witnessed
     }
 
     fn allowed_outcomes(
@@ -318,12 +339,57 @@ impl ConsistencyModel for C11Model {
         observed: &[(usize, Reg)],
     ) -> BTreeSet<Outcome> {
         let compiled = Self::compiled();
+        let view = space.executions();
+        let groups = space.outcome_groups(observed);
+        let Some(mut pool) = C11Pool::over(view.arena()) else {
+            return BTreeSet::new();
+        };
+        // Stream-local prelude: see `permits`.
+        let prelude = compiled.prelude(&pool.bind(0));
         let mut scratch = EvalScratch::default();
-        space.outcome_set(observed, |e| {
-            let binding = C11Binding::new(e);
-            let prelude = space.kernel_prelude(compiled.kernel_id(), || compiled.prelude(&binding));
-            compiled.consistent_with_scratch(&prelude, &binding, &mut scratch)
+        let mut out = BTreeSet::new();
+        for (outcome, members) in groups.iter() {
+            let mut witnessed = false;
+            compiled.check_batch(&prelude, &mut pool, members, &mut scratch, |_, ok| {
+                witnessed = ok;
+                !ok
+            });
+            if witnessed {
+                out.insert(outcome.clone());
+            }
+        }
+        out
+    }
+}
+
+/// A [`BindingPool`] over a columnar space arena: one reusable
+/// [`ExecCursor`] rebinds the same skeleton execution per candidate and
+/// hands [`C11Binding`]s the arena's precomputed `fr` column.
+struct C11Pool<'a> {
+    cursor: ExecCursor<'a, MemOrder>,
+}
+
+impl<'a> C11Pool<'a> {
+    fn over(arena: &'a ExecArena<MemOrder>) -> Option<Self> {
+        Some(C11Pool {
+            cursor: arena.cursor()?,
         })
+    }
+}
+
+impl BindingPool for C11Pool<'_> {
+    type Binding<'b>
+        = C11Binding<'b>
+    where
+        Self: 'b;
+
+    fn universe(&self) -> usize {
+        self.cursor.universe()
+    }
+
+    fn bind(&mut self, index: u32) -> C11Binding<'_> {
+        self.cursor.at(index);
+        C11Binding::with_fr(self.cursor.exec(), self.cursor.fr().clone())
     }
 }
 
@@ -339,6 +405,10 @@ pub struct C11Binding<'e> {
     /// `sw` is served both as a base and as an ingredient of `sc-bad`'s
     /// derived relations; compute it once per binding.
     sw: std::cell::OnceCell<Relation>,
+    /// `fr = rf⁻¹;co`, pre-seeded by [`C11Binding::with_fr`] when the
+    /// caller already holds the derived relation (the arena's `fr`
+    /// column), computed on demand otherwise.
+    fr: std::cell::OnceCell<Relation>,
 }
 
 impl<'e> C11Binding<'e> {
@@ -348,11 +418,25 @@ impl<'e> C11Binding<'e> {
         C11Binding {
             exec,
             sw: std::cell::OnceCell::new(),
+            fr: std::cell::OnceCell::new(),
         }
+    }
+
+    /// Binds an execution whose `fr = rf⁻¹;co` the caller has already
+    /// derived (columnar spaces keep `fr` precomputed per candidate).
+    #[must_use]
+    pub fn with_fr(exec: &'e Execution<MemOrder>, fr: Relation) -> Self {
+        let binding = Self::new(exec);
+        let _ = binding.fr.set(fr);
+        binding
     }
 
     fn sw(&self) -> &Relation {
         self.sw.get_or_init(|| synchronizes_with(self.exec))
+    }
+
+    fn fr(&self) -> &Relation {
+        self.fr.get_or_init(|| self.exec.fr())
     }
 }
 
@@ -366,7 +450,7 @@ impl BaseRelations for C11Binding<'_> {
             "po" => self.exec.po().clone(),
             "rf" => self.exec.rf().clone(),
             "co" => self.exec.co().clone(),
-            "fr" => self.exec.fr(),
+            "fr" => self.fr().clone(),
             "rmw" => self.exec.rmw().clone(),
             "sw" => self.sw().clone(),
             "sc-bad" => {

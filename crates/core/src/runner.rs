@@ -498,6 +498,20 @@ impl CachedSpace {
     }
 }
 
+/// Space-cache statistics drained from eagerly-reclaimed spaces.
+/// [`SweepCache::stats`] adds these to whatever is still live in the
+/// map, so the reported totals are identical whether a space was freed
+/// mid-run or survived to teardown.
+#[derive(Default)]
+struct ReclaimedSpaces {
+    distinct_programs: usize,
+    enumerations: usize,
+    cache_hits: usize,
+    candidates_pruned: usize,
+    prelude_hits: usize,
+    prelude_misses: usize,
+}
+
 /// The concurrent caches shared by every (test × cell) work item.
 struct SweepCache<'t> {
     tests: &'t [LitmusTest],
@@ -516,6 +530,13 @@ struct SweepCache<'t> {
     /// structurally-distinct program sharing a fingerprint, so a hash
     /// collision degrades to a linear probe instead of a wrong verdict.
     spaces: Mutex<HashMap<u64, Vec<CachedSpace>>>,
+    /// Remaining (test × cell) visits per program fingerprint, set by
+    /// the reclaim pre-pass in [`Sweep::run_cells`]. Present only when
+    /// eager space reclamation is on (shared spaces, no store to
+    /// persist them to).
+    space_visits: OnceLock<HashMap<u64, AtomicUsize>>,
+    /// Statistics of spaces already freed by [`SweepCache::release_space`].
+    reclaimed: Mutex<ReclaimedSpaces>,
     c11_evaluations: AtomicUsize,
     compile_calls: AtomicUsize,
     compile_cache_hits: AtomicUsize,
@@ -542,6 +563,8 @@ impl<'t> SweepCache<'t> {
                 .map(|_| OnceLock::new())
                 .collect(),
             spaces: Mutex::new(HashMap::new()),
+            space_visits: OnceLock::new(),
+            reclaimed: Mutex::new(ReclaimedSpaces::default()),
             c11_evaluations: AtomicUsize::new(0),
             compile_calls: AtomicUsize::new(0),
             compile_cache_hits: AtomicUsize::new(0),
@@ -600,7 +623,11 @@ impl<'t> SweepCache<'t> {
     /// must not serialize the worker pool); a loaded space arrives with
     /// its persisted views pre-materialized, so queries against it hit
     /// caches instead of enumerating.
-    fn space_for(&self, compiled: &CompiledTest) -> Arc<ExecutionSpace<HwAnnot>> {
+    ///
+    /// Also returns the program's fingerprint so the caller can hand
+    /// the space back to [`SweepCache::release_space`] without hashing
+    /// the program a second time.
+    fn space_for(&self, compiled: &CompiledTest) -> (Arc<ExecutionSpace<HwAnnot>>, u64) {
         let fingerprint = tricheck_litmus::Fingerprint::of(compiled.program());
         {
             let mut spaces = self.spaces.lock().expect("space cache lock");
@@ -610,7 +637,7 @@ impl<'t> SweepCache<'t> {
                 .find(|e| e.space.program() == compiled.program())
             {
                 self.space_lookup_hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.space);
+                return (Arc::clone(&entry.space), fingerprint.as_u64());
             }
         }
         let loaded = self
@@ -638,7 +665,7 @@ impl<'t> SweepCache<'t> {
             .find(|e| e.space.program() == compiled.program())
         {
             self.space_lookup_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(&entry.space);
+            return (Arc::clone(&entry.space), fingerprint.as_u64());
         }
         let entry = loaded.unwrap_or_else(|| {
             let program = compiled.program().clone();
@@ -654,7 +681,51 @@ impl<'t> SweepCache<'t> {
         });
         let space = Arc::clone(&entry.space);
         bucket.push(entry);
-        space
+        (space, fingerprint.as_u64())
+    }
+
+    /// Releases one precounted visit to a space. The visitor that
+    /// brings its fingerprint's count to zero retires the whole bucket
+    /// — freeing the space's arenas while their chunks are still warm
+    /// in cache instead of cold-walking every space at teardown — and
+    /// drains the bucket's statistics so [`SweepCache::stats`] still
+    /// sees them. A no-op when the reclaim pre-pass did not run; visits
+    /// that bail before touching the space (compile errors) never
+    /// decrement, so their buckets conservatively survive to teardown.
+    fn release_space(&self, fingerprint: u64, space: Arc<ExecutionSpace<HwAnnot>>) {
+        let Some(visits) = self.space_visits.get() else {
+            return;
+        };
+        let Some(remaining) = visits.get(&fingerprint) else {
+            return;
+        };
+        // AcqRel: the zero-observer must see every earlier visitor's
+        // space-statistics writes before draining them below.
+        if remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        let bucket = self
+            .spaces
+            .lock()
+            .expect("space cache lock")
+            .remove(&fingerprint);
+        if let Some(bucket) = &bucket {
+            let mut reclaimed = self.reclaimed.lock().expect("reclaimed stats lock");
+            for entry in bucket {
+                let s = entry.space.stats();
+                reclaimed.distinct_programs += 1;
+                reclaimed.enumerations += s.enumerations;
+                reclaimed.cache_hits += s.cache_hits;
+                reclaimed.candidates_pruned += s.candidates_pruned;
+                reclaimed.prelude_hits += s.prelude_hits;
+                reclaimed.prelude_misses += s.prelude_misses;
+            }
+        }
+        drop(bucket);
+        // Our own `space` reference drops last: for the common
+        // single-program bucket it is the final Arc, so the frees run
+        // here, on the worker that just finished using the space.
+        drop(space);
     }
 
     /// Writes newly-computed work back to the persistent store: every
@@ -703,8 +774,10 @@ impl<'t> SweepCache<'t> {
         match entry {
             C11Cached::Target(permitted) => {
                 let observable = if share_spaces {
-                    let space = self.space_for(&compiled);
-                    cell.model.observes_in(&space, compiled.target())
+                    let (space, fingerprint) = self.space_for(&compiled);
+                    let observable = cell.model.observes_in(&space, compiled.target());
+                    self.release_space(fingerprint, space);
+                    observable
                 } else {
                     cell.model.observes(compiled.program(), compiled.target())
                 };
@@ -712,9 +785,12 @@ impl<'t> SweepCache<'t> {
             }
             C11Cached::Full(permitted) => {
                 let observable = if share_spaces {
-                    let space = self.space_for(&compiled);
-                    cell.model
-                        .observable_outcomes_in(&space, compiled.observed())
+                    let (space, fingerprint) = self.space_for(&compiled);
+                    let observable = cell
+                        .model
+                        .observable_outcomes_in(&space, compiled.observed());
+                    self.release_space(fingerprint, space);
+                    observable
                 } else {
                     cell.model
                         .observable_outcomes(compiled.program(), compiled.observed())
@@ -731,12 +807,14 @@ impl<'t> SweepCache<'t> {
     /// Drains the cache into sweep-level statistics.
     fn stats(&self, cells: &[Cell<'_, '_>]) -> SweepStats {
         let spaces = self.spaces.lock().expect("space cache lock");
-        let mut distinct_programs = 0;
-        let mut space_enumerations = 0;
-        let mut candidates_pruned = 0;
-        let mut prelude_hits = 0;
-        let mut prelude_misses = 0;
-        let mut space_cache_hits = self.space_lookup_hits.load(Ordering::Relaxed);
+        let reclaimed = self.reclaimed.lock().expect("reclaimed stats lock");
+        let mut distinct_programs = reclaimed.distinct_programs;
+        let mut space_enumerations = reclaimed.enumerations;
+        let mut candidates_pruned = reclaimed.candidates_pruned;
+        let mut prelude_hits = reclaimed.prelude_hits;
+        let mut prelude_misses = reclaimed.prelude_misses;
+        let mut space_cache_hits =
+            self.space_lookup_hits.load(Ordering::Relaxed) + reclaimed.cache_hits;
         for entry in spaces.values().flatten() {
             distinct_programs += 1;
             let s = entry.space.stats();
@@ -1013,6 +1091,43 @@ impl Sweep {
                 store.is_some() || (n_cells > 1 && n_cells / n_mappings >= SHARING_BREAK_EVEN)
             }
         };
+        // Eager space reclamation: with shared spaces and no store to
+        // persist them to, every space is dead the moment its last
+        // visitor finishes — and the sweep knows exactly how many
+        // visitors each program gets. Precompile the (test × mapping)
+        // grid (the same compilations the cells would otherwise do
+        // lazily, so `compile_calls` is unchanged; the cells' lookups
+        // all become cache hits) to count visits per fingerprint;
+        // `release_space` then frees each space right after its final
+        // use, while its memory is still warm in cache, instead of
+        // cold-walking thousands of spaces in one teardown burst.
+        if share_spaces && store.is_none() {
+            let mut cells_per_mapping = vec![0usize; n_mappings];
+            let mut mapping_reps: Vec<Option<&dyn Mapping>> = vec![None; n_mappings];
+            for cell in cells {
+                cells_per_mapping[cell.mapping_idx] += 1;
+                mapping_reps[cell.mapping_idx].get_or_insert(cell.mapping);
+            }
+            let mut visits: HashMap<u64, usize> = HashMap::new();
+            for t in 0..tests.len() {
+                for (m, mapping) in mapping_reps.iter().enumerate() {
+                    let Some(mapping) = mapping else { continue };
+                    if let Ok(compiled) = cache.compiled(t, m, *mapping) {
+                        let fingerprint =
+                            tricheck_litmus::Fingerprint::of(compiled.program()).as_u64();
+                        *visits.entry(fingerprint).or_default() += cells_per_mapping[m];
+                    }
+                }
+            }
+            let visits = visits
+                .into_iter()
+                .map(|(fingerprint, count)| (fingerprint, AtomicUsize::new(count)))
+                .collect();
+            cache
+                .space_visits
+                .set(visits)
+                .unwrap_or_else(|_| unreachable!("the pre-pass runs once"));
+        }
         let process = |i: usize| {
             let (t, s) = (i / n_cells, i % n_cells);
             let result = {
@@ -1036,9 +1151,12 @@ impl Sweep {
             .into_iter()
             .map(|slot| slot.into_inner().expect("all work items processed"))
             .collect();
-        // Freeing the space cache deallocates every materialized
-        // candidate execution of the sweep in one burst — a cost
-        // proportional to the sweep itself, so it gets its own phase.
+        // Freeing the cache used to deallocate every materialized
+        // candidate execution of the sweep in one burst; with the
+        // columnar arenas and eager space reclamation above, the spaces
+        // are already gone and what remains is the compiled-program and
+        // C11-verdict tables — small, but still worth its own phase so
+        // regressions that reinflate the burst stay visible in traces.
         {
             let _t = tricheck_trace::span(tricheck_trace::Phase::Teardown);
             drop(cache);
@@ -1383,8 +1501,9 @@ mod tests {
         );
         assert_eq!(
             stats.compile_cache_hits,
-            tests.len() * 28 - stats.compile_calls,
-            "every other cell visit reuses a compiled program"
+            tests.len() * 28,
+            "the reclaim pre-pass compiles the whole grid, so every cell \
+             visit reuses a compiled program"
         );
         assert_eq!(
             stats.space_enumerations, stats.distinct_programs,
@@ -1416,10 +1535,9 @@ mod tests {
             tests.len() * 2,
             "one compile per (test, sync style)"
         );
-        assert_eq!(
-            stats.compile_cache_hits,
-            tests.len() * 4 - stats.compile_calls
-        );
+        // The reclaim pre-pass compiles the whole grid up front, so
+        // every cell visit is a compile-cache hit.
+        assert_eq!(stats.compile_cache_hits, tests.len() * 4);
         assert_eq!(
             stats.space_enumerations, stats.distinct_programs,
             "each distinct Power program is enumerated exactly once"

@@ -61,7 +61,12 @@ use tricheck_litmus::{ExecutionSpace, Fingerprint, LitmusTest, Program};
 /// (tag 5), so v1 caches — which could never contain it but whose
 /// decoder set differs — are evicted wholesale rather than risking a
 /// skewed mixed-version directory.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: [`ExecutionSpace::snapshot`] switched to the columnar arena
+/// layout (one framed skeleton execution plus flat `rf`/`co`/`loc`/`val`
+/// columns; matching views as `u32` index lists over the full arena) —
+/// v2 per-execution framed snapshots no longer decode.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Magic prefix of space files ("TriChecK SPaCe").
 const SPACE_MAGIC: &[u8; 8] = b"TCKSPC\x00\x01";

@@ -33,6 +33,7 @@ use std::collections::BTreeMap;
 
 use tricheck_rel::{EventSet, Relation};
 
+use crate::arena::ExecArena;
 use crate::exec::{Event, EventKind, Execution};
 use crate::mir::{Expr, Instr, Loc, Program, Reg, RmwKind, Val};
 use crate::order::MemOrder;
@@ -585,6 +586,113 @@ pub fn decode_execution<A: AnnCodec>(r: &mut ByteReader<'_>) -> Result<Execution
         inits,
         reg_def,
     })
+}
+
+/// Appends a columnar [`ExecArena`] to `out`: a `u32` candidate count,
+/// then (for a non-empty arena) the skeleton execution as one framed
+/// [`encode_execution`] payload followed by the flat `rf`/`co` word
+/// columns and the `loc`/`val` option columns. The derived `fr` column
+/// is never written — [`read_arena`] re-derives it in one pass.
+///
+/// Deterministic like every encoder here: equal arenas produce equal
+/// bytes, which the disk store's skip-unchanged-writes check relies on.
+pub fn put_arena<A: AnnCodec + Clone>(out: &mut Vec<u8>, arena: &ExecArena<A>) {
+    put_u32(out, arena.len() as u32);
+    let Some(skeleton) = arena.skeleton() else {
+        return;
+    };
+    put_bytes(out, &encode_execution(skeleton));
+    let (rf, co, loc, val) = arena.raw_columns();
+    for &w in rf {
+        put_u64(out, w);
+    }
+    for &w in co {
+        put_u64(out, w);
+    }
+    for slot in loc {
+        match slot {
+            Some(l) => {
+                out.push(1);
+                put_u64(out, l.0);
+            }
+            None => out.push(0),
+        }
+    }
+    for slot in val {
+        match slot {
+            Some(v) => {
+                out.push(1);
+                put_u64(out, v.0);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+/// Decodes a [`put_arena`] payload, validating the skeleton frame, the
+/// column sizes against the remaining input, and every relation word
+/// against the skeleton's event universe.
+pub fn read_arena<A: AnnCodec + Clone>(r: &mut ByteReader<'_>) -> Result<ExecArena<A>, CodecError> {
+    let len = r.u32()? as usize;
+    if len == 0 {
+        return Ok(ExecArena::new());
+    }
+    let frame = r.bytes()?;
+    let mut fr = ByteReader::new(frame);
+    let skeleton = decode_execution::<A>(&mut fr)?;
+    if fr.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes in skeleton frame"));
+    }
+    let n = skeleton.len();
+    // Bound the column allocations by the bytes actually present before
+    // reserving anything: 8 per relation word (two word columns) plus at
+    // least 1 per option slot (two option columns).
+    let words = len
+        .checked_mul(n)
+        .ok_or(CodecError::Invalid("arena column size overflow"))?;
+    let need = words
+        .checked_mul(2 * 8 + 2)
+        .ok_or(CodecError::Invalid("arena column size overflow"))?;
+    if r.remaining() < need {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let read_words = |r: &mut ByteReader<'_>| -> Result<Vec<u64>, CodecError> {
+        let mut col = Vec::with_capacity(words);
+        for _ in 0..words {
+            let w = r.u64()?;
+            if n < 64 && w >> n != 0 {
+                return Err(CodecError::Invalid("arena relation event index"));
+            }
+            col.push(w);
+        }
+        Ok(col)
+    };
+    let rf = read_words(r)?;
+    let co = read_words(r)?;
+    let mut loc = Vec::with_capacity(words);
+    for _ in 0..words {
+        loc.push(match r.u8()? {
+            0 => None,
+            1 => Some(Loc(r.u64()?)),
+            _ => return Err(CodecError::Invalid("location tag")),
+        });
+    }
+    let mut val = Vec::with_capacity(words);
+    for _ in 0..words {
+        val.push(match r.u8()? {
+            0 => None,
+            1 => Some(Val(r.u64()?)),
+            _ => return Err(CodecError::Invalid("value tag")),
+        });
+    }
+    Ok(ExecArena::from_columns(
+        Some(skeleton),
+        len,
+        rf,
+        co,
+        loc,
+        val,
+    ))
 }
 
 /// The pinned 64-bit FNV-1a used for content hashes in the persistence

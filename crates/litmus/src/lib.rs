@@ -22,6 +22,16 @@
 //! set of program outcomes a model allows is the set of register
 //! valuations of its consistent candidates.
 //!
+//! Materialized candidate spaces are stored *columnar*: an
+//! [`ExecutionSpace`] keeps its candidates in an [`ExecArena`] — one
+//! skeleton `Execution` plus flat per-column buffers for the
+//! candidate-varying `rf`/`co` (and derived `fr`) relation rows and
+//! resolved locations/values — and serves views as `u32` index lists
+//! over the arena. Scans rebind an [`ExecCursor`] per candidate instead
+//! of cloning executions, so judging a space allocates nothing per
+//! candidate and dropping it costs a handful of buffer frees. See the
+//! [`arena`] module docs for the layout and its invariants.
+//!
 //! # Example: enumerate the outcomes of store buffering
 //!
 //! ```
@@ -41,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod codec;
 pub mod enumerate;
 pub mod exec;
@@ -53,6 +64,7 @@ pub mod space;
 pub mod suite;
 pub mod template;
 
+pub use arena::{ExecArena, ExecCursor};
 pub use codec::{AnnCodec, ByteReader, CodecError};
 pub use enumerate::{
     core_consistent, count_executions, enumerate_executions, enumerate_executions_pruned,
@@ -62,5 +74,7 @@ pub use exec::{Event, EventKind, Execution};
 pub use mir::{Expr, Instr, Loc, Program, ProgramError, Reg, RmwKind, Val};
 pub use order::MemOrder;
 pub use outcome::Outcome;
-pub use space::{ConsistencyModel, ExecutionSpace, Fingerprint, OutcomeGroups, SpaceStats};
+pub use space::{
+    ConsistencyModel, ExecutionSpace, Fingerprint, OutcomeGroups, SpaceStats, SpaceView,
+};
 pub use template::{LitmusTest, SlotKind, Template};

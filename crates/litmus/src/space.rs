@@ -7,18 +7,28 @@
 //! most expensive phase of the pipeline by the number of model cells.
 //!
 //! [`ExecutionSpace`] fixes that by making the candidate space a shared,
-//! lazily-materialized value:
+//! lazily-materialized value — and stores it *columnar*: every
+//! materialized view is backed by an [`ExecArena`](crate::ExecArena)
+//! (one flat buffer per candidate-varying column; see `crate::arena`),
+//! not a vector of owned `Execution`s, so materializing a space costs a
+//! handful of large buffer growths and dropping it a handful of frees.
 //!
 //! - [`ExecutionSpace::executions`] enumerates the full candidate space
-//!   exactly once (thread-safe, via [`OnceLock`]) and caches it;
-//! - [`ExecutionSpace::matching`] does the same for the target-restricted
-//!   space (the only part target-mode verification ever looks at),
-//!   cached per target outcome;
-//! - [`ExecutionSpace::realizes`] is the short-circuiting witness search:
-//!   it scans the cached matching space and stops at the first execution
-//!   the model accepts. For one-shot queries (no sharing),
-//!   [`ExecutionSpace::witness_search`] short-circuits the *enumeration*
-//!   itself without materializing anything.
+//!   exactly once (thread-safe, via [`OnceLock`]) into the space's
+//!   arena and returns a [`SpaceView`] over all of it;
+//! - [`ExecutionSpace::matching`] serves the target-restricted space
+//!   (the only part target-mode verification ever looks at), cached
+//!   per target outcome. If the full arena exists the view is a `u32`
+//!   index list over it; otherwise a dedicated target-pruned arena is
+//!   enumerated (the restricted enumeration prunes far harder than a
+//!   post-hoc filter, so an unmaterialized space never pays for the
+//!   full enumeration);
+//! - [`ExecutionSpace::realizes`] is the short-circuiting witness
+//!   search: it scans the cached matching view through a reusable
+//!   cursor and stops at the first execution the model accepts. For
+//!   one-shot queries (no sharing), [`ExecutionSpace::witness_search`]
+//!   short-circuits the *enumeration* itself without materializing
+//!   anything.
 //!
 //! Spaces are keyed by a structural [`Fingerprint`] of the program, so a
 //! cache of spaces deduplicates not only the model cells of one compiled
@@ -29,7 +39,21 @@
 //! [`ConsistencyModel`] is the other half of the engine: a memory model
 //! reduced to its consistency predicate. Both the C11 model and the
 //! microarchitecture models implement it, which is what lets one
-//! enumeration serve every layer of the stack.
+//! enumeration serve every layer of the stack. Models that judge via a
+//! compiled kernel bypass the per-`Execution` predicate entirely and
+//! stream a view's index list through
+//! `CompiledModel::check_batch` over the arena columns.
+//!
+//! # View invariants
+//!
+//! - A [`SpaceView`] holds an `Arc` to its backing arena; the arena
+//!   outlives every view, cursor and index list derived from it.
+//! - An index-list view (`matching` over a materialized full space,
+//!   outcome groups) indexes **the full arena**; a restricted view
+//!   (`matching` on an unmaterialized space) owns its own arena and
+//!   its index list is the identity.
+//! - Candidate order is enumeration order everywhere, so views are
+//!   deterministic and snapshots of equal spaces are byte-identical.
 //!
 //! # Examples
 //!
@@ -53,6 +77,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use tricheck_rel::Prelude;
 
+use crate::arena::ExecArena;
 use crate::codec::{self, AnnCodec, ByteReader, CodecError};
 use crate::enumerate::{
     enumerate_executions, enumerate_executions_pruned, enumerate_matching,
@@ -136,6 +161,106 @@ pub struct SpaceStats {
     pub prelude_misses: usize,
 }
 
+/// A read view over candidates of one space: a shared columnar arena
+/// plus (optionally) a `u32` index list selecting a subset of it.
+///
+/// Views are cheap to clone (two `Arc` bumps) and cheap to drop; the
+/// candidates live in the arena's columns, never in the view.
+#[derive(Clone, Debug)]
+pub struct SpaceView<A> {
+    arena: Arc<ExecArena<A>>,
+    /// `None` means the whole arena in candidate order.
+    indices: Option<Arc<Vec<u32>>>,
+}
+
+impl<A: Clone> SpaceView<A> {
+    /// Number of candidates in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.indices {
+            Some(idx) => idx.len(),
+            None => self.arena.len(),
+        }
+    }
+
+    /// `true` if the view selects no candidates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The backing arena. Index lists of this view (and of outcome
+    /// groups derived from a full-space view) index into it.
+    #[must_use]
+    pub fn arena(&self) -> &Arc<ExecArena<A>> {
+        &self.arena
+    }
+
+    /// The view's candidates as arena indices. A whole-arena view
+    /// returns the arena's shared identity list.
+    #[must_use]
+    pub fn indices(&self) -> Arc<Vec<u32>> {
+        match &self.indices {
+            Some(idx) => Arc::clone(idx),
+            None => self.arena.all_indices(),
+        }
+    }
+
+    /// Materializes the `k`-th candidate of the view as an owned
+    /// [`Execution`] (test/diagnostic aid — scans should use
+    /// [`SpaceView::any`] or a cursor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    #[must_use]
+    pub fn get(&self, k: usize) -> Execution<A> {
+        match &self.indices {
+            Some(idx) => self.arena.get(idx[k]),
+            None => self.arena.get(k as u32),
+        }
+    }
+
+    /// Materializes every candidate of the view, in view order.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<Execution<A>> {
+        (0..self.len()).map(|k| self.get(k)).collect()
+    }
+
+    /// Scans the view through a reusable cursor, stopping at the first
+    /// candidate `f` accepts. Allocation-free per candidate.
+    pub fn any(&self, mut f: impl FnMut(&Execution<A>) -> bool) -> bool {
+        let Some(mut cursor) = self.arena.cursor() else {
+            return false;
+        };
+        match &self.indices {
+            Some(idx) => idx.iter().any(|&i| f(cursor.at(i))),
+            None => (0..self.arena.len() as u32).any(|i| f(cursor.at(i))),
+        }
+    }
+
+    /// `true` if the two views share both backing storage and index
+    /// list (the cache-identity check `Arc::ptr_eq` used to provide).
+    #[must_use]
+    pub fn ptr_eq(a: &SpaceView<A>, b: &SpaceView<A>) -> bool {
+        Arc::ptr_eq(&a.arena, &b.arena)
+            && match (&a.indices, &b.indices) {
+                (None, None) => true,
+                (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+                _ => false,
+            }
+    }
+}
+
+/// A cached target-restricted view: an index list over the full arena
+/// when the full space was materialized first, or a dedicated
+/// target-pruned arena when not.
+#[derive(Debug)]
+enum MatchView<A> {
+    Indices(Arc<Vec<u32>>),
+    Restricted(Arc<ExecArena<A>>),
+}
+
 /// The candidate-execution space of one program, enumerated at most once
 /// per view (full, or restricted to a target outcome) and shared across
 /// every model that judges the program.
@@ -153,18 +278,21 @@ pub struct ExecutionSpace<A> {
     /// pruned and unpruned spaces are freely interchangeable; only the
     /// candidate counts and the work to produce them differ.
     prune: bool,
-    full: OnceLock<Arc<Vec<Execution<A>>>>,
-    matching: Mutex<BTreeMap<Outcome, Arc<Vec<Execution<A>>>>>,
+    full: OnceLock<Arc<ExecArena<A>>>,
+    matching: Mutex<BTreeMap<Outcome, MatchView<A>>>,
     /// Outcome partition of the full space, keyed by the observed-register
     /// list it projects onto (see [`ExecutionSpace::outcome_groups`]).
     groups: Mutex<GroupCache>,
-    /// Space-invariant preludes of the compiled model kernels judging
-    /// this space, keyed by kernel id (see
-    /// [`ExecutionSpace::kernel_prelude`]). Runtime-only state: never
-    /// part of [`ExecutionSpace::snapshot`] — preludes are recomputed
-    /// cheaply per process and their layout is a kernel implementation
-    /// detail, not a persistence format.
-    preludes: Mutex<BTreeMap<u64, Arc<Prelude>>>,
+    /// The most recent compiled-kernel prelude evaluated against this
+    /// space, tagged with its kernel id (see
+    /// [`ExecutionSpace::kernel_prelude`]). A single slot: batched
+    /// judging evaluates one prelude per (space, kernel) stream, so a
+    /// full map would only accumulate dead entries a sweep pays to free
+    /// at teardown. Runtime-only state: never part of
+    /// [`ExecutionSpace::snapshot`] — preludes are recomputed cheaply
+    /// per process and their layout is a kernel implementation detail,
+    /// not a persistence format.
+    prelude: Mutex<Option<(u64, Arc<Prelude>)>>,
     enumerations: AtomicUsize,
     cache_hits: AtomicUsize,
     candidates_pruned: AtomicUsize,
@@ -173,9 +301,9 @@ pub struct ExecutionSpace<A> {
 }
 
 /// The full candidate space partitioned by outcome: each entry pairs one
-/// outcome with the indices (into [`ExecutionSpace::executions`]) of the
-/// executions that produce it.
-pub type OutcomeGroups = Vec<(Outcome, Vec<usize>)>;
+/// outcome with the indices (into [`ExecutionSpace::executions`]'s
+/// arena) of the candidates that produce it.
+pub type OutcomeGroups = Vec<(Outcome, Vec<u32>)>;
 
 /// One cached partition per distinct observed-register list.
 type GroupCache = BTreeMap<Vec<(usize, Reg)>, Arc<OutcomeGroups>>;
@@ -192,7 +320,7 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
             full: OnceLock::new(),
             matching: Mutex::new(BTreeMap::new()),
             groups: Mutex::new(BTreeMap::new()),
-            preludes: Mutex::new(BTreeMap::new()),
+            prelude: Mutex::new(None),
             enumerations: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             candidates_pruned: AtomicUsize::new(0),
@@ -233,21 +361,18 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
         self.fingerprint
     }
 
-    /// The full candidate-execution space, enumerated on first use and
-    /// cached for every later caller.
-    #[must_use]
-    pub fn executions(&self) -> Arc<Vec<Execution<A>>> {
-        let mut enumerated = false;
-        let execs = self.full.get_or_init(|| {
-            enumerated = true;
-            let _t = tricheck_trace::span(tricheck_trace::Phase::SpaceEnum);
-            self.enumerations.fetch_add(1, Ordering::Relaxed);
-            let mut all = Vec::new();
-            let mut push = |exec: &Execution<A>| {
-                all.push(exec.clone());
-                true
-            };
-            if self.prune {
+    /// Runs one enumeration pass into a fresh arena, honoring the
+    /// space's pruning mode and maintaining the enumeration counters.
+    fn enumerate_into(&self, target: Option<&Outcome>) -> ExecArena<A> {
+        let _t = tricheck_trace::span(tricheck_trace::Phase::SpaceEnum);
+        self.enumerations.fetch_add(1, Ordering::Relaxed);
+        let mut arena = ExecArena::new();
+        let mut push = |exec: &Execution<A>| {
+            arena.push(exec);
+            true
+        };
+        match (self.prune, target) {
+            (true, None) => {
                 let e = enumerate_executions_pruned(&self.program, &mut push);
                 self.candidates_pruned
                     .fetch_add(e.pruned_branches, Ordering::Relaxed);
@@ -255,28 +380,59 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
                     tricheck_trace::Counter::PrunedBranches,
                     e.pruned_branches as u64,
                 );
-            } else {
+            }
+            (true, Some(target)) => {
+                let e = enumerate_matching_pruned(&self.program, target, &mut push);
+                self.candidates_pruned
+                    .fetch_add(e.pruned_branches, Ordering::Relaxed);
+                tricheck_trace::count(
+                    tricheck_trace::Counter::PrunedBranches,
+                    e.pruned_branches as u64,
+                );
+            }
+            (false, None) => {
                 enumerate_executions(&self.program, &mut push);
             }
-            tricheck_trace::count(
-                tricheck_trace::Counter::CandidatesEnumerated,
-                all.len() as u64,
-            );
-            Arc::new(all)
+            (false, Some(target)) => {
+                enumerate_matching(&self.program, target, &mut push);
+            }
+        }
+        tricheck_trace::count(
+            tricheck_trace::Counter::CandidatesEnumerated,
+            arena.len() as u64,
+        );
+        arena
+    }
+
+    /// The full candidate-execution space, enumerated on first use into
+    /// the space's columnar arena and served as a shared view ever
+    /// after.
+    #[must_use]
+    pub fn executions(&self) -> SpaceView<A> {
+        let mut enumerated = false;
+        let arena = self.full.get_or_init(|| {
+            enumerated = true;
+            Arc::new(self.enumerate_into(None))
         });
         if !enumerated {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(execs)
+        SpaceView {
+            arena: Arc::clone(arena),
+            indices: None,
+        }
     }
 
-    /// The candidate executions whose outcome matches `target`, enumerated
-    /// on first use per target and cached.
+    /// The candidate executions whose outcome matches `target`,
+    /// materialized on first use per target and cached.
     ///
-    /// If the full space is already materialized, the restriction filters
-    /// it instead of enumerating again.
+    /// If the full space is already materialized, the restriction is an
+    /// index list over its arena (no candidate is copied); otherwise a
+    /// dedicated target-pruned arena is enumerated. Lookups borrow the
+    /// target for the cache probe — the `Outcome` key is cloned exactly
+    /// once, on first insertion.
     #[must_use]
-    pub fn matching(&self, target: &Outcome) -> Arc<Vec<Execution<A>>> {
+    pub fn matching(&self, target: &Outcome) -> SpaceView<A> {
         // The lock is held across the enumeration so each (space, target)
         // pair is enumerated exactly once even under contention — the
         // losing racer waits and reads the winner's result. Distinct
@@ -285,67 +441,57 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
         let mut map = self.matching.lock().expect("space lock");
         if let Some(cached) = map.get(target) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(cached);
+            return self.resolve_match(cached);
         }
-        let restricted: Arc<Vec<Execution<A>>> = if let Some(full) = self.full.get() {
+        let view = if let Some(full) = self.full.get() {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             let observed: Vec<(usize, Reg)> = target.observed().collect();
-            Arc::new(
-                full.iter()
-                    .filter(|e| e.outcome(&observed) == *target)
-                    .cloned()
-                    .collect(),
-            )
+            let matching: Vec<u32> = (0..full.len() as u32)
+                .filter(|&i| full.outcome_of(i, &observed) == *target)
+                .collect();
+            MatchView::Indices(Arc::new(matching))
         } else {
-            let _t = tricheck_trace::span(tricheck_trace::Phase::SpaceEnum);
-            self.enumerations.fetch_add(1, Ordering::Relaxed);
-            let mut out = Vec::new();
-            let mut push = |exec: &Execution<A>| {
-                out.push(exec.clone());
-                true
-            };
-            if self.prune {
-                let e = enumerate_matching_pruned(&self.program, target, &mut push);
-                self.candidates_pruned
-                    .fetch_add(e.pruned_branches, Ordering::Relaxed);
-                tricheck_trace::count(
-                    tricheck_trace::Counter::PrunedBranches,
-                    e.pruned_branches as u64,
-                );
-            } else {
-                enumerate_matching(&self.program, target, &mut push);
-            }
-            tricheck_trace::count(
-                tricheck_trace::Counter::CandidatesEnumerated,
-                out.len() as u64,
-            );
-            Arc::new(out)
+            MatchView::Restricted(Arc::new(self.enumerate_into(Some(target))))
         };
-        map.insert(target.clone(), Arc::clone(&restricted));
-        restricted
+        let resolved = self.resolve_match(&view);
+        map.insert(target.clone(), view);
+        resolved
+    }
+
+    fn resolve_match(&self, view: &MatchView<A>) -> SpaceView<A> {
+        match view {
+            MatchView::Indices(idx) => SpaceView {
+                arena: Arc::clone(self.full.get().expect("index views require the full arena")),
+                indices: Some(Arc::clone(idx)),
+            },
+            MatchView::Restricted(arena) => SpaceView {
+                arena: Arc::clone(arena),
+                indices: None,
+            },
+        }
     }
 
     /// Short-circuiting witness search over the shared space: `true` if
     /// some candidate execution realizes `target` and satisfies
     /// `consistent`.
     ///
-    /// The target-restricted space is materialized once (shared by every
-    /// model asking about this program); each model's scan stops at its
-    /// first witness.
+    /// The target-restricted view is materialized once (shared by every
+    /// model asking about this program); each model's scan streams it
+    /// through a cursor and stops at its first witness.
     #[must_use]
     pub fn realizes(
         &self,
         target: &Outcome,
-        mut consistent: impl FnMut(&Execution<A>) -> bool,
+        consistent: impl FnMut(&Execution<A>) -> bool,
     ) -> bool {
-        self.matching(target).iter().any(&mut consistent)
+        self.matching(target).any(consistent)
     }
 
     /// The full candidate space partitioned by outcome over `observed`
     /// registers, computed once per distinct register list and shared by
-    /// every model that asks (the projection of each execution onto its
+    /// every model that asks (the projection of each candidate onto its
     /// outcome is model-independent, so it belongs to the space, not the
-    /// judge).
+    /// judge). Each group's members are indices into the full arena.
     ///
     /// This is what lets a full-outcome-set sweep run at witness-mode
     /// cost: the enumeration *and* the outcome projection are amortized
@@ -360,11 +506,11 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(cached);
         }
-        let execs = self.executions();
-        let mut by_outcome: BTreeMap<Outcome, Vec<usize>> = BTreeMap::new();
-        for (i, exec) in execs.iter().enumerate() {
+        let arena = self.executions().arena;
+        let mut by_outcome: BTreeMap<Outcome, Vec<u32>> = BTreeMap::new();
+        for i in 0..arena.len() as u32 {
             by_outcome
-                .entry(exec.outcome(observed))
+                .entry(arena.outcome_of(i, observed))
                 .or_default()
                 .push(i);
         }
@@ -376,19 +522,24 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
     /// The outcomes over `observed` registers across all candidate
     /// executions satisfying `consistent` (full-outcome-set mode).
     ///
-    /// Runs over the cached [`ExecutionSpace::outcome_groups`] partition:
-    /// each outcome's scan stops at the first consistent witness, and the
-    /// outcome projection itself is never recomputed per model.
+    /// Runs over the cached [`ExecutionSpace::outcome_groups`] partition
+    /// through one reusable cursor: each outcome's scan stops at the
+    /// first consistent witness, and the outcome projection itself is
+    /// never recomputed per model.
     #[must_use]
     pub fn outcome_set(
         &self,
         observed: &[(usize, Reg)],
         mut consistent: impl FnMut(&Execution<A>) -> bool,
     ) -> BTreeSet<Outcome> {
-        let execs = self.executions();
-        self.outcome_groups(observed)
+        let view = self.executions();
+        let groups = self.outcome_groups(observed);
+        let Some(mut cursor) = view.arena.cursor() else {
+            return BTreeSet::new();
+        };
+        groups
             .iter()
-            .filter(|(_, members)| members.iter().any(|&i| consistent(&execs[i])))
+            .filter(|(_, members)| members.iter().any(|&i| consistent(cursor.at(i))))
             .map(|(outcome, _)| outcome.clone())
             .collect()
     }
@@ -424,60 +575,75 @@ impl<A: Clone + Hash> ExecutionSpace<A> {
     }
 
     /// The space-invariant prelude of the compiled kernel identified by
-    /// `kernel_id`, evaluating it via `build` on first request and
-    /// replaying the cached result on every later one.
+    /// `kernel_id`, evaluating it via `build` on a slot miss and
+    /// replaying the cached result while the same kernel keeps asking.
     ///
-    /// A space is judged by many candidates of the same kernel in a
-    /// sweep cell; the prelude depends only on the program, so each
-    /// kernel pays for its invariant sub-expressions exactly once per
-    /// space. Hits count per-candidate replays; misses count distinct
-    /// kernels that ever judged this space.
+    /// The cache is a single slot, not a map: batched judging streams
+    /// every candidate of a (space, kernel) pair through one
+    /// `check_batch` call, so the prelude is requested once per stream
+    /// and back-to-back requests come from the same kernel. A per-kernel
+    /// map would only accumulate entries no later request reads — dead
+    /// weight the sweep pays to free at teardown. Hits count replays of
+    /// the slotted prelude; misses count evaluations.
     pub fn kernel_prelude(&self, kernel_id: u64, build: impl FnOnce() -> Prelude) -> Arc<Prelude> {
-        let mut map = self.preludes.lock().expect("space lock");
-        if let Some(cached) = map.get(&kernel_id) {
-            self.prelude_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(cached);
+        let mut slot = self.prelude.lock().expect("space lock");
+        if let Some((id, cached)) = slot.as_ref() {
+            if *id == kernel_id {
+                self.prelude_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(cached);
+            }
         }
         self.prelude_misses.fetch_add(1, Ordering::Relaxed);
         let prelude = Arc::new(build());
-        map.insert(kernel_id, Arc::clone(&prelude));
+        *slot = Some((kernel_id, Arc::clone(&prelude)));
         prelude
     }
 }
 
 impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
     /// Serializes every *materialized* view of the space — the full
-    /// candidate list (if enumerated), each cached target-restricted
-    /// list, and each cached outcome partition — into the pinned binary
-    /// encoding of [`crate::codec`]. Nothing is enumerated to produce
-    /// the snapshot: an untouched space snapshots to "no views", and a
-    /// target-mode space snapshots exactly its matching sets.
+    /// arena (if enumerated), each cached target-restricted view, and
+    /// each cached outcome partition — into the pinned binary encoding
+    /// of [`crate::codec`]. Arenas serialize as their columns (one
+    /// skeleton execution plus flat `rf`/`co`/`loc`/`val` buffers;
+    /// `fr` is re-derived on decode), index-list views as raw `u32`
+    /// lists. Nothing is enumerated to produce the snapshot: an
+    /// untouched space snapshots to "no views", and a target-mode space
+    /// snapshots exactly its matching views.
     ///
     /// Together with [`ExecutionSpace::from_snapshot`] this is what lets
     /// an on-disk store persist enumeration work across processes: a
     /// later process restores the views and its queries hit the caches
     /// instead of re-enumerating (its [`SpaceStats::enumerations`] stays
-    /// zero for restored views).
+    /// zero for restored views). Snapshots are deterministic, and
+    /// re-snapshotting a restored space is byte-identical — which is
+    /// what lets the store skip rewrites when nothing new materialized.
     #[must_use]
     pub fn snapshot(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self.full.get() {
-            Some(full) => {
+            Some(arena) => {
                 out.push(1);
-                codec::put_u32(&mut out, full.len() as u32);
-                for e in full.iter() {
-                    codec::put_bytes(&mut out, &codec::encode_execution(e));
-                }
+                codec::put_arena(&mut out, arena);
             }
             None => out.push(0),
         }
         let matching = self.matching.lock().expect("space lock");
         codec::put_u32(&mut out, matching.len() as u32);
-        for (target, execs) in matching.iter() {
+        for (target, view) in matching.iter() {
             codec::put_bytes(&mut out, &codec::encode_outcome(target));
-            codec::put_u32(&mut out, execs.len() as u32);
-            for e in execs.iter() {
-                codec::put_bytes(&mut out, &codec::encode_execution(e));
+            match view {
+                MatchView::Indices(idx) => {
+                    out.push(0);
+                    codec::put_u32(&mut out, idx.len() as u32);
+                    for &i in idx.iter() {
+                        codec::put_u32(&mut out, i);
+                    }
+                }
+                MatchView::Restricted(arena) => {
+                    out.push(1);
+                    codec::put_arena(&mut out, arena);
+                }
             }
         }
         drop(matching);
@@ -490,7 +656,7 @@ impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
                 codec::put_bytes(&mut out, &codec::encode_outcome(outcome));
                 codec::put_u32(&mut out, members.len() as u32);
                 for &i in members {
-                    codec::put_u32(&mut out, i as u32);
+                    codec::put_u32(&mut out, i);
                 }
             }
         }
@@ -498,8 +664,10 @@ impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
     }
 
     /// Rebuilds a space around `program` with the snapshot's views
-    /// pre-materialized. Counters start at zero: restored views count as
-    /// neither enumerations nor cache hits until queried.
+    /// pre-materialized — arenas decode column-wise in one pass, with
+    /// no per-candidate allocation. Counters start at zero: restored
+    /// views count as neither enumerations nor cache hits until
+    /// queried.
     ///
     /// The snapshot does not embed the program; callers (the disk store)
     /// are responsible for pairing a snapshot with the program it was
@@ -509,7 +677,7 @@ impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
     /// # Errors
     ///
     /// [`CodecError`] if the payload is truncated, carries unknown tags,
-    /// or references out-of-range execution indices. Callers treat any
+    /// or references out-of-range candidate indices. Callers treat any
     /// error as a cache miss and re-enumerate.
     pub fn from_snapshot(program: Program<A>, bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = ByteReader::new(bytes);
@@ -517,15 +685,11 @@ impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
         let n_full = match r.u8()? {
             0 => None,
             1 => {
-                let n = r.u32()? as usize;
-                let mut execs = Vec::with_capacity(n);
-                for _ in 0..n {
-                    execs.push(decode_framed_execution(&mut r)?);
-                }
-                let n = execs.len();
+                let arena = codec::read_arena::<A>(&mut r)?;
+                let n = arena.len();
                 space
                     .full
-                    .set(Arc::new(execs))
+                    .set(Arc::new(arena))
                     .unwrap_or_else(|_| unreachable!("fresh space has no full view"));
                 Some(n)
             }
@@ -537,12 +701,23 @@ impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
             for _ in 0..n_matching {
                 let target_bytes = r.bytes()?;
                 let target = codec::decode_outcome(&mut ByteReader::new(target_bytes))?;
-                let n = r.u32()? as usize;
-                let mut execs = Vec::with_capacity(n);
-                for _ in 0..n {
-                    execs.push(decode_framed_execution(&mut r)?);
-                }
-                matching.insert(target, Arc::new(execs));
+                let view = match r.u8()? {
+                    0 => {
+                        let n = r.u32()? as usize;
+                        let mut idx = Vec::with_capacity(n.min(r.remaining() / 4 + 1));
+                        for _ in 0..n {
+                            let i = r.u32()?;
+                            if n_full.is_none_or(|len| i as usize >= len) {
+                                return Err(CodecError::Invalid("matching view index"));
+                            }
+                            idx.push(i);
+                        }
+                        MatchView::Indices(Arc::new(idx))
+                    }
+                    1 => MatchView::Restricted(Arc::new(codec::read_arena::<A>(&mut r)?)),
+                    _ => return Err(CodecError::Invalid("matching view tag")),
+                };
+                matching.insert(target, view);
             }
         }
         let n_groups = r.u32()? as usize;
@@ -556,10 +731,10 @@ impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
                     let outcome_bytes = r.bytes()?;
                     let outcome = codec::decode_outcome(&mut ByteReader::new(outcome_bytes))?;
                     let n_members = r.u32()? as usize;
-                    let mut members = Vec::with_capacity(n_members);
+                    let mut members = Vec::with_capacity(n_members.min(r.remaining() / 4 + 1));
                     for _ in 0..n_members {
-                        let i = r.u32()? as usize;
-                        if n_full.is_none_or(|n| i >= n) {
+                        let i = r.u32()?;
+                        if n_full.is_none_or(|len| i as usize >= len) {
                             return Err(CodecError::Invalid("outcome group index"));
                         }
                         members.push(i);
@@ -576,21 +751,6 @@ impl<A: Clone + Hash + AnnCodec> ExecutionSpace<A> {
     }
 }
 
-/// Decodes one `u32`-length-framed execution. The frame lets a reader
-/// reject a payload whose execution encoding is shorter or longer than
-/// its frame claims.
-fn decode_framed_execution<A: AnnCodec>(
-    r: &mut ByteReader<'_>,
-) -> Result<Execution<A>, CodecError> {
-    let frame = r.bytes()?;
-    let mut er = ByteReader::new(frame);
-    let exec = codec::decode_execution(&mut er)?;
-    if er.remaining() != 0 {
-        return Err(CodecError::Invalid("trailing bytes in execution frame"));
-    }
-    Ok(exec)
-}
-
 /// A memory model reduced to its consistency predicate over candidate
 /// executions — the judge half of the enumerate-once/judge-everywhere
 /// engine.
@@ -599,7 +759,10 @@ fn decode_framed_execution<A: AnnCodec>(
 /// annotations) and `tricheck_uarch::UarchModel` (over hardware
 /// annotations); the provided methods turn any implementation into
 /// target-mode and outcome-set verdicts over a shared
-/// [`ExecutionSpace`].
+/// [`ExecutionSpace`]. Compiled-kernel implementations override the
+/// provided methods to stream view index lists through
+/// `CompiledModel::check_batch` instead of judging one owned
+/// `Execution` at a time.
 pub trait ConsistencyModel: Sync {
     /// The instruction annotation level the model judges.
     type Ann: Clone + Hash;
@@ -650,6 +813,18 @@ mod tests {
     }
 
     #[test]
+    fn full_space_candidates_are_bit_identical_to_enumeration() {
+        let t = suite::mp([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let mut direct = Vec::new();
+        crate::enumerate::enumerate_executions(t.program(), &mut |e| {
+            direct.push(e.clone());
+            true
+        });
+        assert_eq!(space.executions().to_vec(), direct);
+    }
+
+    #[test]
     fn full_space_enumerates_once() {
         let t = suite::mp([MemOrder::Rlx; 4]);
         let space = ExecutionSpace::new(t.program().clone());
@@ -667,7 +842,7 @@ mod tests {
         let space = ExecutionSpace::new(t.program().clone());
         let a = space.matching(t.target());
         let b = space.matching(t.target());
-        assert!(Arc::ptr_eq(&a, &b));
+        assert!(SpaceView::ptr_eq(&a, &b));
         assert_eq!(space.stats().enumerations, 1);
     }
 
@@ -683,8 +858,14 @@ mod tests {
             "restriction must filter the full space"
         );
         assert!(matched.len() <= full.len());
+        // The filtered view is an index list over the full arena, not a
+        // copy of the candidates.
+        assert!(Arc::ptr_eq(matched.arena(), full.arena()));
         let observed: Vec<(usize, Reg)> = t.target().observed().collect();
-        assert!(matched.iter().all(|e| e.outcome(&observed) == *t.target()));
+        assert!(matched
+            .to_vec()
+            .iter()
+            .all(|e| e.outcome(&observed) == *t.target()));
     }
 
     #[test]
@@ -725,10 +906,10 @@ mod tests {
         assert_eq!(total, space.executions().len());
         // Every member really produces its group's outcome, and groups
         // are disjoint by construction (BTreeMap keys).
-        let execs = space.executions();
+        let arena = Arc::clone(space.executions().arena());
         for (outcome, members) in groups.iter() {
             for &i in members {
-                assert_eq!(&execs[i].outcome(t.observed()), outcome);
+                assert_eq!(&arena.outcome_of(i, t.observed()), outcome);
             }
         }
     }
@@ -763,18 +944,33 @@ mod tests {
         let bytes = space.snapshot();
         let restored =
             ExecutionSpace::from_snapshot(t.program().clone(), &bytes).expect("roundtrip");
+        assert_eq!(restored.executions().to_vec(), space.executions().to_vec());
         assert_eq!(
-            restored.executions().as_slice(),
-            space.executions().as_slice()
-        );
-        assert_eq!(
-            restored.matching(t.target()).as_slice(),
-            space.matching(t.target()).as_slice()
+            restored.matching(t.target()).to_vec(),
+            space.matching(t.target()).to_vec()
         );
         assert_eq!(
             restored.outcome_groups(t.observed()),
             space.outcome_groups(t.observed())
         );
+        // Re-snapshotting the restored space is byte-identical — the
+        // store's skip-unchanged-writes contract depends on it.
+        assert_eq!(restored.snapshot(), bytes);
+    }
+
+    #[test]
+    fn matching_only_snapshot_roundtrips_restricted_arenas() {
+        // A target-mode space never materializes the full arena: its
+        // matching view is a dedicated restricted arena and must
+        // round-trip as one.
+        let t = suite::sb([MemOrder::Rlx; 4]);
+        let space = ExecutionSpace::new(t.program().clone());
+        let direct = space.matching(t.target()).to_vec();
+        let bytes = space.snapshot();
+        let restored = ExecutionSpace::from_snapshot(t.program().clone(), &bytes).expect("decode");
+        assert_eq!(restored.matching(t.target()).to_vec(), direct);
+        assert_eq!(restored.stats().enumerations, 0);
+        assert_eq!(restored.snapshot(), bytes);
     }
 
     #[test]
@@ -813,6 +1009,8 @@ mod tests {
         let t = suite::mp([MemOrder::Rlx; 4]);
         let space = ExecutionSpace::new(t.program().clone());
         let _ = space.executions();
+        let _ = space.matching(t.target());
+        let _ = space.outcome_groups(t.observed());
         let bytes = space.snapshot();
         // Truncations of every length fail cleanly.
         for cut in 0..bytes.len() {
@@ -862,11 +1060,11 @@ mod tests {
         let pruned = ExecutionSpace::pruned(prog.clone());
         let expect: Vec<_> = full
             .executions()
-            .iter()
-            .filter(|e| core_consistent(e))
-            .cloned()
+            .to_vec()
+            .into_iter()
+            .filter(core_consistent)
             .collect();
-        assert_eq!(pruned.executions().as_slice(), expect.as_slice());
+        assert_eq!(pruned.executions().to_vec(), expect);
         assert!(pruned.executions().len() < full.executions().len());
         assert!(pruned.stats().candidates_pruned > 0);
         assert_eq!(full.stats().candidates_pruned, 0);
@@ -876,11 +1074,11 @@ mod tests {
         let target = Outcome::from_values([((0, Reg(0)), Val(2))]);
         let matched: Vec<_> = full
             .matching(&target)
-            .iter()
-            .filter(|e| core_consistent(e))
-            .cloned()
+            .to_vec()
+            .into_iter()
+            .filter(core_consistent)
             .collect();
-        assert_eq!(pruned.matching(&target).as_slice(), matched.as_slice());
+        assert_eq!(pruned.matching(&target).to_vec(), matched);
         assert_eq!(pruned.matching(&target).len(), 1);
     }
 

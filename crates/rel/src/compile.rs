@@ -206,6 +206,33 @@ pub struct EvalScratch {
     body: Vec<Value>,
 }
 
+/// A source of candidate bindings addressed by dense `u32` index — the
+/// batched-checking counterpart of [`BaseRelations`].
+///
+/// An implementation typically wraps a columnar candidate arena plus a
+/// reusable cursor: `bind(i)` positions the cursor on candidate `i`
+/// (copying that candidate's relation rows out of flat columns into
+/// preallocated storage) and returns a [`BaseRelations`] view of it.
+/// The returned binding borrows the pool, so exactly one candidate is
+/// bound at a time — which is precisely the access pattern
+/// [`CompiledModel::check_batch`] streams.
+pub trait BindingPool {
+    /// The per-candidate binding type `bind` lends out.
+    type Binding<'a>: BaseRelations
+    where
+        Self: 'a;
+
+    /// The event-universe size shared by every candidate in the pool.
+    fn universe(&self) -> usize;
+
+    /// Binds candidate `index`, reusing the pool's internal buffers.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `index` is out of range.
+    fn bind(&mut self, index: u32) -> Self::Binding<'_>;
+}
+
 /// One axiom of the compiled program: the location of its relation and
 /// how much of the body schedule must be evaluated before testing it.
 #[derive(Clone, Debug)]
@@ -489,6 +516,47 @@ impl CompiledModel {
         scratch: &mut EvalScratch,
     ) -> bool {
         self.check_with_scratch(prelude, binding, scratch).is_ok()
+    }
+
+    /// Judges a batch of candidates drawn from a columnar pool,
+    /// streaming them through one shared [`Prelude`] and one
+    /// [`EvalScratch`].
+    ///
+    /// For each index in `indices` (in order) the pool is asked to
+    /// bind that candidate — for an arena-backed execution space this
+    /// is a row-copy from contiguous columns, not an allocation — and
+    /// the candidate is checked exactly as
+    /// [`check_with_scratch`](Self::check_with_scratch) would. The
+    /// prelude is evaluated **zero** times here: the caller computes it
+    /// once per (kernel, program) and replays it across the batch.
+    ///
+    /// `verdict(index, consistent)` is invoked per candidate; returning
+    /// `false` stops the stream early (the witness-search use: stop at
+    /// the first consistent candidate). Returns how many candidates
+    /// were judged.
+    ///
+    /// # Panics
+    ///
+    /// As [`CompiledModel::check_with_scratch`], per candidate.
+    pub fn check_batch<P: BindingPool>(
+        &self,
+        prelude: &Prelude,
+        pool: &mut P,
+        indices: &[u32],
+        scratch: &mut EvalScratch,
+        mut verdict: impl FnMut(u32, bool) -> bool,
+    ) -> usize {
+        let mut judged = 0;
+        for &index in indices {
+            let binding = pool.bind(index);
+            let consistent = self.check_with_scratch(prelude, &binding, scratch).is_ok();
+            drop(binding);
+            judged += 1;
+            if !verdict(index, consistent) {
+                break;
+            }
+        }
+        judged
     }
 
     /// One-shot check: evaluates the prelude and the body for a single

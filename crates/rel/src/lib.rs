@@ -132,7 +132,7 @@ pub mod compile;
 pub mod ir;
 pub mod parse;
 
-pub use compile::{CompiledModel, EvalScratch, Prelude};
+pub use compile::{BindingPool, CompiledModel, EvalScratch, Prelude};
 pub use ir::{Axiom, AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
 pub use parse::{parse_model, ParseError, Vocabulary};
 
@@ -662,6 +662,56 @@ impl Relation {
             bits |= row;
         }
         EventSet { n: self.n, bits }
+    }
+
+    /// The raw row bitmasks: word `i` holds the successor mask of
+    /// event `i`. The slice length is exactly `universe()`.
+    ///
+    /// This is the bulk-copy interface the columnar execution arenas
+    /// build on: a relation's entire edge content is `universe()`
+    /// contiguous `u64` words, so appending one to a flat column (or
+    /// rehydrating one from a column) is a single `memcpy`-shaped
+    /// operation instead of a pair-by-pair rebuild.
+    #[must_use]
+    pub fn row_words(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Overwrites this relation's rows from a slice of raw row words
+    /// (the same layout [`row_words`](Self::row_words) exposes),
+    /// without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != universe()`. In debug builds, also
+    /// panics if any word sets a bit at or above `universe()`.
+    pub fn copy_row_words_from(&mut self, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            self.n,
+            "row word count {} does not match universe {}",
+            words.len(),
+            self.n
+        );
+        debug_assert!(
+            words.iter().all(|&w| w & !mask(self.n) == 0),
+            "row words set bits outside the {}-event universe",
+            self.n
+        );
+        self.rows.copy_from_slice(words);
+    }
+
+    /// Builds a relation directly from raw row words, validating that
+    /// the length matches `n` and no word addresses an event `>= n`.
+    ///
+    /// Returns `None` on any mismatch — this is the checked entry
+    /// point snapshot decoding uses, where the words come from disk.
+    #[must_use]
+    pub fn try_from_row_words(n: usize, rows: Vec<u64>) -> Option<Relation> {
+        if n > MAX_EVENTS || rows.len() != n || rows.iter().any(|&w| w & !mask(n) != 0) {
+            return None;
+        }
+        Some(Relation { n, rows })
     }
 
     /// The successors of event `a` as a set.

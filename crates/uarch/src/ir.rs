@@ -111,6 +111,10 @@ pub struct HwBinding<'e> {
     fences: std::cell::OnceCell<(Relation, Relation, Relation)>,
     /// `same_loc` backs both the `same-loc` and `po-loc` bases.
     same_loc: std::cell::OnceCell<Relation>,
+    /// `fr = rf⁻¹;co`, backing the `fr` and `fre` bases. Pre-seeded by
+    /// [`HwBinding::with_fr`] when the caller already holds the derived
+    /// relation (the arena's `fr` column), computed on demand otherwise.
+    fr: std::cell::OnceCell<Relation>,
 }
 
 impl<'e> HwBinding<'e> {
@@ -121,11 +125,26 @@ impl<'e> HwBinding<'e> {
             exec,
             fences: std::cell::OnceCell::new(),
             same_loc: std::cell::OnceCell::new(),
+            fr: std::cell::OnceCell::new(),
         }
+    }
+
+    /// Binds an execution whose `fr = rf⁻¹;co` the caller has already
+    /// derived (columnar spaces keep `fr` precomputed per candidate), so
+    /// the `fr`/`fre` bases skip the inverse-compose recompute.
+    #[must_use]
+    pub fn with_fr(exec: &'e Execution<HwAnnot>, fr: Relation) -> Self {
+        let binding = Self::new(exec);
+        let _ = binding.fr.set(fr);
+        binding
     }
 
     fn fence_rels(&self) -> &(Relation, Relation, Relation) {
         self.fences.get_or_init(|| fence_edges(self.exec))
+    }
+
+    fn fr(&self) -> &Relation {
+        self.fr.get_or_init(|| self.exec.fr())
     }
 
     fn same_loc(&self) -> &Relation {
@@ -171,8 +190,8 @@ impl BaseRelations for HwBinding<'_> {
             "rfe" => self.exec.rfe(),
             "rfi" => self.exec.rfi(),
             "co" => self.exec.co().clone(),
-            "fr" => self.exec.fr(),
-            "fre" => self.exec.fre(),
+            "fr" => self.fr().clone(),
+            "fre" => self.exec.external(self.fr()),
             "fence-noncum" => self.fence_rels().0.clone(),
             "fence-cum" => self.fence_rels().1.clone(),
             "fence-heavy" => self.fence_rels().2.clone(),

@@ -35,9 +35,10 @@ use std::sync::OnceLock;
 
 use tricheck_isa::{HwAnnot, SpecVersion};
 use tricheck_litmus::{
-    outcome_set, ConsistencyModel, Execution, ExecutionSpace, Outcome, Program, Reg,
+    outcome_set, ConsistencyModel, ExecArena, ExecCursor, Execution, ExecutionSpace, Outcome,
+    Program, Reg,
 };
-use tricheck_rel::{CompiledModel, EvalScratch, EventSet, ModelIr, Relation};
+use tricheck_rel::{BindingPool, CompiledModel, EvalScratch, EventSet, ModelIr, Relation};
 
 use crate::config::{ReleasePredecessors, StoreAtomicity, UarchConfig};
 use crate::ir::{build_uarch_ir, fence_edges, x86_tso_ir, HwBinding};
@@ -442,18 +443,37 @@ impl ConsistencyModel for UarchModel {
         UarchModel::consistent(self, exec)
     }
 
-    // The space-judged paths replay the kernel's space-invariant prelude
-    // from the space's per-kernel cache instead of recomputing it for
-    // every candidate.
+    // The space-judged paths stream the space's columnar views through
+    // `CompiledModel::check_batch`: one cursor rebind per candidate (no
+    // per-candidate `Execution` clone, `fr` served from the arena's
+    // derived column) and one replay of the kernel's space-invariant
+    // prelude per stream from the space's per-kernel cache.
 
     fn permits(&self, space: &ExecutionSpace<HwAnnot>, target: &Outcome) -> bool {
         let compiled = self.compiled();
-        let mut scratch = EvalScratch::default();
-        space.realizes(target, |e| {
-            let binding = HwBinding::new(e);
-            let prelude = space.kernel_prelude(compiled.kernel_id(), || compiled.prelude(&binding));
-            compiled.consistent_with_scratch(&prelude, &binding, &mut scratch)
-        })
+        let view = space.matching(target);
+        if view.is_empty() {
+            return false;
+        }
+        let indices = view.indices();
+        let mut pool = HwPool::over(view.arena()).expect("non-empty view has candidates");
+        // The prelude lives for exactly this stream: batching already
+        // shares it across every candidate of the (space, kernel) pair,
+        // so caching it on the space would only defer the free to the
+        // sweep's teardown burst.
+        let prelude = compiled.prelude(&pool.bind(indices[0]));
+        let mut witnessed = false;
+        compiled.check_batch(
+            &prelude,
+            &mut pool,
+            &indices,
+            &mut EvalScratch::default(),
+            |_, ok| {
+                witnessed = ok;
+                !ok
+            },
+        );
+        witnessed
     }
 
     fn allowed_outcomes(
@@ -462,12 +482,57 @@ impl ConsistencyModel for UarchModel {
         observed: &[(usize, Reg)],
     ) -> BTreeSet<Outcome> {
         let compiled = self.compiled();
+        let view = space.executions();
+        let groups = space.outcome_groups(observed);
+        let Some(mut pool) = HwPool::over(view.arena()) else {
+            return BTreeSet::new();
+        };
+        // Stream-local prelude: see `permits`.
+        let prelude = compiled.prelude(&pool.bind(0));
         let mut scratch = EvalScratch::default();
-        space.outcome_set(observed, |e| {
-            let binding = HwBinding::new(e);
-            let prelude = space.kernel_prelude(compiled.kernel_id(), || compiled.prelude(&binding));
-            compiled.consistent_with_scratch(&prelude, &binding, &mut scratch)
+        let mut out = BTreeSet::new();
+        for (outcome, members) in groups.iter() {
+            let mut witnessed = false;
+            compiled.check_batch(&prelude, &mut pool, members, &mut scratch, |_, ok| {
+                witnessed = ok;
+                !ok
+            });
+            if witnessed {
+                out.insert(outcome.clone());
+            }
+        }
+        out
+    }
+}
+
+/// A [`BindingPool`] over a columnar space arena: one reusable
+/// [`ExecCursor`] rebinds the same skeleton execution per candidate and
+/// hands [`HwBinding`]s the arena's precomputed `fr` column.
+struct HwPool<'a> {
+    cursor: ExecCursor<'a, HwAnnot>,
+}
+
+impl<'a> HwPool<'a> {
+    fn over(arena: &'a ExecArena<HwAnnot>) -> Option<Self> {
+        Some(HwPool {
+            cursor: arena.cursor()?,
         })
+    }
+}
+
+impl BindingPool for HwPool<'_> {
+    type Binding<'b>
+        = HwBinding<'b>
+    where
+        Self: 'b;
+
+    fn universe(&self) -> usize {
+        self.cursor.universe()
+    }
+
+    fn bind(&mut self, index: u32) -> HwBinding<'_> {
+        self.cursor.at(index);
+        HwBinding::with_fr(self.cursor.exec(), self.cursor.fr().clone())
     }
 }
 

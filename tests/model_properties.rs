@@ -201,12 +201,11 @@ proptest! {
         let pruned = ExecutionSpace::pruned(compiled.program().clone());
         let filtered: Vec<_> = full
             .executions()
-            .iter()
-            .filter(|e| core_consistent(e))
-            .cloned()
+            .to_vec()
+            .into_iter()
+            .filter(core_consistent)
             .collect();
-        let pruned_execs = pruned.executions();
-        prop_assert_eq!(pruned_execs.as_slice(), filtered.as_slice());
+        prop_assert_eq!(pruned.executions().to_vec(), filtered);
         for model in UarchModel::all_riscv(SpecVersion::Curr) {
             prop_assert!(
                 model.permits(&full, compiled.target())
