@@ -17,6 +17,10 @@
 //!                                             Figure-15-style chart for a family
 //! tricheck file PATH [--model M] [--isa B] [--spec V]
 //!                                             parse a .litmus file and verify it
+//! tricheck lint FILE [--json] [--deny-warnings]
+//!                                             static-analysis pass over a model or
+//!                                             stack file (exit 1 on errors, 2 on
+//!                                             warnings under --deny-warnings)
 //!
 //! Every option is checked against the subcommand it is given to:
 //! unknown `--flags` and flags that do not apply to the subcommand are
@@ -64,6 +68,13 @@
 //!                               output is untouched
 //!          --trace FILE         write a chrome://tracing JSON timeline of
 //!                               every recorded span
+//!          --json               (lint only) emit the report as a
+//!                               tricheck-lint/v1 JSON document on stdout
+//!          --deny-warnings      (lint only) exit 2 when warnings remain
+//!          --allow-lint-errors  (sweep only) sweep a --model/--stack file
+//!                               even when the lint pass finds error-level
+//!                               defects (statically-empty relations,
+//!                               vacuous axioms)
 //! ```
 //!
 //! There is also a hidden `shard-worker` subcommand — the child half of
@@ -79,7 +90,7 @@ use tricheck::prelude::*;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -102,6 +113,7 @@ const USAGE: &str = "usage:
                  [--model FILE | --stack FILE]
   tricheck sweep --list-models [--stack FILE]
   tricheck file PATH [--model M] [--isa base|base+a] [--spec curr|ours]
+  tricheck lint FILE [--json] [--deny-warnings]
 
 models: WR rWR rWM rMM nWR nMM A9like (default nMM), or a path to a
         herd-style model file (models/x86-tso.cat is a worked example);
@@ -125,7 +137,14 @@ sweeps: --threads 1 gives a deterministic serial run; --cache-stats prints
         verdicts across runs (and across shards); --metrics-json FILE
         writes the structured tricheck-metrics/v1 report; --progress
         renders a live stderr progress line; --trace FILE writes a
-        chrome://tracing timeline";
+        chrome://tracing timeline
+lint:   runs the semantic static-analysis pass (E001/E002 statically-empty
+        relations and vacuous axioms, W001-W004 dead definitions, subsumed
+        axioms, shadow-adjacent names, unreachable mapping rows) over a
+        model or stack file; --json emits a tricheck-lint/v1 document;
+        --deny-warnings makes warnings exit 2; sweep --model/--stack runs
+        the same pass and refuses error-level findings unless
+        --allow-lint-errors is given";
 
 /// Every option the CLI knows about, in the order the usage text lists
 /// them. Used both to reject unknown `--flags` (with a nearest-match
@@ -146,6 +165,9 @@ const ALL_FLAGS: &[&str] = &[
     "--metrics-json",
     "--progress",
     "--trace",
+    "--json",
+    "--deny-warnings",
+    "--allow-lint-errors",
 ];
 
 #[derive(Debug)]
@@ -165,6 +187,9 @@ struct Options {
     metrics_json: Option<String>,
     progress: bool,
     trace_out: Option<String>,
+    json: bool,
+    deny_warnings: bool,
+    allow_lint_errors: bool,
     /// The flags actually given on the command line (canonical
     /// spellings), so subcommands can reject the ones that do not apply
     /// to them instead of silently ignoring them.
@@ -194,6 +219,9 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
         metrics_json: None,
         progress: false,
         trace_out: None,
+        json: false,
+        deny_warnings: false,
+        allow_lint_errors: false,
         given: Vec::new(),
     };
     let mut positional = Vec::new();
@@ -232,6 +260,9 @@ fn parse_options(args: &[String]) -> Result<(Vec<&String>, Options), String> {
                 opts.trace_out = Some(v.clone());
             }
             "--progress" => opts.progress = true,
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--allow-lint-errors" => opts.allow_lint_errors = true,
             "--cache-stats" => opts.cache_stats = true,
             "--outcomes" => opts.outcomes = true,
             "--power" => opts.power = true,
@@ -303,7 +334,25 @@ fn check_flags_apply(command: &str, opts: &Options) -> Result<(), String> {
     let allowed: &[&str] = match command {
         "compile" => &["--isa", "--spec"],
         "verify" | "diagnose" | "dot" | "file" => &["--model", "--isa", "--spec"],
-        "sweep" => ALL_FLAGS,
+        "lint" => &["--json", "--deny-warnings"],
+        "sweep" => &[
+            "--isa",
+            "--spec",
+            "--model",
+            "--stack",
+            "--threads",
+            "--cache-stats",
+            "--outcomes",
+            "--power",
+            "--x86",
+            "--list-models",
+            "--shards",
+            "--cache-dir",
+            "--metrics-json",
+            "--progress",
+            "--trace",
+            "--allow-lint-errors",
+        ],
         // list, show, shard-worker take no options.
         "list" | "show" | "shard-worker" => &[],
         // An unknown command: let the dispatcher report it as such.
@@ -397,7 +446,7 @@ fn format_c11_program(test: &LitmusTest) -> String {
     out
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<u8, String> {
     let (positional, opts) = parse_options(args)?;
     let mut pos = positional.into_iter();
     let command = pos.next().map(String::as_str).ok_or("no command given")?;
@@ -413,7 +462,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
             eprintln!("({count} tests)");
-            Ok(())
+            Ok(0)
         }
         "show" => {
             let name = pos.next().ok_or("show needs a test name")?;
@@ -428,7 +477,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     C11Verdict::Forbidden => "forbidden",
                 }
             );
-            Ok(())
+            Ok(0)
         }
         "compile" => {
             let name = pos.next().ok_or("compile needs a test name")?;
@@ -437,7 +486,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let compiled = compile(&test, mapping).map_err(|e| e.to_string())?;
             println!("mapping: {}", mapping.name());
             print!("{}", format_program(compiled.program(), Asm::RiscV));
-            Ok(())
+            Ok(0)
         }
         "verify" => {
             let name = pos.next().ok_or("verify needs a test name")?;
@@ -447,7 +496,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let stack = TriCheck::new(mapping, model);
             let result = stack.verify(&test).map_err(|e| e.to_string())?;
             println!("{result}");
-            Ok(())
+            Ok(0)
         }
         "diagnose" => {
             let name = pos.next().ok_or("diagnose needs a test name")?;
@@ -456,7 +505,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let model = resolve_model(&opts)?;
             let d = diagnose(mapping, &model, &test).map_err(|e| e.to_string())?;
             print!("{d}");
-            Ok(())
+            Ok(0)
         }
         "dot" => {
             let name = pos.next().ok_or("dot needs a test name")?;
@@ -467,7 +516,7 @@ fn run(args: &[String]) -> Result<(), String> {
             match d.witness_dot {
                 Some(dot) => {
                     print!("{dot}");
-                    Ok(())
+                    Ok(0)
                 }
                 None => Err(format!(
                     "target outcome of '{name}' is not observable on {} — no witness to draw",
@@ -485,7 +534,39 @@ fn run(args: &[String]) -> Result<(), String> {
             let model = resolve_model(&opts)?;
             let d = diagnose(mapping, &model, &test).map_err(|e| e.to_string())?;
             print!("{d}");
-            Ok(())
+            Ok(0)
+        }
+        "lint" => {
+            let path = pos.next().ok_or("lint needs a model or stack file path")?;
+            let (origin, diags, rules) =
+                tricheck::core::lint_path(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == tricheck::rel::lint::Severity::Error)
+                .count();
+            let warnings = diags.len() - errors;
+            if opts.json {
+                println!("{}", lint_json(&origin, rules, &diags));
+            } else {
+                for d in &diags {
+                    eprintln!("{origin}:{d}");
+                }
+                if diags.is_empty() {
+                    println!("{origin}: clean ({rules} rules checked)");
+                } else {
+                    println!(
+                        "{origin}: {errors} error(s), {warnings} warning(s) \
+                         ({rules} rules checked)"
+                    );
+                }
+            }
+            if errors > 0 {
+                Ok(1)
+            } else if opts.deny_warnings && warnings > 0 {
+                Ok(2)
+            } else {
+                Ok(0)
+            }
         }
         "sweep" => {
             // Runtime-loaded stacks and models, checked before anything
@@ -498,10 +579,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
             }
             let mut registry = tricheck::core::StackRegistry::new();
+            let mut lint_counters: Option<(u64, u64)> = None;
             if let Some(path) = &opts.stack {
-                registry
+                let loaded = registry
                     .load(std::path::Path::new(path))
                     .map_err(|e| e.to_string())?;
+                gate_lints(&loaded.origin, &loaded.lints, opts.allow_lint_errors)?;
+                lint_counters = Some((loaded.rules_checked as u64, loaded.lints.len() as u64));
             }
             let model_stacks = if opts.was_given("--model") {
                 let path = std::path::Path::new(&opts.model);
@@ -513,7 +597,10 @@ fn run(args: &[String]) -> Result<(), String> {
                         opts.model
                     ));
                 }
-                let ir = tricheck::core::load_model_file(path).map_err(|e| e.to_string())?;
+                let (ir, diags) =
+                    tricheck::core::load_model_file_linted(path).map_err(|e| e.to_string())?;
+                gate_lints(&opts.model, &diags, opts.allow_lint_errors)?;
+                lint_counters = Some((tricheck::rel::lint::MODEL_RULES as u64, diags.len() as u64));
                 Some((ir.name().to_string(), tricheck::core::stacks_for_model(&ir)))
             } else {
                 None
@@ -528,7 +615,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     extra.push((format!("{name} (loaded from {})", opts.model), stacks));
                 }
                 print!("{}", list_models(&extra));
-                return Ok(());
+                return Ok(0);
             }
             let custom = !registry.is_empty() || model_stacks.is_some();
             if custom && (opts.power || opts.x86) {
@@ -589,22 +676,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 print_report(|| report::family_chart(&results, &family));
                 results
             };
-            let report = end_sweep_trace(session, &opts, results.stats(), None, None)?;
+            let report =
+                end_sweep_trace(session, &opts, results.stats(), None, None, lint_counters)?;
             if opts.cache_stats {
                 print_engine_stats(&report);
             }
-            Ok(())
+            Ok(0)
         }
         // The child half of the --shards protocol: job on stdin, result
         // on stdout. Spawned by the planner, not typed by users (hence
         // absent from the usage text).
-        "shard-worker" => tricheck::dist::shard_worker_stdio(),
+        "shard-worker" => tricheck::dist::shard_worker_stdio().map(|()| 0),
         other => Err(format!("unknown command '{other}'")),
     }
 }
 
 /// The sharded / persistent sweep path (`--shards` or `--cache-dir`).
-fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<(), String> {
+fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<u8, String> {
     let cache_dir = opts
         .cache_dir
         .as_deref()
@@ -648,11 +736,102 @@ fn run_dist_sweep(family: &str, tests: &[LitmusTest], opts: &Options) -> Result<
         dist.results.stats(),
         opts.cache_dir.is_some().then_some(&store_stats),
         Some(&dist),
+        // Sharded sweeps only run the built-in matrices, which are
+        // lint-clean by construction (tests/lint.rs pins it).
+        None,
     )?;
     if opts.cache_stats {
         print_engine_stats(&trace_report);
     }
+    Ok(0)
+}
+
+/// Prints a `--model`/`--stack` file's lint findings to stderr and
+/// refuses to sweep over error-level ones (statically-empty relations,
+/// vacuous axioms — the sweep's verdicts would be judged against a model
+/// that cannot behave as written) unless `--allow-lint-errors` is given.
+fn gate_lints(
+    origin: &str,
+    lints: &[tricheck::rel::lint::Diagnostic],
+    allow_errors: bool,
+) -> Result<(), String> {
+    for d in lints {
+        eprintln!("{origin}:{d}");
+    }
+    let errors = lints
+        .iter()
+        .filter(|d| d.severity == tricheck::rel::lint::Severity::Error)
+        .count();
+    if errors > 0 && !allow_errors {
+        return Err(format!(
+            "{origin}: {errors} lint error(s) — rerun with --allow-lint-errors to \
+             sweep anyway, or `tricheck lint {origin}` for the full report"
+        ));
+    }
     Ok(())
+}
+
+/// Renders the stable `tricheck-lint/v1` JSON report for `lint --json`:
+/// schema tag, file, rule/finding counts, then one object per
+/// diagnostic in report order. Pinned by `lint_json_schema_is_stable`
+/// and schema-validated in CI.
+fn lint_json(
+    file: &str,
+    rules_checked: usize,
+    diags: &[tricheck::rel::lint::Diagnostic],
+) -> String {
+    use std::fmt::Write as _;
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == tricheck::rel::lint::Severity::Error)
+        .count();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"tricheck-lint/v1\",\"file\":{},\"rules_checked\":{rules_checked},\
+         \"errors\":{errors},\"warnings\":{},\"diagnostics\":[",
+        json_string(file),
+        diags.len() - errors
+    );
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":{},\"severity\":{},\"line\":{},\"column\":{},\"message\":{}}}",
+            json_string(d.code),
+            json_string(d.severity.label()),
+            d.line,
+            d.col,
+            json_string(&d.msg)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A JSON string literal: quotes, backslashes (model text contains `\`
+/// for set difference) and control characters escaped.
+fn json_string(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Whether the run needs metrics aggregation (not just progress).
@@ -728,6 +907,7 @@ fn end_sweep_trace(
     stats: &tricheck::core::SweepStats,
     store: Option<&tricheck::core::StoreStats>,
     dist: Option<&tricheck::dist::DistResults>,
+    lint_counters: Option<(u64, u64)>,
 ) -> Result<tricheck::trace::TraceReport, String> {
     if let Some((stop, handle)) = session.progress {
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -752,6 +932,12 @@ fn end_sweep_trace(
         for (name, value) in store.as_counters() {
             report.set_counter(name, value);
         }
+    }
+    // Stack/model files are linted while loading, *before* the trace
+    // session begins — inject the counts the session could not capture.
+    if let Some((rules, diags)) = lint_counters {
+        report.set_counter("lint_rules_checked", rules);
+        report.set_counter("lint_diagnostics", diags);
     }
     if let Some(path) = &opts.metrics_json {
         std::fs::write(path, report.to_json())
@@ -906,7 +1092,7 @@ mod tests {
         // The CI smoke invocation, in-process: the sb family through the
         // data-defined TSO stack.
         let args = strings(&["sweep", "sb", "--x86", "--threads", "2", "--cache-stats"]);
-        assert_eq!(run(&args), Ok(()));
+        assert_eq!(run(&args), Ok(0));
         // --power and --x86 cannot be combined.
         assert!(run(&strings(&["sweep", "sb", "--power", "--x86"])).is_err());
     }
@@ -931,7 +1117,7 @@ mod tests {
         // 28 RISC-V + 4 Power + 2 x86 stacks, plus 3 titles + 3 headers.
         assert_eq!(listing.lines().count(), 34 + 6);
         // And the flag path prints it without touching a sweep.
-        assert_eq!(run(&strings(&["sweep", "--list-models"])), Ok(()));
+        assert_eq!(run(&strings(&["sweep", "--list-models"])), Ok(0));
     }
 
     #[test]
@@ -939,7 +1125,7 @@ mod tests {
         // The CI smoke invocation, in-process: a small family through the
         // §7 engine sweep with explicit threads.
         let args = strings(&["sweep", "sb", "--power", "--threads", "2", "--cache-stats"]);
-        assert_eq!(run(&args), Ok(()));
+        assert_eq!(run(&args), Ok(0));
     }
 
     #[test]
@@ -992,8 +1178,8 @@ mod tests {
             dir.to_str().unwrap(),
             "--cache-stats",
         ]);
-        assert_eq!(run(&args), Ok(()));
-        assert_eq!(run(&args), Ok(()));
+        assert_eq!(run(&args), Ok(0));
+        assert_eq!(run(&args), Ok(0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1063,22 +1249,22 @@ mod tests {
     #[test]
     fn sweep_stack_file_runs_end_to_end() {
         let args = strings(&["sweep", "sb", "--stack", STACK_FILE, "--threads", "2"]);
-        assert_eq!(run(&args), Ok(()));
+        assert_eq!(run(&args), Ok(0));
         // And the loaded stack shows up in the catalog path.
         let args = strings(&["sweep", "--list-models", "--stack", STACK_FILE]);
-        assert_eq!(run(&args), Ok(()));
+        assert_eq!(run(&args), Ok(0));
     }
 
     #[test]
     fn sweep_model_file_runs_end_to_end() {
         let args = strings(&["sweep", "sb", "--model", MODEL_FILE, "--threads", "2"]);
-        assert_eq!(run(&args), Ok(()));
+        assert_eq!(run(&args), Ok(0));
     }
 
     #[test]
     fn single_test_commands_accept_a_model_file() {
         let args = strings(&["verify", "mp+rlx+rlx+rlx+rlx", "--model", MODEL_FILE]);
-        assert_eq!(run(&args), Ok(()));
+        assert_eq!(run(&args), Ok(0));
         // A value that is neither a built-in name nor a file still errors.
         let err = run(&strings(&[
             "verify",
@@ -1124,5 +1310,187 @@ mod tests {
         let err = run(&strings(&["sweep", "sb", "--stack", bad.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("bad.stack:4"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Writes `content` to a uniquely-named temp file and returns its
+    /// path (the caller removes it).
+    fn temp_file(tag: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "tricheck-cli-{tag}-{}-{}",
+            std::process::id(),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-")
+        ));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    /// A stack file whose model contains a statically-empty relation
+    /// (`rf ∩ co` can relate nothing: rf ends at reads, co at writes) —
+    /// the lint pass reports it as an E001 error.
+    const LINT_BAD_STACK: &str = "stack lint-bad
+isa x86
+mapping m
+  ld rlx|acq|sc = ld
+  st rlx|rel|sc = st
+model lint-bad
+  bad := (rf ∩ co)
+  Causality: acyclic((po ∪ bad))
+";
+
+    #[test]
+    fn lint_flags_parse_and_apply_per_subcommand() {
+        let args = strings(&["lint", "f", "--json", "--deny-warnings"]);
+        let (pos, opts) = parse_options(&args).unwrap();
+        assert_eq!(pos.len(), 2);
+        assert!(opts.json);
+        assert!(opts.deny_warnings);
+        assert!(!opts.allow_lint_errors);
+        let (_, opts) = parse_options(&strings(&["sweep", "--allow-lint-errors"])).unwrap();
+        assert!(opts.allow_lint_errors);
+        // Lint-only flags do not leak into sweep, nor sweep flags into lint.
+        for (args, flag) in [
+            (vec!["sweep", "sb", "--json"], "--json"),
+            (vec!["sweep", "sb", "--deny-warnings"], "--deny-warnings"),
+            (
+                vec!["lint", "f", "--allow-lint-errors"],
+                "--allow-lint-errors",
+            ),
+            (vec!["lint", "f", "--threads", "2"], "--threads"),
+            (vec!["verify", "x", "--json"], "--json"),
+        ] {
+            let err = run(&strings(&args)).unwrap_err();
+            assert!(
+                err.contains(&format!("'{flag}' does not apply")),
+                "{args:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_is_clean_on_the_committed_files() {
+        // The committed stack and model files must stay clean even under
+        // --deny-warnings (the CI smoke invocation, in-process).
+        assert_eq!(
+            run(&strings(&["lint", STACK_FILE, "--deny-warnings"])),
+            Ok(0)
+        );
+        assert_eq!(
+            run(&strings(&["lint", MODEL_FILE, "--deny-warnings"])),
+            Ok(0)
+        );
+        assert_eq!(run(&strings(&["lint", STACK_FILE, "--json"])), Ok(0));
+    }
+
+    #[test]
+    fn lint_exit_codes_separate_errors_from_warnings() {
+        let bad = temp_file("lint-e001.stack", LINT_BAD_STACK);
+        let path = bad.to_str().unwrap();
+        // Error-level findings exit 1, with or without --deny-warnings.
+        assert_eq!(run(&strings(&["lint", path])), Ok(1));
+        assert_eq!(run(&strings(&["lint", path, "--deny-warnings"])), Ok(1));
+        assert_eq!(run(&strings(&["lint", path, "--json"])), Ok(1));
+        std::fs::remove_file(&bad).unwrap();
+
+        // A warning-only model (dead definition) exits 0, or 2 under
+        // --deny-warnings.
+        let warn = temp_file(
+            "lint-w001.cat",
+            "model warny\n  dead := rfe\n  Causality: acyclic((po \u{222a} rf))\n",
+        );
+        let path = warn.to_str().unwrap();
+        assert_eq!(run(&strings(&["lint", path])), Ok(0));
+        assert_eq!(run(&strings(&["lint", path, "--deny-warnings"])), Ok(2));
+        std::fs::remove_file(&warn).unwrap();
+
+        // A missing file is an operational error, not a lint verdict.
+        assert!(run(&strings(&["lint", "/nonexistent.cat"])).is_err());
+    }
+
+    #[test]
+    fn sweep_refuses_lint_errors_unless_allowed() {
+        let bad = temp_file("sweep-gate.stack", LINT_BAD_STACK);
+        let path = bad.to_str().unwrap();
+        let err = run(&strings(&["sweep", "sb", "--stack", path])).unwrap_err();
+        assert!(err.contains("lint error"), "{err}");
+        assert!(err.contains("--allow-lint-errors"), "{err}");
+        // The override sweeps the (vacuous but well-formed) model anyway.
+        let args = strings(&[
+            "sweep",
+            "sb",
+            "--stack",
+            path,
+            "--threads",
+            "2",
+            "--allow-lint-errors",
+        ]);
+        assert_eq!(run(&args), Ok(0));
+        std::fs::remove_file(&bad).unwrap();
+    }
+
+    #[test]
+    fn sweep_metrics_carry_the_lint_counters() {
+        let json = std::env::temp_dir().join(format!(
+            "tricheck-cli-lint-metrics-{}.json",
+            std::process::id()
+        ));
+        let args = strings(&[
+            "sweep",
+            "sb",
+            "--stack",
+            STACK_FILE,
+            "--threads",
+            "2",
+            "--metrics-json",
+            json.to_str().unwrap(),
+        ]);
+        assert_eq!(run(&args), Ok(0));
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"lint_rules_checked\""), "{doc}");
+        assert!(doc.contains("\"lint_diagnostics\""), "{doc}");
+        std::fs::remove_file(&json).unwrap();
+    }
+
+    #[test]
+    fn lint_json_schema_is_stable() {
+        use tricheck::rel::lint::Diagnostic;
+        assert_eq!(
+            lint_json("m.cat", 6, &[]),
+            "{\"schema\":\"tricheck-lint/v1\",\"file\":\"m.cat\",\"rules_checked\":6,\
+             \"errors\":0,\"warnings\":0,\"diagnostics\":[]}"
+        );
+        let diags = [
+            Diagnostic::error(
+                "E001",
+                (3, 10),
+                "relation '(rf \u{2229} co)' is empty".to_string(),
+            ),
+            Diagnostic::warning(
+                "W001",
+                (2, 3),
+                "definition 'x \\ y' is never used".to_string(),
+            ),
+        ];
+        assert_eq!(
+            lint_json("a\"b.cat", 6, &diags),
+            "{\"schema\":\"tricheck-lint/v1\",\"file\":\"a\\\"b.cat\",\"rules_checked\":6,\
+             \"errors\":1,\"warnings\":1,\"diagnostics\":[\
+             {\"code\":\"E001\",\"severity\":\"error\",\"line\":3,\"column\":10,\
+             \"message\":\"relation '(rf \u{2229} co)' is empty\"},\
+             {\"code\":\"W001\",\"severity\":\"warning\",\"line\":2,\"column\":3,\
+             \"message\":\"definition 'x \\\\ y' is never used\"}]}"
+        );
+    }
+
+    #[test]
+    fn json_strings_escape_quotes_backslashes_and_controls() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("po \u{222a} rf"), "\"po \u{222a} rf\"");
     }
 }

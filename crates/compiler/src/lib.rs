@@ -45,7 +45,7 @@ use tricheck_litmus::{
 
 pub mod table;
 
-pub use table::{MapOp, MapStep, TableMapping};
+pub use table::{order_word, reachable_orders, MapOp, MapStep, TableMapping};
 
 /// Errors produced while compiling a litmus test.
 #[derive(Clone, PartialEq, Eq, Debug)]

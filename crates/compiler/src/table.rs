@@ -67,12 +67,43 @@ pub enum MapOp {
 }
 
 impl MapOp {
-    fn word(self) -> &'static str {
+    /// The table-syntax keyword for this operation (`ld`/`st`/`rmw`).
+    #[must_use]
+    pub fn word(self) -> &'static str {
         match self {
             MapOp::Load => "ld",
             MapOp::Store => "st",
             MapOp::Rmw => "rmw",
         }
+    }
+}
+
+/// The table-syntax word for a memory order (`rlx`, `acq`, …).
+#[must_use]
+pub fn order_word(mo: MemOrder) -> &'static str {
+    MO_WORDS[mo_index(mo)].0
+}
+
+/// The memory orders the C11 front end can actually request for `op`:
+/// the language has no release loads or acquire stores (the compiler
+/// rejects `ld rel`/`ld acq-rel` and `st acq`/`st acq-rel` outright),
+/// while RMWs may carry any order.
+///
+/// A table row outside this set can never be exercised; a *reachable*
+/// order left undefined compiles to `CompileError::Unsupported`. The
+/// lint pass's `W004` reports both.
+#[must_use]
+pub fn reachable_orders(op: MapOp) -> &'static [MemOrder] {
+    match op {
+        MapOp::Load => &[MemOrder::Rlx, MemOrder::Acq, MemOrder::Sc],
+        MapOp::Store => &[MemOrder::Rlx, MemOrder::Rel, MemOrder::Sc],
+        MapOp::Rmw => &[
+            MemOrder::Rlx,
+            MemOrder::Acq,
+            MemOrder::Rel,
+            MemOrder::AcqRel,
+            MemOrder::Sc,
+        ],
     }
 }
 
@@ -162,14 +193,26 @@ impl TableMapping {
         Ok(())
     }
 
+    /// `true` if an entry has been defined for `op` at order `mo`.
+    #[must_use]
+    pub fn defines(&self, op: MapOp, mo: MemOrder) -> bool {
+        let slots = match op {
+            MapOp::Load => &self.loads,
+            MapOp::Store => &self.stores,
+            MapOp::Rmw => &self.rmws,
+        };
+        slots[mo_index(mo)].is_some()
+    }
+
     /// Parses and installs one `<op> <orders> = <steps>` table line,
-    /// e.g. `st sc = st; mfence`.
+    /// e.g. `st sc = st; mfence`. Returns which operation and orders
+    /// the line defined, so loaders can reason about row coverage.
     ///
     /// # Errors
     ///
     /// A human-readable message naming the unknown operation, order or
     /// instruction.
-    pub fn parse_line(&mut self, line: &str) -> Result<(), String> {
+    pub fn parse_line(&mut self, line: &str) -> Result<(MapOp, Vec<MemOrder>), String> {
         let (lhs, rhs) = line
             .split_once('=')
             .ok_or_else(|| "expected '<op> <orders> = <steps>'".to_string())?;
@@ -205,7 +248,8 @@ impl TableMapping {
             orders.push(mo);
         }
         let steps = parse_steps(op, rhs)?;
-        self.define(op, &orders, steps)
+        self.define(op, &orders, steps)?;
+        Ok((op, orders))
     }
 
     fn steps_for(

@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 use tricheck_compiler::{compile, CompileError, Mapping};
 use tricheck_litmus::enumerate::enumerate_matching;
@@ -105,7 +106,7 @@ pub fn diagnose(
                     .map(|e| {
                         let mut line = exec.describe_event(e);
                         if let Some(src) = exec.rf().inverse().successors(e).iter().next() {
-                            line.push_str(&format!("  (reads from e{src})"));
+                            let _ = write!(line, "  (reads from e{src})");
                         }
                         line
                     })

@@ -69,8 +69,8 @@ pub mod verdict;
 
 pub use explain::{diagnose, Diagnosis};
 pub use registry::{
-    load_model_file, load_stack_file, parse_stack_file, stacks_for_model, LoadedStack,
-    StackFileError, StackRegistry,
+    lint_path, load_model_file, load_model_file_linted, load_stack_file, parse_stack_file,
+    stacks_for_model, LoadedStack, StackFileError, StackRegistry,
 };
 pub use runner::{
     power_stacks, results_from_items, riscv_stacks, x86_stacks, MatrixItems, MatrixStack,

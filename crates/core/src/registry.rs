@@ -46,11 +46,13 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use tricheck_compiler::{riscv_mapping, TableMapping};
+use tricheck_compiler::{order_word, reachable_orders, riscv_mapping, MapOp, TableMapping};
 use tricheck_isa::{RiscvIsa, SpecVersion};
-use tricheck_rel::parse::{intern, parse_model, ParseError};
+use tricheck_litmus::MemOrder;
+use tricheck_rel::lint::{lint_model, Diagnostic, MODEL_RULES, RULES};
+use tricheck_rel::parse::{intern, parse_model_spanned, ParseError};
 use tricheck_rel::ModelIr;
-use tricheck_uarch::{hw_vocabulary, UarchModel};
+use tricheck_uarch::{hw_lint_schema, hw_vocabulary, UarchModel};
 
 use crate::runner::{MatrixStack, StackKey};
 
@@ -111,6 +113,13 @@ pub struct LoadedStack {
     /// One matrix column per `mapping` section, in file order, all
     /// sharing the file's model.
     pub stacks: Vec<MatrixStack<'static>>,
+    /// Lint findings over the model text and mapping tables, with
+    /// lines re-anchored to file coordinates. Loading succeeds even
+    /// with error-level findings; callers decide whether to gate.
+    pub lints: Vec<Diagnostic>,
+    /// How many lint rules were evaluated while loading (for the
+    /// `lint_rules_checked` metrics counter).
+    pub rules_checked: usize,
 }
 
 impl fmt::Debug for LoadedStack {
@@ -183,10 +192,59 @@ pub fn load_stack_file(path: &Path) -> Result<LoadedStack, StackFileError> {
 /// A [`StackFileError`] naming the file and line on parse or I/O
 /// failure.
 pub fn load_model_file(path: &Path) -> Result<ModelIr, StackFileError> {
+    load_model_file_linted(path).map(|(ir, _)| ir)
+}
+
+/// Like [`load_model_file`], but also runs the model-level lint rules
+/// and returns the diagnostics (a bare model file needs no line
+/// re-anchoring — model text and file coordinates coincide).
+///
+/// # Errors
+///
+/// A [`StackFileError`] naming the file and line on parse or I/O
+/// failure.
+pub fn load_model_file_linted(path: &Path) -> Result<(ModelIr, Vec<Diagnostic>), StackFileError> {
     let origin = path.display().to_string();
     let src = fs::read_to_string(path)
         .map_err(|e| StackFileError::new(&origin, 0, format!("cannot read model file: {e}")))?;
-    parse_model(&src, &hw_vocabulary()).map_err(|e| StackFileError::from_parse(&origin, 1, &e))
+    let (ir, spans) = parse_model_spanned(&src, &hw_vocabulary())
+        .map_err(|e| StackFileError::from_parse(&origin, 1, &e))?;
+    let lints = lint_model(&ir, &hw_lint_schema(), Some(&spans));
+    Ok((ir, lints))
+}
+
+/// Lints one definition file — stack or bare model, distinguished by
+/// whether the first significant line is a `stack` directive — without
+/// building anything to sweep. Returns the display origin, the
+/// diagnostics, and how many lint rules ran.
+///
+/// # Errors
+///
+/// A [`StackFileError`] on I/O or parse failure (a file that does not
+/// parse cannot be linted; the parse error is the diagnostic).
+pub fn lint_path(path: &Path) -> Result<(String, Vec<Diagnostic>, usize), StackFileError> {
+    let origin = path.display().to_string();
+    let src = fs::read_to_string(path)
+        .map_err(|e| StackFileError::new(&origin, 0, format!("cannot read file: {e}")))?;
+    let is_stack = src
+        .lines()
+        .map(
+            |raw| match raw.find('#').into_iter().chain(raw.find("//")).min() {
+                Some(cut) => raw[..cut].trim(),
+                None => raw.trim(),
+            },
+        )
+        .find(|body| !body.is_empty())
+        .is_some_and(|body| body == "stack" || body.starts_with("stack "));
+    if is_stack {
+        let loaded = parse_stack_file(&src, &origin)?;
+        Ok((origin.clone(), loaded.lints, loaded.rules_checked))
+    } else {
+        let (ir, spans) = parse_model_spanned(&src, &hw_vocabulary())
+            .map_err(|e| StackFileError::from_parse(&origin, 1, &e))?;
+        let lints = lint_model(&ir, &hw_lint_schema(), Some(&spans));
+        Ok((origin, lints, MODEL_RULES))
+    }
 }
 
 /// Pairs a runtime-loaded hardware model with the four built-in RISC-V
@@ -354,8 +412,16 @@ pub fn parse_stack_file(src: &str, origin: &str) -> Result<LoadedStack, StackFil
         .skip(model_start)
         .flat_map(|l| [l, "\n"])
         .collect();
-    let ir = parse_model(&model_text, &hw_vocabulary())
+    let (ir, spans) = parse_model_spanned(&model_text, &hw_vocabulary())
         .map_err(|e| StackFileError::from_parse(origin, model_start + 1, &e))?;
+
+    // Model-level lint, re-anchored from model-text lines to file
+    // lines (model-text line 1 is file line `model_start + 1`).
+    let mut lints = lint_model(&ir, &hw_lint_schema(), Some(&spans));
+    for d in &mut lints {
+        d.line += model_start;
+    }
+    let model_lint_count = lints.len();
 
     let mut stacks = Vec::new();
     for section in mappings {
@@ -363,8 +429,10 @@ pub fn parse_stack_file(src: &str, origin: &str) -> Result<LoadedStack, StackFil
             .name
             .unwrap_or_else(|| format!("{name}-{}", section.label));
         let mut table = TableMapping::new(intern(&internal));
+        let mut rows: Vec<(usize, MapOp, Vec<MemOrder>)> = Vec::new();
         for (lineno, line) in &section.lines {
-            table.parse_line(line).map_err(|msg| err(*lineno, msg))?;
+            let (op, orders) = table.parse_line(line).map_err(|msg| err(*lineno, msg))?;
+            rows.push((*lineno, op, orders));
         }
         if !table.defines_anything() {
             return Err(err(
@@ -372,6 +440,13 @@ pub fn parse_stack_file(src: &str, origin: &str) -> Result<LoadedStack, StackFil
                 format!("mapping '{}' has no table entries", section.label),
             ));
         }
+        lint_mapping_table(
+            &section.label,
+            section.label_line,
+            &table,
+            &rows,
+            &mut lints,
+        );
         stacks.push(MatrixStack {
             key: StackKey::Custom {
                 isa: intern(&isa),
@@ -382,13 +457,79 @@ pub fn parse_stack_file(src: &str, origin: &str) -> Result<LoadedStack, StackFil
         });
     }
 
+    lints.sort_by(|a, b| (a.line, a.col, a.code, &a.msg).cmp(&(b.line, b.col, b.code, &b.msg)));
+    tricheck_trace::count(tricheck_trace::Counter::LintRulesChecked, 1);
+    tricheck_trace::count(
+        tricheck_trace::Counter::LintDiagnostics,
+        (lints.len() - model_lint_count) as u64,
+    );
+
     Ok(LoadedStack {
         title: title.unwrap_or_else(|| format!("stack study: {name}")),
         name,
         isa: intern(&isa),
         origin: origin.to_string(),
         stacks,
+        lints,
+        rules_checked: RULES.len(),
     })
+}
+
+/// `W004`: unreachable mapping rows and `Unsupported` holes.
+///
+/// A row declaring an order the compiler can never request for that op
+/// (e.g. `ld rel` — C11 has no release loads) is dead; an op that maps
+/// *some* orders but leaves a reachable one undefined compiles to
+/// `CompileError::Unsupported` the first time a test uses it. An op
+/// with no rows at all is deliberate (the mapping does not claim to
+/// support it) and is not flagged.
+fn lint_mapping_table(
+    label: &str,
+    label_line: usize,
+    table: &TableMapping,
+    rows: &[(usize, MapOp, Vec<MemOrder>)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (lineno, op, orders) in rows {
+        for &mo in orders {
+            if !reachable_orders(*op).contains(&mo) {
+                let reachable: Vec<&str> = reachable_orders(*op)
+                    .iter()
+                    .map(|&m| order_word(m))
+                    .collect();
+                out.push(Diagnostic::warning(
+                    "W004",
+                    (*lineno, 1),
+                    format!(
+                        "mapping '{label}': '{op} {mo}' row can never be used — C11 has no \
+                         {mo}-ordered {op}s (reachable {op} orders: {reach})",
+                        op = op.word(),
+                        mo = order_word(mo),
+                        reach = reachable.join(", "),
+                    ),
+                ));
+            }
+        }
+    }
+    for op in [MapOp::Load, MapOp::Store, MapOp::Rmw] {
+        if !rows.iter().any(|(_, o, _)| *o == op) {
+            continue;
+        }
+        for &mo in reachable_orders(op) {
+            if !table.defines(op, mo) {
+                out.push(Diagnostic::warning(
+                    "W004",
+                    (label_line, 1),
+                    format!(
+                        "mapping '{label}' defines some '{op}' orders but leaves '{op} {mo}' \
+                         undefined — compiling a test that uses it fails with Unsupported",
+                        op = op.word(),
+                        mo = order_word(mo),
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -522,6 +663,77 @@ model x86-TSO-toy
         assert!(e.msg.contains("column"), "{e}");
         assert!(e.msg.contains("unknown base relation 'fence-nocum'"), "{e}");
         assert!(e.msg.contains("did you mean 'fence-noncum'"), "{e}");
+    }
+
+    #[test]
+    fn toy_stack_loads_lint_clean() {
+        let loaded = parse_stack_file(TOY_STACK, "toy.stack").unwrap();
+        assert!(loaded.lints.is_empty(), "{:?}", loaded.lints);
+        assert_eq!(loaded.rules_checked, RULES.len());
+    }
+
+    #[test]
+    fn unreachable_mapping_rows_get_w004_at_their_line() {
+        // C11 has no acquire stores: an `st acq` row can never be used.
+        let src = TOY_STACK.replace("  st rlx|rel = st", "  st rlx|rel|acq = st");
+        let loaded = parse_stack_file(&src, "toy.stack").unwrap();
+        assert_eq!(loaded.lints.len(), 1, "{:?}", loaded.lints);
+        let d = &loaded.lints[0];
+        assert_eq!((d.code, d.line, d.col), ("W004", 8, 1));
+        assert!(d.msg.contains("mapping 'strong'"), "{}", d.msg);
+        assert!(
+            d.msg.contains("'st acq' row can never be used"),
+            "{}",
+            d.msg
+        );
+    }
+
+    #[test]
+    fn missing_reachable_orders_get_w004_at_the_mapping_label() {
+        // Dropping the SC-store row leaves a reachable order undefined
+        // (while the untouched rmw op — zero rows — stays exempt).
+        let src = TOY_STACK.replace("  st sc = st; mfence\n", "");
+        let loaded = parse_stack_file(&src, "toy.stack").unwrap();
+        assert_eq!(loaded.lints.len(), 1, "{:?}", loaded.lints);
+        let d = &loaded.lints[0];
+        assert_eq!((d.code, d.line, d.col), ("W004", 5, 1));
+        assert!(d.msg.contains("leaves 'st sc' undefined"), "{}", d.msg);
+    }
+
+    #[test]
+    fn model_lints_are_reanchored_to_stack_file_lines() {
+        let src = TOY_STACK.replace("model x86-TSO-toy\n", "model x86-TSO-toy\n  dead := rfe\n");
+        let loaded = parse_stack_file(&src, "toy.stack").unwrap();
+        assert_eq!(loaded.lints.len(), 1, "{:?}", loaded.lints);
+        let d = &loaded.lints[0];
+        // `dead := rfe` is line 2 of the model text, line 16 of the file.
+        assert_eq!((d.code, d.line, d.col), ("W001", 16, 3));
+    }
+
+    #[test]
+    fn lint_path_sniffs_stack_files_from_bare_models() {
+        let dir = std::env::temp_dir().join(format!("tricheck-lint-path-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let stack = dir.join("toy.stack");
+        fs::write(&stack, TOY_STACK).unwrap();
+        let (origin, diags, rules) = lint_path(&stack).unwrap();
+        assert!(origin.ends_with("toy.stack"), "{origin}");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(rules, RULES.len());
+
+        // A bare model file: file and model coordinates coincide, and
+        // only the model-level rules run (no mapping tables to check).
+        let cat = dir.join("toy.cat");
+        fs::write(
+            &cat,
+            "model toy\n  dead := rfe\n  Causality: acyclic((po ∪ rf))\n",
+        )
+        .unwrap();
+        let (_, diags, rules) = lint_path(&cat).unwrap();
+        assert_eq!(rules, MODEL_RULES);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!((diags[0].code, diags[0].line, diags[0].col), ("W001", 2, 3));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

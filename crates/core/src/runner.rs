@@ -767,9 +767,8 @@ impl<'t> SweepCache<'t> {
         // for a test no mapping can compile (the naive path evaluates
         // every test's C11 verdict too).
         let entry = self.c11_entry(t);
-        let compiled = match self.compiled(t, cell.mapping_idx, cell.mapping) {
-            Ok(compiled) => compiled,
-            Err(_) => return None, // the paper's suite always compiles
+        let Ok(compiled) = self.compiled(t, cell.mapping_idx, cell.mapping) else {
+            return None; // the paper's suite always compiles
         };
         match entry {
             C11Cached::Target(permitted) => {
@@ -1183,9 +1182,8 @@ impl Sweep {
     ) -> Vec<TestResult> {
         let indexed: Vec<(usize, &LitmusTest)> = tests.iter().enumerate().collect();
         parallel_map(&indexed, self.options.threads, |&(i, test)| {
-            let compiled = match compile(test, mapping) {
-                Ok(compiled) => compiled,
-                Err(_) => return None,
+            let Ok(compiled) = compile(test, mapping) else {
+                return None;
             };
             Some(match &c11[i] {
                 C11Cached::Target(permitted) => {

@@ -849,12 +849,10 @@ impl Lowerer<'_> {
             "model definition '{name}' references itself (cycle: {:?})",
             self.resolving
         );
-        let expr = self
-            .defs
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, e)| e)
-            .unwrap_or_else(|| panic!("model references undefined relation '{name}'"));
+        let expr = self.defs.iter().find(|(n, _)| *n == name).map_or_else(
+            || panic!("model references undefined relation '{name}'"),
+            |(_, e)| e,
+        );
         self.resolving.push(name);
         let node = self.lower_rel(expr);
         self.resolving.pop();

@@ -486,11 +486,10 @@ impl<'b, B: BaseRelations> EvalCtx<'b, B> {
             self.resolving
         );
         let defs = self.def_exprs;
-        let expr = defs
-            .iter()
-            .find(|(n, _)| name_eq(n, name))
-            .map(|(_, e)| e)
-            .unwrap_or_else(|| panic!("model references undefined relation '{name}'"));
+        let expr = defs.iter().find(|(n, _)| name_eq(n, name)).map_or_else(
+            || panic!("model references undefined relation '{name}'"),
+            |(_, e)| e,
+        );
         self.resolving.push(name);
         let value = self.eval_rel(expr);
         self.resolving.pop();

@@ -124,17 +124,59 @@
 //! let ww = po_plus.restrict(writes, writes);
 //! assert!(ww.contains(0, 2) && !ww.contains(0, 1));
 //! ```
+//!
+//! # Lint rules
+//!
+//! The [`lint`] module runs a static-analysis pass over a [`ModelIr`]
+//! — an abstract interpreter on a definitely-empty / definitely-
+//! irreflexive / definitely-acyclic lattice with domain/range sort
+//! inference — and reports spanned diagnostics without enumerating a
+//! single execution. `tricheck lint FILE` and the stack-file loader
+//! surface it; the rules:
+//!
+//! - **E001 — statically-empty relation used in an axiom.** A
+//!   sub-expression that provably relates nothing in any execution,
+//!   e.g. `0 ; rf` (composition with the empty relation) or `rf ∩ co`
+//!   (the intersection of a write→read relation with a write→write
+//!   relation — the inferred sorts are disjoint). The constraint it
+//!   feeds checks less than it appears to.
+//! - **E002 — vacuous axiom.** The axiom provably holds in every
+//!   execution, so it can never fail: `acyclic(rf)` (reads-from goes
+//!   write→read only, so no cycle is possible), `irreflexive(po)`
+//!   (program order is a strict order already), or any axiom over a
+//!   statically-empty relation.
+//! - **W001 — unused definition.** A def no axiom (transitively)
+//!   references, e.g. `dead := rf ∪ co` with no axiom mentioning
+//!   `dead`. The lazy evaluator never computes it, so it is dead
+//!   weight — and often a sign an axiom forgot an operand.
+//! - **W002 — redundant axiom.** Two axioms constrain the *same*
+//!   relation (hash-consed, so spelling through a def is seen through)
+//!   and one implies the other: `irreflexive(hb)` alongside
+//!   `acyclic(hb)` is subsumed, since acyclicity implies
+//!   irreflexivity; `empty` implies both.
+//! - **W003 — shadow-adjacent name.** A definition one edit away from
+//!   a base name, e.g. `po-lok := …` next to the base `po-loc`: a typo
+//!   at a use site would silently define or reference the wrong
+//!   relation. Names shorter than four characters are exempt.
+//! - **W004 — unreachable mapping rows / `Unsupported` holes** (stack
+//!   files only, checked by `tricheck-core`'s registry): a mapping row
+//!   for an order the compiler can never emit for that op (e.g.
+//!   `ld rel = …` — C11 has no release loads), or an op that maps some
+//!   orders but leaves a reachable one undefined, so compiling a test
+//!   that uses it fails with `Unsupported`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compile;
 pub mod ir;
+pub mod lint;
 pub mod parse;
 
 pub use compile::{BindingPool, CompiledModel, EvalScratch, Prelude};
 pub use ir::{Axiom, AxiomKind, BaseRelations, ModelIr, RelExpr, SetExpr};
-pub use parse::{parse_model, ParseError, Vocabulary};
+pub use lint::{Diagnostic, LintSchema, Severity};
+pub use parse::{parse_model, parse_model_spanned, ModelSpans, ParseError, Vocabulary};
 
 use std::fmt;
 

@@ -1,0 +1,1056 @@
+//! Static analysis over [`ModelIr`]: vacuity and dead-code detection
+//! without enumerating a single execution.
+//!
+//! The core engine is a small abstract interpreter over
+//! [`SetExpr`]/[`RelExpr`]. Every sub-expression is lowered onto a
+//! hash-consed node arena (the same interning idiom as the kernel
+//! compiler in [`crate::compile`]) and mapped to an abstract value on a
+//! lattice of *definite* facts:
+//!
+//! - **definitely empty** — the relation/set can contain nothing in any
+//!   execution;
+//! - **definitely irreflexive** — no `(a, a)` pair is possible;
+//! - **definitely acyclic** — no cycle is possible;
+//! - **domain/range sorts** — a bitmask over caller-defined event kinds
+//!   bounding which events may appear as sources/targets.
+//!
+//! `false` never means "no" — it means "not provable": the analysis
+//! only ever claims facts that hold in *every* execution, so a rule
+//! that fires is a real (if sometimes stylistic) defect, never an
+//! artifact of a binding the analysis did not consider.
+//!
+//! The facts for base names come from a [`LintSchema`] supplied by the
+//! binding layer (`tricheck_uarch::hw_lint_schema` for the hardware
+//! vocabulary); unknown names degrade gracefully to "no facts".
+//!
+//! The rules on top of the engine are documented in the crate-level
+//! "Lint rules" section of [`crate`].
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ir::{AxiomKind, ModelIr, RelExpr, SetExpr};
+use crate::parse::{edit_distance, ModelSpans, Pos};
+
+/// A bitmask over caller-defined event kinds (e.g. the hardware schema
+/// uses bit 0 for reads, bit 1 for writes, bit 2 for fences).
+pub type Sort = u32;
+
+/// Identifiers of every lint rule, in severity-then-number order.
+pub const RULES: [&str; 6] = ["E001", "E002", "W001", "W002", "W003", "W004"];
+
+/// How many of the [`RULES`] run over a bare model (`W004` needs a
+/// stack file's mapping tables and runs in the registry layer).
+pub const MODEL_RULES: usize = 5;
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+/// Diagnostic severity: warnings advise, errors gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or likely-unintended construct; the model still means
+    /// something.
+    Warning,
+    /// The model is provably (partially) vacuous; sweeping it would
+    /// silently check less than it claims.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in rendered diagnostics ("warning" /
+    /// "error").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One spanned lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (one of [`RULES`]).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// 1-based line (0 when the linted IR had no source text).
+    pub line: usize,
+    /// 1-based column (0 when the linted IR had no source text).
+    pub col: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic at `pos`.
+    #[must_use]
+    pub fn error(code: &'static str, pos: Pos, msg: String) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            line: pos.0,
+            col: pos.1,
+            msg,
+        }
+    }
+
+    /// A warning-severity diagnostic at `pos`.
+    #[must_use]
+    pub fn warning(code: &'static str, pos: Pos, msg: String) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            line: pos.0,
+            col: pos.1,
+            msg,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// Renders as `line:col: severity[CODE]: message`, so a caller can
+    /// prefix an origin to get the familiar `file:line:col:` shape.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.line,
+            self.col,
+            self.severity.label(),
+            self.code,
+            self.msg
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema: per-base facts supplied by the binding layer
+// ---------------------------------------------------------------------------
+
+/// The signature a schema declares for one base relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelSig {
+    /// Sorts that may appear as edge sources.
+    pub dom: Sort,
+    /// Sorts that may appear as edge targets.
+    pub rng: Sort,
+    /// The base never relates an event to itself.
+    pub irreflexive: bool,
+    /// The base, viewed as a graph, never contains a cycle.
+    pub acyclic: bool,
+}
+
+/// Facts about a vocabulary's base relations and sets, supplied by
+/// whoever owns the binding (sort masks, irreflexivity, acyclicity).
+///
+/// Built with the chainable constructors:
+///
+/// ```
+/// use tricheck_rel::lint::LintSchema;
+/// const R: u32 = 1;
+/// const W: u32 = 2;
+/// let schema = LintSchema::new(R | W)
+///     .set("R", R)
+///     .set("W", W)
+///     .ordered_rel("co", W, W) // irreflexive + acyclic
+///     .rel("conflict", R | W, R | W); // no order facts
+/// ```
+#[derive(Clone, Debug)]
+pub struct LintSchema {
+    universe: Sort,
+    rels: Vec<(String, RelSig)>,
+    sets: Vec<(String, Sort)>,
+}
+
+impl LintSchema {
+    /// A schema whose universe carries the given sort mask and no base
+    /// facts yet.
+    #[must_use]
+    pub fn new(universe: Sort) -> Self {
+        LintSchema {
+            universe,
+            rels: Vec::new(),
+            sets: Vec::new(),
+        }
+    }
+
+    /// A schema that knows the base names but claims no facts about
+    /// them — every rule that needs sorts degrades to "unknown", while
+    /// name-based rules (`W003`) still work.
+    #[must_use]
+    pub fn permissive(rels: &[&str], sets: &[&str]) -> Self {
+        let mut s = LintSchema::new(!0);
+        for r in rels {
+            s = s.rel(r, !0, !0);
+        }
+        for set in sets {
+            s = s.set(set, !0);
+        }
+        s
+    }
+
+    /// Declares a base set containing only events of the given sorts.
+    #[must_use]
+    pub fn set(mut self, name: &str, sort: Sort) -> Self {
+        self.sets.push((name.to_string(), sort));
+        self
+    }
+
+    /// Declares a base relation with domain/range sorts and no order
+    /// facts.
+    #[must_use]
+    pub fn rel(mut self, name: &str, dom: Sort, rng: Sort) -> Self {
+        self.rels.push((
+            name.to_string(),
+            RelSig {
+                dom,
+                rng,
+                irreflexive: false,
+                acyclic: false,
+            },
+        ));
+        self
+    }
+
+    /// Declares a base relation that is irreflexive in every execution
+    /// (but may contain cycles).
+    #[must_use]
+    pub fn irreflexive_rel(mut self, name: &str, dom: Sort, rng: Sort) -> Self {
+        self.rels.push((
+            name.to_string(),
+            RelSig {
+                dom,
+                rng,
+                irreflexive: true,
+                acyclic: false,
+            },
+        ));
+        self
+    }
+
+    /// Declares a base relation that is a strict (partial) order in
+    /// every execution: irreflexive and acyclic.
+    #[must_use]
+    pub fn ordered_rel(mut self, name: &str, dom: Sort, rng: Sort) -> Self {
+        self.rels.push((
+            name.to_string(),
+            RelSig {
+                dom,
+                rng,
+                irreflexive: true,
+                acyclic: true,
+            },
+        ));
+        self
+    }
+
+    /// The sort mask covering every event kind.
+    #[must_use]
+    pub fn universe(&self) -> Sort {
+        self.universe
+    }
+
+    /// The declared base-relation names, in declaration order.
+    pub fn rel_names(&self) -> impl Iterator<Item = &str> {
+        self.rels.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The declared base-set names, in declaration order.
+    pub fn set_names(&self) -> impl Iterator<Item = &str> {
+        self.sets.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The declared signature of a base relation, if any.
+    #[must_use]
+    pub fn rel_sig(&self, name: &str) -> Option<RelSig> {
+        self.rels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, sig)| sig)
+    }
+
+    /// The declared sort mask of a base set, if any.
+    #[must_use]
+    pub fn set_sort(&self, name: &str) -> Option<Sort> {
+        self.sets.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------------
+
+/// Abstract value of a set expression.
+#[derive(Clone, Copy, Debug)]
+struct SetAbs {
+    /// Definitely empty in every execution.
+    empty: bool,
+    /// May-contain sort mask.
+    mask: Sort,
+}
+
+/// Abstract value of a relation expression. Booleans are *definite*
+/// claims; `false` means "not provable", never "no".
+#[derive(Clone, Copy, Debug)]
+struct RelAbs {
+    empty: bool,
+    irr: bool,
+    acyc: bool,
+    dom: Sort,
+    rng: Sort,
+}
+
+impl RelAbs {
+    /// No facts at all (other than the universe sort bound).
+    fn unknown(universe: Sort) -> Self {
+        RelAbs {
+            empty: false,
+            irr: false,
+            acyc: false,
+            dom: universe,
+            rng: universe,
+        }
+    }
+}
+
+/// Closes a relation abstraction under the sort rules: an empty sort
+/// mask on either side forces emptiness, disjoint sides force
+/// irreflexivity and acyclicity (no event can be both a source and a
+/// target, so no self-pair and no path of length ≥ 2), and emptiness
+/// implies everything.
+fn norm(mut a: RelAbs) -> RelAbs {
+    if a.dom == 0 || a.rng == 0 {
+        a.empty = true;
+    }
+    if a.dom & a.rng == 0 {
+        a.irr = true;
+        a.acyc = true;
+    }
+    if a.empty {
+        a.irr = true;
+        a.acyc = true;
+        a.dom = 0;
+        a.rng = 0;
+    }
+    a
+}
+
+fn norm_set(mut s: SetAbs) -> SetAbs {
+    if s.mask == 0 {
+        s.empty = true;
+    }
+    if s.empty {
+        s.mask = 0;
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Hash-consed lowering + transfer functions
+// ---------------------------------------------------------------------------
+
+/// One structurally-hashed node. References are resolved during
+/// lowering, so two axioms over the same relation — even spelled via
+/// different defs — cons to the same node id (`W002` keys on this).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Node {
+    BaseRel(&'static str),
+    BaseSet(&'static str),
+    EmptyRel,
+    IdRel,
+    UniverseSet,
+    EmptySet,
+    Cross(usize, usize),
+    UnionRel(usize, usize),
+    InterRel(usize, usize),
+    MinusRel(usize, usize),
+    SeqRel(usize, usize),
+    InverseRel(usize),
+    PlusRel(usize),
+    StarRel(usize),
+    OptRel(usize),
+    RestrictRel(usize, usize, usize),
+    UnionSet(usize, usize),
+    InterSet(usize, usize),
+    MinusSet(usize, usize),
+}
+
+#[derive(Clone, Copy)]
+enum AbsVal {
+    Rel(RelAbs),
+    Set(SetAbs),
+}
+
+impl AbsVal {
+    fn rel(self) -> RelAbs {
+        match self {
+            AbsVal::Rel(r) => r,
+            AbsVal::Set(_) => unreachable!("set node used as a relation"),
+        }
+    }
+
+    fn set(self) -> SetAbs {
+        match self {
+            AbsVal::Set(s) => s,
+            AbsVal::Rel(_) => unreachable!("relation node used as a set"),
+        }
+    }
+}
+
+struct Analysis<'s> {
+    schema: &'s LintSchema,
+    nodes: Vec<Node>,
+    abs: Vec<AbsVal>,
+    cse: HashMap<Node, usize>,
+    /// Def name → consed node id of its body (filled in def order).
+    def_nodes: HashMap<&'static str, usize>,
+}
+
+impl<'s> Analysis<'s> {
+    fn new(schema: &'s LintSchema) -> Self {
+        Analysis {
+            schema,
+            nodes: Vec::new(),
+            abs: Vec::new(),
+            cse: HashMap::new(),
+            def_nodes: HashMap::new(),
+        }
+    }
+
+    fn add(&mut self, node: Node) -> usize {
+        if let Some(&id) = self.cse.get(&node) {
+            return id;
+        }
+        let abs = self.transfer(&node);
+        let id = self.nodes.len();
+        self.nodes.push(node.clone());
+        self.abs.push(abs);
+        self.cse.insert(node, id);
+        id
+    }
+
+    fn rel_at(&self, id: usize) -> RelAbs {
+        self.abs[id].rel()
+    }
+
+    fn set_at(&self, id: usize) -> SetAbs {
+        self.abs[id].set()
+    }
+
+    /// The abstract transfer function: the node's abstract value from
+    /// its operands'. Every claim must hold in every execution; when in
+    /// doubt a fact stays `false` ("unknown").
+    fn transfer(&self, node: &Node) -> AbsVal {
+        let u = self.schema.universe();
+        match *node {
+            Node::BaseRel(name) => {
+                let abs = match self.schema.rel_sig(name) {
+                    Some(sig) => RelAbs {
+                        empty: false,
+                        irr: sig.irreflexive,
+                        acyc: sig.acyclic,
+                        dom: sig.dom,
+                        rng: sig.rng,
+                    },
+                    None => RelAbs::unknown(u),
+                };
+                AbsVal::Rel(norm(abs))
+            }
+            Node::EmptyRel => AbsVal::Rel(norm(RelAbs {
+                empty: true,
+                irr: true,
+                acyc: true,
+                dom: 0,
+                rng: 0,
+            })),
+            // `id` relates every event to itself; we assume a nonempty
+            // universe, so it is neither empty nor irreflexive — but we
+            // claim neither, since claims must be definite.
+            Node::IdRel => AbsVal::Rel(RelAbs::unknown(u)),
+            Node::Cross(a, b) => {
+                let (sa, sb) = (self.set_at(a), self.set_at(b));
+                AbsVal::Rel(norm(RelAbs {
+                    empty: sa.empty || sb.empty,
+                    irr: false,
+                    acyc: false,
+                    dom: sa.mask,
+                    rng: sb.mask,
+                }))
+            }
+            Node::UnionRel(a, b) => {
+                let (ra, rb) = (self.rel_at(a), self.rel_at(b));
+                AbsVal::Rel(norm(RelAbs {
+                    empty: ra.empty && rb.empty,
+                    irr: ra.irr && rb.irr,
+                    // A union is only provably acyclic when one side
+                    // contributes nothing (the disjoint-sorts case is
+                    // re-derived by `norm` from the joined masks).
+                    acyc: (ra.empty && rb.acyc) || (rb.empty && ra.acyc),
+                    dom: ra.dom | rb.dom,
+                    rng: ra.rng | rb.rng,
+                }))
+            }
+            Node::InterRel(a, b) => {
+                let (ra, rb) = (self.rel_at(a), self.rel_at(b));
+                AbsVal::Rel(norm(RelAbs {
+                    empty: ra.empty || rb.empty,
+                    irr: ra.irr || rb.irr,
+                    acyc: ra.acyc || rb.acyc,
+                    dom: ra.dom & rb.dom,
+                    rng: ra.rng & rb.rng,
+                }))
+            }
+            Node::MinusRel(a, _) => {
+                // A subset inherits every definite fact of `a`.
+                AbsVal::Rel(norm(self.rel_at(a)))
+            }
+            Node::SeqRel(a, b) => {
+                let (ra, rb) = (self.rel_at(a), self.rel_at(b));
+                AbsVal::Rel(norm(RelAbs {
+                    // A composed pair needs a middle event that is a
+                    // target of `a` and a source of `b`.
+                    empty: ra.empty || rb.empty || ra.rng & rb.dom == 0,
+                    irr: false,
+                    acyc: false,
+                    dom: ra.dom,
+                    rng: rb.rng,
+                }))
+            }
+            Node::InverseRel(a) => {
+                let ra = self.rel_at(a);
+                AbsVal::Rel(norm(RelAbs {
+                    dom: ra.rng,
+                    rng: ra.dom,
+                    ..ra
+                }))
+            }
+            Node::PlusRel(a) => {
+                let ra = self.rel_at(a);
+                AbsVal::Rel(norm(RelAbs {
+                    empty: ra.empty,
+                    // (x, x) ∈ r⁺ is exactly a cycle of r.
+                    irr: ra.acyc,
+                    acyc: ra.acyc,
+                    dom: ra.dom,
+                    rng: ra.rng,
+                }))
+            }
+            // r* and r? contain `id`: nonempty, reflexive, cyclic (in
+            // any nonempty universe) — so no definite facts survive.
+            Node::StarRel(_) | Node::OptRel(_) => AbsVal::Rel(RelAbs::unknown(u)),
+            Node::RestrictRel(a, d, r) => {
+                let ra = self.rel_at(a);
+                let (sd, sr) = (self.set_at(d), self.set_at(r));
+                AbsVal::Rel(norm(RelAbs {
+                    empty: ra.empty || sd.empty || sr.empty,
+                    irr: ra.irr,
+                    acyc: ra.acyc,
+                    dom: ra.dom & sd.mask,
+                    rng: ra.rng & sr.mask,
+                }))
+            }
+            Node::BaseSet(name) => AbsVal::Set(norm_set(SetAbs {
+                empty: false,
+                mask: self.schema.set_sort(name).unwrap_or(u),
+            })),
+            Node::UniverseSet => AbsVal::Set(SetAbs {
+                empty: false,
+                mask: u,
+            }),
+            Node::EmptySet => AbsVal::Set(SetAbs {
+                empty: true,
+                mask: 0,
+            }),
+            Node::UnionSet(a, b) => {
+                let (sa, sb) = (self.set_at(a), self.set_at(b));
+                AbsVal::Set(norm_set(SetAbs {
+                    empty: sa.empty && sb.empty,
+                    mask: sa.mask | sb.mask,
+                }))
+            }
+            Node::InterSet(a, b) => {
+                let (sa, sb) = (self.set_at(a), self.set_at(b));
+                AbsVal::Set(norm_set(SetAbs {
+                    empty: sa.empty || sb.empty,
+                    mask: sa.mask & sb.mask,
+                }))
+            }
+            Node::MinusSet(a, _) => AbsVal::Set(norm_set(self.set_at(a))),
+        }
+    }
+
+    fn lower_rel(&mut self, e: &RelExpr) -> usize {
+        let node = match e {
+            RelExpr::Base(n) => Node::BaseRel(n),
+            // A `Ref` resolves to the referenced def's node, so defs
+            // are transparent to both the lattice and `W002`'s
+            // same-relation test. Unknown names (possible only in
+            // hand-built IR) degrade to an opaque base.
+            RelExpr::Ref(n) => match self.def_nodes.get(n) {
+                Some(&id) => return id,
+                None => Node::BaseRel(n),
+            },
+            RelExpr::Empty => Node::EmptyRel,
+            RelExpr::Id => Node::IdRel,
+            RelExpr::Cross(s1, s2) => Node::Cross(self.lower_set(s1), self.lower_set(s2)),
+            RelExpr::Union(a, b) => Node::UnionRel(self.lower_rel(a), self.lower_rel(b)),
+            RelExpr::Inter(a, b) => Node::InterRel(self.lower_rel(a), self.lower_rel(b)),
+            RelExpr::Minus(a, b) => Node::MinusRel(self.lower_rel(a), self.lower_rel(b)),
+            RelExpr::Seq(a, b) => Node::SeqRel(self.lower_rel(a), self.lower_rel(b)),
+            RelExpr::Inverse(a) => Node::InverseRel(self.lower_rel(a)),
+            RelExpr::Plus(a) => Node::PlusRel(self.lower_rel(a)),
+            RelExpr::Star(a) => Node::StarRel(self.lower_rel(a)),
+            RelExpr::Opt(a) => Node::OptRel(self.lower_rel(a)),
+            RelExpr::Restrict(a, d, r) => {
+                Node::RestrictRel(self.lower_rel(a), self.lower_set(d), self.lower_set(r))
+            }
+        };
+        self.add(node)
+    }
+
+    fn lower_set(&mut self, e: &SetExpr) -> usize {
+        let node = match e {
+            SetExpr::Base(n) => Node::BaseSet(n),
+            SetExpr::Universe => Node::UniverseSet,
+            SetExpr::Empty => Node::EmptySet,
+            SetExpr::Union(a, b) => Node::UnionSet(self.lower_set(a), self.lower_set(b)),
+            SetExpr::Inter(a, b) => Node::InterSet(self.lower_set(a), self.lower_set(b)),
+            SetExpr::Minus(a, b) => Node::MinusSet(self.lower_set(a), self.lower_set(b)),
+        };
+        self.add(node)
+    }
+
+    fn rel_abs(&mut self, e: &RelExpr) -> RelAbs {
+        let id = self.lower_rel(e);
+        self.rel_at(id)
+    }
+
+    /// `E001` walk: reports the *outermost responsible* statically-empty
+    /// sub-expressions of `e`. A node is reported when its abstraction
+    /// is empty and no non-literal relation operand is itself empty
+    /// (emptiness caused by a literal `0` or by set operands is blamed
+    /// on the composite — `∅ ; r` reports at the `;`). Literal `0`
+    /// bodies, bare bases, and bare refs are never reported: the first
+    /// is intentional, the others are impossible or handled at the
+    /// referenced def.
+    fn scan_empty(&mut self, e: &RelExpr, ctx: &str, pos: Pos, out: &mut Vec<Diagnostic>) {
+        for child in rel_children(e) {
+            self.scan_empty(child, ctx, pos, out);
+        }
+        if matches!(
+            e,
+            RelExpr::Empty | RelExpr::Base(_) | RelExpr::Ref(_) | RelExpr::Id
+        ) {
+            return;
+        }
+        if !self.rel_abs(e).empty {
+            return;
+        }
+        let blamed_on_child = rel_children(e)
+            .iter()
+            .any(|c| !matches!(c, RelExpr::Empty) && self.rel_abs(c).empty);
+        if !blamed_on_child {
+            out.push(Diagnostic::error(
+                "E001",
+                pos,
+                format!(
+                    "{ctx}: sub-expression '{e}' is statically empty — it can relate nothing in any execution"
+                ),
+            ));
+        }
+    }
+}
+
+/// The direct relation operands of a node (set operands are excluded:
+/// set emptiness is blamed on the enclosing relation node).
+fn rel_children(e: &RelExpr) -> Vec<&RelExpr> {
+    match e {
+        RelExpr::Base(_) | RelExpr::Ref(_) | RelExpr::Empty | RelExpr::Id | RelExpr::Cross(..) => {
+            Vec::new()
+        }
+        RelExpr::Union(a, b) | RelExpr::Inter(a, b) | RelExpr::Minus(a, b) | RelExpr::Seq(a, b) => {
+            vec![a, b]
+        }
+        RelExpr::Inverse(a) | RelExpr::Plus(a) | RelExpr::Star(a) | RelExpr::Opt(a) => {
+            vec![a]
+        }
+        RelExpr::Restrict(a, _, _) => vec![a],
+    }
+}
+
+/// Collects every def name referenced (transitively) from `e`.
+fn collect_refs(e: &RelExpr, out: &mut HashSet<&'static str>) {
+    if let RelExpr::Ref(n) = e {
+        out.insert(n);
+    }
+    for child in rel_children(e) {
+        collect_refs(child, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+fn axiom_strength(kind: AxiomKind) -> u8 {
+    match kind {
+        AxiomKind::Irreflexive => 0,
+        AxiomKind::Acyclic => 1,
+        AxiomKind::Empty => 2,
+    }
+}
+
+/// Runs every model-level lint rule (`E001`–`W003`) over `ir`.
+///
+/// `spans` anchors diagnostics to source positions; pass `None` for a
+/// hand-built IR (positions come out as `0:0`). The returned
+/// diagnostics are sorted by position then code and deduplicated, so
+/// the output is deterministic.
+///
+/// Emits the `lint_rules_checked` / `lint_diagnostics` counters through
+/// `tricheck-trace` when a metrics session is active.
+#[must_use]
+pub fn lint_model(
+    ir: &ModelIr,
+    schema: &LintSchema,
+    spans: Option<&ModelSpans>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut analysis = Analysis::new(schema);
+
+    let def_pos =
+        |i: usize| -> Pos { spans.map_or((0, 0), |s| s.defs.get(i).copied().unwrap_or((0, 0))) };
+    let axiom_pos =
+        |i: usize| -> Pos { spans.map_or((0, 0), |s| s.axioms.get(i).copied().unwrap_or((0, 0))) };
+
+    // Lower every def (in order: later defs may reference earlier ones)
+    // and every axiom onto the shared arena.
+    for (name, body) in ir.defs() {
+        let id = analysis.lower_rel(body);
+        analysis.def_nodes.insert(name, id);
+    }
+    let axiom_nodes: Vec<usize> = ir
+        .axioms()
+        .iter()
+        .map(|ax| analysis.lower_rel(&ax.rel))
+        .collect();
+
+    // Reachability: defs referenced (transitively) from some axiom.
+    let mut reachable: HashSet<&'static str> = HashSet::new();
+    for ax in ir.axioms() {
+        collect_refs(&ax.rel, &mut reachable);
+    }
+    loop {
+        let mut grew = false;
+        for (name, body) in ir.defs() {
+            if reachable.contains(name) {
+                let before = reachable.len();
+                collect_refs(body, &mut reachable);
+                grew |= reachable.len() != before;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // E001: statically-empty sub-expressions, in reachable defs and in
+    // axiom bodies (unreachable defs already get W001; piling E001 onto
+    // dead code would be noise).
+    for (i, (name, body)) in ir.defs().iter().enumerate() {
+        if reachable.contains(name) {
+            let ctx = format!("definition '{name}'");
+            analysis.scan_empty(body, &ctx, def_pos(i), &mut out);
+        }
+    }
+    for (i, ax) in ir.axioms().iter().enumerate() {
+        let ctx = format!("axiom '{}'", ax.name);
+        analysis.scan_empty(&ax.rel, &ctx, axiom_pos(i), &mut out);
+    }
+
+    // E002: vacuous axioms — the constraint provably holds in every
+    // execution, so the axiom can never fail and checks nothing.
+    for (i, ax) in ir.axioms().iter().enumerate() {
+        let abs = analysis.rel_at(axiom_nodes[i]);
+        let (vacuous, why) = match ax.kind {
+            AxiomKind::Acyclic if abs.empty => (true, "statically empty"),
+            AxiomKind::Acyclic => (abs.acyc, "provably acyclic"),
+            AxiomKind::Irreflexive if abs.empty => (true, "statically empty"),
+            AxiomKind::Irreflexive => (abs.irr, "provably irreflexive"),
+            AxiomKind::Empty => (abs.empty, "statically empty"),
+        };
+        if vacuous {
+            out.push(Diagnostic::error(
+                "E002",
+                axiom_pos(i),
+                format!(
+                    "axiom '{}' is vacuous: '{}' is {} in every execution, so '{}' can never fail",
+                    ax.name, ax.rel, why, ax.kind
+                ),
+            ));
+        }
+    }
+
+    // W001: definitions no axiom (transitively) uses.
+    for (i, (name, _)) in ir.defs().iter().enumerate() {
+        if !reachable.contains(name) {
+            out.push(Diagnostic::warning(
+                "W001",
+                def_pos(i),
+                format!(
+                    "definition '{name}' is not referenced by any axiom — dead code the lazy evaluator never computes"
+                ),
+            ));
+        }
+    }
+
+    // W002: redundant axioms — same consed relation, and one kind
+    // implies the other (empty ⟹ acyclic ⟹ irreflexive).
+    let mut already_flagged: HashSet<usize> = HashSet::new();
+    for i in 0..ir.axioms().len() {
+        for j in (i + 1)..ir.axioms().len() {
+            if axiom_nodes[i] != axiom_nodes[j] {
+                continue;
+            }
+            let (a, b) = (&ir.axioms()[i], &ir.axioms()[j]);
+            let (si, sj) = (axiom_strength(a.kind), axiom_strength(b.kind));
+            // Flag the weaker (or later-duplicate) axiom.
+            let (weak_idx, weak, strong) = if si >= sj { (j, b, a) } else { (i, a, b) };
+            if !already_flagged.insert(weak_idx) {
+                continue;
+            }
+            let msg = if si == sj {
+                format!(
+                    "axiom '{}' duplicates axiom '{}' (same constraint on the same relation)",
+                    weak.name, strong.name
+                )
+            } else {
+                format!(
+                    "axiom '{}' is redundant: axiom '{}' already requires '{}' of the same relation, which implies '{}'",
+                    weak.name, strong.name, strong.kind, weak.kind
+                )
+            };
+            out.push(Diagnostic::warning("W002", axiom_pos(weak_idx), msg));
+        }
+    }
+
+    // W003: a def name one edit away from a base name — a typo here
+    // silently defines a new relation instead of referencing the base.
+    // Very short names are exempt: at 2–3 characters, distance 1 is the
+    // common case for legitimately distinct names.
+    for (i, (name, _)) in ir.defs().iter().enumerate() {
+        if name.chars().count() < 4 {
+            continue;
+        }
+        let near = schema
+            .rel_names()
+            .chain(schema.set_names())
+            .filter(|b| b.chars().count() >= 4)
+            .find(|b| edit_distance(name, b) == 1);
+        if let Some(base) = near {
+            out.push(Diagnostic::warning(
+                "W003",
+                def_pos(i),
+                format!(
+                    "definition '{name}' is one edit away from the base name '{base}' — a typo here would silently define a new relation instead of referencing the base"
+                ),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, a.code, &a.msg).cmp(&(b.line, b.col, b.code, &b.msg)));
+    out.dedup();
+
+    tricheck_trace::count(
+        tricheck_trace::Counter::LintRulesChecked,
+        MODEL_RULES as u64,
+    );
+    tricheck_trace::count(tricheck_trace::Counter::LintDiagnostics, out.len() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_model_spanned, Vocabulary};
+
+    const R: Sort = 1;
+    const W: Sort = 2;
+    const F: Sort = 4;
+
+    fn schema() -> LintSchema {
+        LintSchema::new(R | W | F)
+            .set("R", R)
+            .set("W", W)
+            .set("F", F)
+            .set("M", R | W)
+            .ordered_rel("po", R | W | F, R | W | F)
+            .ordered_rel("po-loc", R | W, R | W)
+            .ordered_rel("rf", W, R)
+            .ordered_rel("co", W, W)
+            .ordered_rel("fr", R, W)
+            .irreflexive_rel("same-loc", R | W, R | W)
+    }
+
+    fn vocab() -> Vocabulary<'static> {
+        Vocabulary {
+            rels: &["po", "po-loc", "rf", "co", "fr", "same-loc"],
+            sets: &["R", "W", "F", "M"],
+        }
+    }
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        let (ir, spans) = parse_model_spanned(src, &vocab()).unwrap();
+        lint_model(&ir, &schema(), Some(&spans))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_model_produces_no_diagnostics() {
+        let diags = lint_src(
+            "model m\n  com := ((rf ∪ co) ∪ fr)\n  hb := (po-loc ∪ com)\n  Sc: acyclic(hb)\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn e001_disjoint_sort_intersection() {
+        let diags = lint_src("model m\n  x := (rf ∩ co)\n  A: acyclic(((po ∪ rf) ∪ x))\n");
+        assert_eq!(codes(&diags), ["E001"]);
+        assert_eq!((diags[0].line, diags[0].col), (2, 3));
+        assert!(diags[0].msg.contains("'(rf ∩ co)'"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn e001_seq_with_literal_empty_reports_the_seq() {
+        let diags = lint_src("model m\n  A: acyclic(((po ∪ rf) ∪ (0 ; rf)))\n");
+        assert_eq!(codes(&diags), ["E001"]);
+        assert!(diags[0].msg.contains("'(0 ; rf)'"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn e001_blames_the_innermost_composite() {
+        // The inner (rf ∩ co) is the cause; the enclosing seq is not
+        // separately reported.
+        let diags = lint_src("model m\n  A: acyclic(((po ∪ rf) ∪ ((rf ∩ co) ; po)))\n");
+        assert_eq!(codes(&diags), ["E001"]);
+        assert!(diags[0].msg.contains("'(rf ∩ co)'"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn e001_disjoint_seq_composition() {
+        // rf ends in reads, co starts at writes: rf ; co composes nothing.
+        let diags = lint_src("model m\n  A: acyclic(((po ∪ rf) ∪ (rf ; co)))\n");
+        assert_eq!(codes(&diags), ["E001"]);
+    }
+
+    #[test]
+    fn e002_vacuous_acyclic_over_disjoint_sorts() {
+        // rf goes W→R only: no cycle is possible.
+        let diags = lint_src("model m\n  A: acyclic(rf)\n");
+        assert_eq!(codes(&diags), ["E002"]);
+        assert!(
+            diags[0].msg.contains("provably acyclic"),
+            "{}",
+            diags[0].msg
+        );
+    }
+
+    #[test]
+    fn e002_vacuous_irreflexive() {
+        let diags = lint_src("model m\n  A: irreflexive(po)\n  B: acyclic((po ∪ rf ∪ fr))\n");
+        assert_eq!(codes(&diags), ["E002"]);
+        assert_eq!((diags[0].line, diags[0].col), (2, 3));
+    }
+
+    #[test]
+    fn acyclic_of_cyclic_base_is_not_vacuous() {
+        // same-loc is irreflexive but symmetric — a cycle is possible,
+        // so acyclic(same-loc) is a real constraint.
+        let diags = lint_src("model m\n  A: acyclic(same-loc)\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn w001_unused_definition() {
+        let diags = lint_src("model m\n  dead := (rf ∪ co)\n  A: acyclic((po ∪ rf))\n");
+        assert_eq!(codes(&diags), ["W001"]);
+        assert_eq!((diags[0].line, diags[0].col), (2, 3));
+        // Dead defs do not additionally get E001 noise.
+        let diags = lint_src("model m\n  dead := (rf ∩ co)\n  A: acyclic((po ∪ rf))\n");
+        assert_eq!(codes(&diags), ["W001"]);
+    }
+
+    #[test]
+    fn w001_transitively_used_defs_are_live() {
+        let diags =
+            lint_src("model m\n  a := (rf ∪ co)\n  b := (a ∪ fr)\n  A: acyclic((po ∪ b))\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn w002_subsumed_axiom() {
+        let diags =
+            lint_src("model m\n  hb := (po ∪ rf)⁺\n  A: acyclic(hb)\n  B: irreflexive(hb)\n");
+        assert_eq!(codes(&diags), ["W002"]);
+        assert_eq!((diags[0].line, diags[0].col), (4, 3));
+        assert!(diags[0].msg.contains("'A'"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn w002_sees_through_refs() {
+        // B constrains the same relation spelled without the def.
+        let diags = lint_src(
+            "model m\n  hb := (po ∪ rf)⁺\n  A: acyclic(hb)\n  B: irreflexive((po ∪ rf)⁺)\n",
+        );
+        assert_eq!(codes(&diags), ["W002"]);
+    }
+
+    #[test]
+    fn w002_duplicate_axiom() {
+        let diags = lint_src("model m\n  A: acyclic((po ∪ rf))\n  B: acyclic((po ∪ rf))\n");
+        assert_eq!(codes(&diags), ["W002"]);
+        assert!(diags[0].msg.contains("duplicates"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn w003_shadow_adjacent_name() {
+        let diags = lint_src("model m\n  po-lok := po-loc\n  A: acyclic((po ∪ po-lok))\n");
+        assert_eq!(codes(&diags), ["W003"]);
+        assert!(diags[0].msg.contains("'po-loc'"), "{}", diags[0].msg);
+    }
+
+    #[test]
+    fn w003_short_names_are_exempt() {
+        // "rfx" is distance 1 from "rf" but both are short.
+        let diags = lint_src("model m\n  rfx := (rf ∪ co)\n  A: acyclic((po ∪ rfx))\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unspanned_ir_lints_at_zero_zero() {
+        let ir = ModelIr::new("m").axiom("A", AxiomKind::Acyclic, RelExpr::base("rf"));
+        let diags = lint_model(&ir, &schema(), None);
+        assert_eq!(codes(&diags), ["E002"]);
+        assert_eq!((diags[0].line, diags[0].col), (0, 0));
+    }
+
+    #[test]
+    fn unknown_refs_degrade_to_no_facts() {
+        let ir = ModelIr::new("m").axiom("A", AxiomKind::Acyclic, RelExpr::reference("mystery"));
+        assert!(lint_model(&ir, &LintSchema::permissive(&[], &[]), None).is_empty());
+    }
+
+    #[test]
+    fn diagnostic_display_is_colon_separated() {
+        let d = Diagnostic::error("E001", (12, 3), "boom".into());
+        assert_eq!(d.to_string(), "12:3: error[E001]: boom");
+    }
+}

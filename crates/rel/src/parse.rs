@@ -108,10 +108,14 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// `(line, column)`, both 1-based.
-type Pos = (usize, usize);
+pub type Pos = (usize, usize);
 
-/// Levenshtein distance, for "did you mean" suggestions.
-fn edit_distance(a: &str, b: &str) -> usize {
+/// Levenshtein distance between two names.
+///
+/// Used for the parser's "did you mean" suggestions and by the lint
+/// pass's shadow-adjacent-name rule (`W003`).
+#[must_use]
+pub fn edit_distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     let mut prev: Vec<usize> = (0..=b.len()).collect();
@@ -128,7 +132,8 @@ fn edit_distance(a: &str, b: &str) -> usize {
 
 /// The closest candidate within edit distance 2, rendered as a
 /// suggestion suffix (or an empty string).
-fn suggest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> String {
+#[must_use]
+pub fn suggest<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> String {
     candidates
         .map(|c| (edit_distance(name, c), c))
         .filter(|&(d, _)| d <= 2)
@@ -475,13 +480,18 @@ fn parse_fragment(text: &str, line: usize, col0: usize) -> Result<(G, Parser), P
 
 struct Elab<'v> {
     vocab: &'v Vocabulary<'v>,
-    /// Names defined so far, in order (later defs may reference them).
-    defs: Vec<&'static str>,
+    /// Names defined so far, in order (later defs may reference them),
+    /// each with the position of its defining line.
+    defs: Vec<(&'static str, Pos)>,
 }
 
 impl Elab<'_> {
     fn is_def(&self, name: &str) -> bool {
-        self.defs.contains(&name)
+        self.defs.iter().any(|&(n, _)| n == name)
+    }
+
+    fn def_pos(&self, name: &str) -> Option<Pos> {
+        self.defs.iter().find(|&&(n, _)| n == name).map(|&(_, p)| p)
     }
 
     fn rel(&self, g: &G) -> Result<RelExpr, ParseError> {
@@ -511,7 +521,7 @@ impl Elab<'_> {
                             .rels
                             .iter()
                             .copied()
-                            .chain(self.defs.iter().copied()),
+                            .chain(self.defs.iter().map(|&(n, _)| n)),
                     );
                     return Err(ParseError::new(
                         *p,
@@ -595,6 +605,22 @@ fn parse_name(text: &str, line: usize, col0: usize, what: &str) -> Result<String
     }
 }
 
+/// Source positions recorded while parsing a model, parallel to the
+/// resulting [`ModelIr`]'s structure.
+///
+/// Lines and columns are 1-based and relative to the parsed text (a
+/// stack-file loader re-anchors them to file coordinates). Positions
+/// point at the def/axiom *name*, the natural anchor for diagnostics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModelSpans {
+    /// Position of the `model <name>` header line.
+    pub model: Pos,
+    /// Position of each definition, in [`ModelIr::defs`] order.
+    pub defs: Vec<Pos>,
+    /// Position of each axiom, in [`ModelIr::axioms`] order.
+    pub axioms: Vec<Pos>,
+}
+
 /// Parses a complete model in the [`ModelIr`] `Display` grammar,
 /// validating base names against `vocab`.
 ///
@@ -611,7 +637,22 @@ fn parse_name(text: &str, line: usize, col0: usize, what: &str) -> Result<String
 /// that shadow a base name or an earlier definition (which would make
 /// the printed form ambiguous).
 pub fn parse_model(src: &str, vocab: &Vocabulary) -> Result<ModelIr, ParseError> {
+    parse_model_spanned(src, vocab).map(|(ir, _)| ir)
+}
+
+/// Like [`parse_model`], but also returns the source position of the
+/// model header and every definition and axiom — the anchors the lint
+/// pass attaches its diagnostics to.
+///
+/// # Errors
+///
+/// Exactly the errors of [`parse_model`].
+pub fn parse_model_spanned(
+    src: &str,
+    vocab: &Vocabulary,
+) -> Result<(ModelIr, ModelSpans), ParseError> {
     let mut ir: Option<ModelIr> = None;
+    let mut spans = ModelSpans::default();
     let mut elab = Elab {
         vocab,
         defs: Vec::new(),
@@ -649,6 +690,7 @@ pub fn parse_model(src: &str, vocab: &Vocabulary) -> Result<ModelIr, ParseError>
                 ));
             }
             ir = Some(ModelIr::new(name));
+            spans.model = (lineno, col0);
             continue;
         };
 
@@ -670,10 +712,12 @@ pub fn parse_model(src: &str, vocab: &Vocabulary) -> Result<ModelIr, ParseError>
                     ),
                 ));
             }
-            if elab.is_def(&name) {
+            if let Some((first_line, first_col)) = elab.def_pos(&name) {
                 return Err(ParseError::new(
                     name_pos,
-                    format!("'{name}' is already defined"),
+                    format!(
+                        "'{name}' is already defined (first definition at line {first_line}, column {first_col})"
+                    ),
                 ));
             }
             let rhs_col0 = col0 + body[..assign + 2].chars().count();
@@ -686,11 +730,13 @@ pub fn parse_model(src: &str, vocab: &Vocabulary) -> Result<ModelIr, ParseError>
             }
             let expr = elab.rel(&g)?;
             let interned = intern(&name);
-            elab.defs.push(interned);
+            elab.defs.push((interned, name_pos));
+            spans.defs.push(name_pos);
             *model = std::mem::replace(model, ModelIr::new("")).define(interned, expr);
         } else if let Some(colon) = body.find(':') {
             // Axiom: Name: kind(expr)
             let name = parse_name(&body[..colon], lineno, col0, "axiom name")?;
+            spans.axioms.push((lineno, col0));
             let rhs = &body[colon + 1..];
             let rhs_col0 = col0 + body[..colon + 1].chars().count();
             let toks = lex(rhs, lineno, rhs_col0)?;
@@ -751,7 +797,7 @@ pub fn parse_model(src: &str, vocab: &Vocabulary) -> Result<ModelIr, ParseError>
             format!("model '{}' has no axioms", model.name()),
         ));
     }
-    Ok(model)
+    Ok((model, spans))
 }
 
 #[cfg(test)]
@@ -855,6 +901,27 @@ mod tests {
             let err = parse(src).unwrap_err();
             assert!(err.msg.contains(needle), "{src} → {err}");
         }
+    }
+
+    #[test]
+    fn duplicate_definition_errors_carry_both_spans() {
+        let err = parse("model m\n  a := po\n\n  a := rf\n  A: acyclic(a)\n").unwrap_err();
+        assert_eq!((err.line, err.col), (4, 3));
+        assert!(
+            err.msg.contains("first definition at line 2, column 3"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn spanned_parse_anchors_defs_and_axioms() {
+        let src = "# header\nmodel m\n  a := po\n\n    b := a ; rf\n  A: acyclic(b)\n";
+        let (ir, spans) = parse_model_spanned(src, &vocab()).unwrap();
+        assert_eq!(spans.model, (2, 1));
+        assert_eq!(spans.defs, vec![(3, 3), (5, 5)]);
+        assert_eq!(spans.axioms, vec![(6, 3)]);
+        assert_eq!(spans.defs.len(), ir.defs().len());
+        assert_eq!(spans.axioms.len(), ir.axioms().len());
     }
 
     #[test]

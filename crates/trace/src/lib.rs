@@ -221,15 +221,21 @@ pub enum Counter {
     StoreBytesRead,
     /// Bytes written to the persistent store.
     StoreBytesWritten,
+    /// Lint rules evaluated against loaded models and stack files.
+    LintRulesChecked,
+    /// Lint diagnostics produced (errors and warnings combined).
+    LintDiagnostics,
 }
 
 impl Counter {
     /// All trace-layer counters.
-    pub const ALL: [Counter; 4] = [
+    pub const ALL: [Counter; 6] = [
         Counter::CandidatesEnumerated,
         Counter::PrunedBranches,
         Counter::StoreBytesRead,
         Counter::StoreBytesWritten,
+        Counter::LintRulesChecked,
+        Counter::LintDiagnostics,
     ];
 
     /// The stable snake_case name used in reports and JSON.
@@ -240,6 +246,8 @@ impl Counter {
             Counter::PrunedBranches => "pruned_branches",
             Counter::StoreBytesRead => "store_bytes_read",
             Counter::StoreBytesWritten => "store_bytes_written",
+            Counter::LintRulesChecked => "lint_rules_checked",
+            Counter::LintDiagnostics => "lint_diagnostics",
         }
     }
 }

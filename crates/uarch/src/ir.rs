@@ -64,6 +64,58 @@ pub fn hw_vocabulary() -> tricheck_rel::parse::Vocabulary<'static> {
     }
 }
 
+/// Event-sort bit for read events in [`hw_lint_schema`].
+pub const SORT_R: tricheck_rel::lint::Sort = 1;
+/// Event-sort bit for write events in [`hw_lint_schema`].
+pub const SORT_W: tricheck_rel::lint::Sort = 2;
+/// Event-sort bit for fence events in [`hw_lint_schema`].
+pub const SORT_F: tricheck_rel::lint::Sort = 4;
+
+/// The lint schema for the [`HwBinding`] vocabulary: per-base
+/// domain/range sorts and order facts, each of which holds in *every*
+/// execution [`HwBinding`] can produce (see `tricheck-litmus`'s
+/// execution builder).
+///
+/// - `po` is a strict order per construction (and excludes init
+///   events); `po-loc` and the fence edge sets are subsets of it.
+/// - `same-loc` excludes the diagonal but is symmetric, so it is
+///   irreflexive without being acyclic.
+/// - `addr`/`data` root at reads and point po-forward; `rmw` relates
+///   the read half to the write half; `rf`/`rfe`/`rfi` go write→read,
+///   `co` is a per-location strict order on writes, `fr`/`fre` go
+///   read→write.
+/// - The annotation sets (`init`, `amo-*`) only ever contain accesses.
+#[must_use]
+pub fn hw_lint_schema() -> tricheck_rel::lint::LintSchema {
+    use tricheck_rel::lint::LintSchema;
+    const M: tricheck_rel::lint::Sort = SORT_R | SORT_W;
+    const ANY: tricheck_rel::lint::Sort = SORT_R | SORT_W | SORT_F;
+    LintSchema::new(ANY)
+        .set("R", SORT_R)
+        .set("W", SORT_W)
+        .set("F", SORT_F)
+        .set("M", M)
+        .set("init", SORT_W)
+        .set("amo-aq", M)
+        .set("amo-rl", M)
+        .set("amo-sc", M)
+        .ordered_rel("po", ANY, ANY)
+        .ordered_rel("po-loc", M, M)
+        .irreflexive_rel("same-loc", M, M)
+        .ordered_rel("addr", SORT_R, M)
+        .ordered_rel("data", SORT_R, SORT_W)
+        .ordered_rel("rmw", SORT_R, SORT_W)
+        .ordered_rel("rf", SORT_W, SORT_R)
+        .ordered_rel("rfe", SORT_W, SORT_R)
+        .ordered_rel("rfi", SORT_W, SORT_R)
+        .ordered_rel("co", SORT_W, SORT_W)
+        .ordered_rel("fr", SORT_R, SORT_W)
+        .ordered_rel("fre", SORT_R, SORT_W)
+        .ordered_rel("fence-noncum", M, M)
+        .ordered_rel("fence-cum", M, M)
+        .ordered_rel("fence-heavy", M, M)
+}
+
 /// The fence-induced edge sets of an execution, split by cumulativity
 /// class: `(non-cumulative, cumulative, heavyweight-cumulative)` edges.
 /// `heavy ⊆ cumulative`. Each edge `(x, y)` relates accesses of the
@@ -283,10 +335,14 @@ pub fn build_uarch_ir(cfg: &UarchConfig) -> ModelIr {
     if cfg.atomicity == StoreAtomicity::Mca {
         hb = hb.union(rel("rfi"));
     }
-    ir = ir
-        .define("hb", hb)
-        .define("hb-star", reference("hb").star())
-        .define("hb-plus", reference("hb").plus());
+    ir = ir.define("hb", hb);
+    if cfg.atomicity == StoreAtomicity::NMca {
+        // Only the non-MCA propagation construction below uses the
+        // reflexive closure; defining it elsewhere is dead code (and
+        // the lint pass would rightly flag it with W001).
+        ir = ir.define("hb-star", reference("hb").star());
+    }
+    ir = ir.define("hb-plus", reference("hb").plus());
 
     // --- Propagation ---
     let prop = match cfg.atomicity {

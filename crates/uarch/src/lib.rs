@@ -89,5 +89,8 @@ pub mod ir;
 pub mod model;
 
 pub use config::{ReleasePredecessors, StoreAtomicity, UarchConfig};
-pub use ir::{build_uarch_ir, hw_vocabulary, x86_tso_ir, HwBinding, HW_REL_BASES, HW_SET_BASES};
+pub use ir::{
+    build_uarch_ir, hw_lint_schema, hw_vocabulary, x86_tso_ir, HwBinding, HW_REL_BASES,
+    HW_SET_BASES, SORT_F, SORT_R, SORT_W,
+};
 pub use model::{UarchModel, UarchViolation};
